@@ -1,0 +1,9 @@
+"""Benchmark suite regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*`` file times one representative kernel and writes the
+regenerated paper table to ``benchmarks/results/``.
+"""

@@ -1,0 +1,31 @@
+"""Ablation — histogram bin count (8/16/32/64).
+
+Times index construction at the extremes of the bin-count sweep and
+regenerates the size-vs-pruning trade-off table behind the paper's
+choice of 64 bins.
+"""
+
+import numpy as np
+
+from repro.bench.ablations import _mixed_column, bins_ablation_rows
+from repro.bench.tables import format_table
+from repro.core import ColumnImprints
+
+
+def test_ablation_bins_8(benchmark):
+    column = _mixed_column()
+    benchmark(ColumnImprints, column, max_bins=8)
+
+
+def test_ablation_bins_64(benchmark, save_result):
+    column = _mixed_column()
+    benchmark(ColumnImprints, column, max_bins=64)
+    save_result(
+        "ablation_bins",
+        format_table(
+            headers=["max bins", "bins", "bytes", "overhead %", "build s",
+                     "lines fetched", "comparisons"],
+            rows=bins_ablation_rows(),
+            title="Ablation: histogram bin count (query selectivity 0.1)",
+        ),
+    )

@@ -1,0 +1,26 @@
+"""Ablation — imprint vector granularity (cacheline size).
+
+Section 2.3 ties the imprint span to the system's access granularity;
+this sweep regenerates the size-vs-precision trade-off for 32..256-byte
+vectors.
+"""
+
+from repro.bench.ablations import _mixed_column, cacheline_ablation_rows
+from repro.bench.tables import format_table
+from repro.core import ColumnImprints
+from repro.storage import Column
+
+
+def test_ablation_cacheline_granularity(benchmark, save_result):
+    base = _mixed_column()
+    column = Column(base.values, ctype=base.ctype, cacheline_bytes=128)
+    benchmark(ColumnImprints, column)
+    save_result(
+        "ablation_cacheline",
+        format_table(
+            headers=["cacheline B", "vpc", "bytes", "overhead %", "build s",
+                     "bytes fetched", "comparisons"],
+            rows=cacheline_ablation_rows(),
+            title="Ablation: imprint vector granularity",
+        ),
+    )

@@ -1,0 +1,36 @@
+"""Section 2.5 — get_bin cost and the sampling ablation.
+
+Regenerates the 18-comparisons-per-value accounting of the paper's
+unrolled binary search and the Algorithm 2 sample-size sweep, timing
+the vectorised bin lookup (the production path).
+"""
+
+from repro.bench.ablations import (
+    _mixed_column,
+    getbin_rows,
+    sample_size_ablation_rows,
+)
+from repro.bench.tables import format_table
+from repro.core import binning
+
+
+def test_getbin_and_sampling(benchmark, save_result):
+    column = _mixed_column()
+    histogram = binning(column)
+    benchmark(histogram.get_bins, column.values)
+    text = "\n\n".join(
+        [
+            format_table(
+                headers=["implementation", "comparisons/value", "ns/value"],
+                rows=getbin_rows(),
+                title="Section 2.5: get_bin cost (paper: 18 comparisons/value)",
+            ),
+            format_table(
+                headers=["sample", "bins", "binning s", "occupied bins",
+                         "max/mean bin load"],
+                rows=sample_size_ablation_rows(),
+                title="Ablation: Algorithm 2 sample size",
+            ),
+        ]
+    )
+    save_result("ablation_getbin_sampling", text)

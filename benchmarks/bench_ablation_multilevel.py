@@ -1,0 +1,60 @@
+"""Ablation — multi-level imprints (Section 7 future work).
+
+Sweeps the summary fanout and regenerates the probe-reduction table:
+how many index probes a selective query needs with and without the
+summary level, on clustered (random-walk) data.
+"""
+
+import numpy as np
+
+from repro.bench.tables import format_table
+from repro.core import ColumnImprints, MultiLevelImprints
+from repro.predicate import RangePredicate
+from repro.storage import Column
+
+
+def _walk_column(n: int = 120_000, seed: int = 31) -> Column:
+    rng = np.random.default_rng(seed)
+    return Column(
+        (np.cumsum(rng.normal(0, 15, n)) + 1e5).astype(np.int32),
+        name="ml.walk",
+    )
+
+
+def _predicate(column):
+    lo, hi = np.quantile(column.values, [0.50, 0.52])
+    return RangePredicate.range(int(lo), int(hi), column.ctype)
+
+
+def test_multilevel_query(benchmark, save_result):
+    column = _walk_column()
+    predicate = _predicate(column)
+    single = ColumnImprints(column)
+    baseline = single.query(predicate)
+
+    rows = [
+        ["single-level", None, single.nbytes,
+         baseline.stats.index_probes, baseline.stats.value_comparisons],
+    ]
+    timed_index = None
+    for fanout in (16, 64, 256):
+        multi = MultiLevelImprints(column, fanout=fanout)
+        result = multi.query(predicate)
+        assert np.array_equal(result.ids, baseline.ids)
+        rows.append(
+            [multi.kind, fanout, multi.nbytes,
+             result.stats.index_probes, result.stats.value_comparisons]
+        )
+        if fanout == 64:
+            timed_index = multi
+
+    benchmark(timed_index.query, predicate)
+    save_result(
+        "ablation_multilevel",
+        format_table(
+            headers=["index", "fanout", "bytes", "probes", "comparisons"],
+            rows=rows,
+            title="Ablation: two-level imprints, selective query on a "
+            "random-walk column",
+        ),
+    )

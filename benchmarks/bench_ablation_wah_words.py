@@ -1,0 +1,48 @@
+"""Ablation — WAH word size (32-bit as the paper evaluates, vs 64-bit).
+
+The follow-up analyses the paper cites [26] study word width directly:
+wider words halve the word count on incompressible data but double the
+cost of isolated literals on sparse data.  This bench regenerates that
+trade-off on one compressible and one incompressible dataset column.
+"""
+
+from repro.bench.tables import format_table
+from repro.indexes import WahBitmapIndex
+
+
+def test_wah_word_size(benchmark, context, save_result):
+    compressible = context.find("cnet", "cnet.attr18")
+    hostile = context.find("sdss", "photoprofile.profmean")
+
+    rows = []
+    for built in (compressible, hostile):
+        for word_bits in (32, 64):
+            index = WahBitmapIndex(
+                built.column,
+                histogram=built.imprints.histogram,
+                word_bits=word_bits,
+            )
+            rows.append(
+                [
+                    built.qualified_name,
+                    word_bits,
+                    index.total_words,
+                    index.nbytes,
+                    100.0 * index.overhead,
+                ]
+            )
+
+    benchmark(
+        WahBitmapIndex,
+        hostile.column,
+        histogram=hostile.imprints.histogram,
+        word_bits=64,
+    )
+    save_result(
+        "ablation_wah_words",
+        format_table(
+            headers=["column", "word bits", "words", "bytes", "overhead %"],
+            rows=rows,
+            title="Ablation: WAH word size (paper uses 32)",
+        ),
+    )

@@ -1,0 +1,15 @@
+"""Paper-claim verification as a benchmark artifact.
+
+Runs the full claim checklist over the session context/sweep and saves
+the PASS/FAIL table next to the figure outputs; the timed kernel is one
+complete verification pass (cheap — it re-reads the cached sweep).
+"""
+
+from repro.bench.verification import render_claims, verify_claims
+
+
+def test_paper_claims(benchmark, context, measurements, save_result):
+    results = benchmark(verify_claims, context, measurements)
+    save_result("claims", render_claims(results))
+    failed = [r for r in results if not r.passed]
+    assert not failed, render_claims(results)

@@ -1,0 +1,19 @@
+"""Figure 10 — factor of improvement over scan and over zonemap.
+
+Times the sequential-scan baseline query and regenerates both
+improvement-factor tables.
+"""
+
+import numpy as np
+
+from repro.bench import render_fig10
+from repro.predicate import RangePredicate
+
+
+def test_fig10_improvement_factors(benchmark, context, measurements, save_result):
+    built = context.find("routing", "trips.lat")
+    values = built.column.values
+    lo, hi = np.quantile(values, [0.40, 0.45])
+    predicate = RangePredicate.range(float(lo), float(hi), built.column.ctype)
+    benchmark(built.scan.query, predicate)
+    save_result("fig10_improvement", render_fig10(measurements))

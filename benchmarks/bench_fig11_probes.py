@@ -1,0 +1,19 @@
+"""Figure 11 — index probes and value comparisons per record.
+
+Times a WAH bitmap query (the probe-heavy method) and regenerates the
+normalised probe/comparison table for selectivity 0.4-0.5.
+"""
+
+import numpy as np
+
+from repro.bench import render_fig11
+from repro.predicate import RangePredicate
+
+
+def test_fig11_probes_and_comparisons(benchmark, context, measurements, save_result):
+    built = context.find("sdss", "photoobj.mag_r")
+    values = built.column.values
+    lo, hi = np.quantile(values.astype(np.float64), [0.3, 0.75])
+    predicate = RangePredicate.range(float(lo), float(hi), built.column.ctype)
+    benchmark(built.wah.query, predicate)
+    save_result("fig11_probes", render_fig11(measurements))

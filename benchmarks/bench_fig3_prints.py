@@ -1,0 +1,15 @@
+"""Figure 3 — prints of column imprint indexes and column entropy.
+
+Times the Figure-3 renderer and regenerates the five imprint prints
+with measured-vs-paper entropy values.
+"""
+
+from repro.bench import render_fig3
+from repro.core.render import render_imprints
+
+
+def test_fig3_imprint_prints(benchmark, context, save_result):
+    built = context.find("routing", "trips.lat")
+    # Timed kernel: rendering one imprint print (expand + format).
+    benchmark(render_imprints, built.imprints.data, 64)
+    save_result("fig3_prints", render_fig3(context, lines_per_column=32))

@@ -1,0 +1,15 @@
+"""Figure 4 — cumulative distribution of column entropy.
+
+Times the entropy metric and regenerates the CDF over all generated
+columns.
+"""
+
+from repro.bench import render_fig4
+from repro.core import column_entropy
+
+
+def test_fig4_entropy_cdf(benchmark, context, save_result):
+    built = context.find("sdss", "photoprofile.profmean")
+    # Timed kernel: entropy of one pre-built imprint index.
+    benchmark(column_entropy, built.imprints.data)
+    save_result("fig4_entropy_cdf", render_fig4(context))

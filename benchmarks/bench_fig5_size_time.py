@@ -1,0 +1,32 @@
+"""Figure 5 — index size and creation time per value-type width.
+
+The three timed kernels are the three index builds over the same
+column, so pytest-benchmark's comparison table reproduces the paper's
+creation-time ordering (zonemap fastest, WAH slowest, imprints in
+between); the saved table holds the full per-width size/time medians.
+"""
+
+from repro.bench import render_fig5
+from repro.core import ColumnImprints
+from repro.indexes import WahBitmapIndex, ZoneMap
+
+
+def test_fig5_build_imprints(benchmark, context):
+    built = context.find("routing", "trips.lat")
+    benchmark(ColumnImprints, built.column, histogram=built.imprints.histogram)
+
+
+def test_fig5_build_zonemap(benchmark, context):
+    built = context.find("routing", "trips.lat")
+    benchmark(ZoneMap, built.column)
+
+
+def test_fig5_build_wah(benchmark, context):
+    built = context.find("routing", "trips.lat")
+    benchmark(WahBitmapIndex, built.column, histogram=built.imprints.histogram)
+
+
+def test_fig5_size_and_time_table(benchmark, context, save_result):
+    built = context.find("cnet", "cnet.attr18")
+    benchmark(ColumnImprints, built.column, histogram=built.imprints.histogram)
+    save_result("fig5_size_time", render_fig5(context, per_column=True))

@@ -1,0 +1,19 @@
+"""Figure 7 — index size overhead % against column entropy.
+
+Times WAH encoding on a high-entropy column (its failure mode) and
+regenerates the entropy-bucketed overhead comparison.
+"""
+
+import numpy as np
+
+from repro.bench import render_fig7
+from repro.indexes import wah_encode
+
+
+def test_fig7_overhead_vs_entropy(benchmark, context, save_result):
+    built = context.find("sdss", "photoprofile.profmean")
+    bins = built.imprints.histogram.get_bins(built.column.values)
+    bits = bins == int(bins[0])
+    # Timed kernel: one incompressible bin vector through the codec.
+    benchmark(wah_encode, bits)
+    save_result("fig7_overhead_entropy", render_fig7(context))

@@ -1,0 +1,24 @@
+"""Figure 8 — query time vs selectivity for all four methods.
+
+Times one highly selective imprints query (the paper's sweet spot) and
+regenerates the full selectivity-vs-time table from the session sweep
+(every query of which is verified identical across methods).
+"""
+
+import numpy as np
+
+from repro.bench import render_fig8
+from repro.predicate import RangePredicate
+
+
+def _selective_predicate(built):
+    values = built.column.values
+    lo, hi = np.quantile(values, [0.40, 0.45])
+    return RangePredicate.range(float(lo), float(hi), built.column.ctype)
+
+
+def test_fig8_time_vs_selectivity(benchmark, context, measurements, save_result):
+    built = context.find("routing", "trips.lat")
+    predicate = _selective_predicate(built)
+    benchmark(built.imprints.query, predicate)
+    save_result("fig8_query_selectivity", render_fig8(measurements))

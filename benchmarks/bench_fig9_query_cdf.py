@@ -1,0 +1,19 @@
+"""Figure 9 — cumulative distribution of query times.
+
+Times one zonemap query (the paper's runner-up index) and regenerates
+the how-many-queries-finish-within-t table.
+"""
+
+import numpy as np
+
+from repro.bench import render_fig9
+from repro.predicate import RangePredicate
+
+
+def test_fig9_query_time_cdf(benchmark, context, measurements, save_result):
+    built = context.find("routing", "trips.lat")
+    values = built.column.values
+    lo, hi = np.quantile(values, [0.40, 0.45])
+    predicate = RangePredicate.range(float(lo), float(hi), built.column.ctype)
+    benchmark(built.zonemap.query, predicate)
+    save_result("fig9_query_cdf", render_fig9(measurements))

@@ -1,0 +1,41 @@
+"""Section 7 — multi-core construction.
+
+Times the partitioned builder at 1/2/4 workers on one large column;
+pytest-benchmark's comparison table is the speedup figure.  The output
+is asserted identical to the serial build before any timing happens.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ImprintsBuilder, binning, build_imprints_parallel
+from repro.storage import Column
+
+
+@pytest.fixture(scope="module")
+def column():
+    rng = np.random.default_rng(5)
+    return Column(
+        (np.cumsum(rng.normal(0, 20, 2_000_000)) + 1e6).astype(np.int32),
+        name="parallel.walk",
+    )
+
+
+@pytest.fixture(scope="module")
+def histogram(column):
+    return binning(column, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def verify_equivalence(column, histogram):
+    builder = ImprintsBuilder(histogram, column.values_per_cacheline)
+    builder.feed(column.values)
+    serial = builder.snapshot()
+    parallel = build_imprints_parallel(column, histogram, n_workers=4)
+    assert np.array_equal(serial.imprints, parallel.imprints)
+    assert np.array_equal(serial.dictionary.counts, parallel.dictionary.counts)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_build(benchmark, column, histogram, workers):
+    benchmark(build_imprints_parallel, column, histogram, n_workers=workers)

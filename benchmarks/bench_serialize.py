@@ -1,0 +1,32 @@
+"""Persistence — index dump/load throughput.
+
+Times serialising and deserialising the imprint index of the largest
+Routing column and records the on-disk footprint next to the in-memory
+one.
+"""
+
+from repro.bench.tables import format_bytes, format_table
+from repro.core import dump_imprints, load_imprints
+
+
+def test_dump(benchmark, context):
+    built = context.find("routing", "trips.lat")
+    benchmark(dump_imprints, built.imprints.data)
+
+
+def test_load(benchmark, context, save_result):
+    built = context.find("routing", "trips.lat")
+    blob = dump_imprints(built.imprints.data)
+    benchmark(load_imprints, blob)
+    save_result(
+        "serialize",
+        format_table(
+            headers=["artifact", "size"],
+            rows=[
+                ["column data", format_bytes(built.column.nbytes)],
+                ["index in memory", format_bytes(built.imprints.nbytes)],
+                ["index on disk", format_bytes(len(blob))],
+            ],
+            title="Persistence: imprint index footprint (trips.lat)",
+        ),
+    )

@@ -1,0 +1,16 @@
+"""Table 1 — dataset statistics.
+
+Times the dataset generators and regenerates the paper's Table 1
+(scaled row counts next to the originals).
+"""
+
+from repro.bench import render_table1
+from repro.workloads import load_dataset
+
+from .conftest import bench_scale
+
+
+def test_table1_dataset_statistics(benchmark, context, save_result):
+    # Timed kernel: generating the Routing dataset from scratch.
+    benchmark(load_dataset, "routing", scale=bench_scale())
+    save_result("table1_datasets", render_table1(context))

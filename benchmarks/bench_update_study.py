@@ -1,0 +1,27 @@
+"""Section 4 — the update study (appends, saturation, rebuild).
+
+Times the incremental append path and regenerates the three update
+tables (append vs rebuild, distribution-shift detection, saturation).
+"""
+
+import numpy as np
+
+from repro.bench.updates_study import render_update_study
+from repro.core import ColumnImprints
+from repro.storage import Column
+
+
+def test_update_study(benchmark, save_result):
+    rng = np.random.default_rng(0)
+    base = Column(
+        (np.cumsum(rng.normal(0, 50, 100_000)) + 1e5).astype(np.int32)
+    )
+    batch = (np.cumsum(rng.normal(0, 50, 5_000)) + 1e5).astype(np.int32)
+
+    def append_once():
+        index = ColumnImprints(base)
+        index.append(batch)
+        return index.data.n_cachelines
+
+    benchmark(append_once)
+    save_result("update_study", render_update_study())

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Everything expensive (datasets, indexes, the query sweep) is built once
+per session and shared; each ``bench_*`` file times one representative
+kernel with pytest-benchmark and prints/saves the paper table or figure
+series it regenerates.
+
+Results are written to ``benchmarks/results/<experiment>.txt`` so they
+survive pytest's output capturing; run with ``-s`` to also see them
+inline.
+
+``REPRO_SCALE`` scales the datasets (1.0 = paper row counts / 1000).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench import get_context, run_query_sweep
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def context():
+    """All datasets + all indexes, built once per session."""
+    return get_context(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def measurements(context):
+    """The Figures 8-11 query sweep (every query verified across all
+    four methods), run once per session."""
+    return run_query_sweep(context)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer for the regenerated tables: print + persist."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def writer(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return writer

@@ -1,0 +1,75 @@
+"""Product-catalogue service: persistence, IN-lists and the plan advisor.
+
+A Cnet-style catalogue workflow end to end:
+
+1. generate the sparse catalogue and persist it into an on-disk column
+   store (the "load" phase);
+2. reopen the store memory-mapped, load the persisted imprint index —
+   no rebuild on restart;
+3. answer an IN-list query ("products tagged with any of these
+   categories") through the imprint;
+4. let the access-path advisor choose between the index and a scan for
+   predicates of very different selectivity.
+
+Run:  python examples/catalog_store.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.core import ColumnImprints, plan_query, query_in_list
+from repro.core.serialize import load_imprints
+from repro.predicate import RangePredicate
+from repro.storage import ColumnStore
+from repro.workloads import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("cnet", scale=1.0)
+    attr = dataset.column("cnet.attr18").column
+    print(f"catalogue column {attr.name}: {len(attr):,} products, "
+          f"{attr.cardinality} distinct category codes")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. load phase: persist data + index.
+        store = ColumnStore(tmp)
+        store.write_column("cnet", "attr18", attr)
+        built = ColumnImprints(attr)
+        store.write_imprints("cnet", "attr18", built.data)
+        print(f"persisted column + imprints into {tmp}")
+
+        # 2. service restart: mmap the data, read the index back.
+        column, _ = store.read_column("cnet", "attr18", mmap=True)
+        data = store.read_imprints("cnet", "attr18")
+        index = ColumnImprints(column, histogram=data.histogram)
+        assert np.array_equal(index.data.imprints, data.imprints)
+        print("restart: column memory-mapped, index loaded "
+              f"({data.nbytes:,} B, no rebuild)")
+
+        # 3. IN-list query on three category codes.  Codes taken from
+        # the histogram borders are guaranteed their own bins; a code
+        # the binning sample missed would share the dominant "absent"
+        # bin and degrade to a near-scan (sampling artifact the paper
+        # accepts).
+        categories = [int(c) for c in index.histogram.borders[2:5]]
+        hits = query_in_list(index, categories)
+        print(f"products in categories {categories}: {hits.n_ids:,} "
+              f"(checked {hits.stats.value_comparisons:,} values, "
+              f"fetched {hits.stats.cachelines_fetched:,} of "
+              f"{column.n_cachelines:,} cachelines)")
+
+        # 4. the advisor prices plans per predicate.
+        selective = RangePredicate.range(5, 9, column.ctype)
+        broad = RangePredicate.range(0, 1, column.ctype)  # the 'absent' code
+        for label, predicate in [("rare categories", selective),
+                                 ("dominant code", broad)]:
+            plan = plan_query(index, predicate)
+            print(f"advisor[{label:<16}] -> {plan.method:<8} "
+                  f"(imprints {plan.imprints_seconds * 1e3:.3f} ms vs "
+                  f"scan {plan.scan_seconds * 1e3:.3f} ms, "
+                  f"candidates {100 * plan.candidate_fraction:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so ``pip install -e .`` works on environments whose setuptools
+lacks PEP 660 editable-install support (no ``wheel`` package); all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Entry point: ``python -m repro.bench [output_dir] [--scale S]``."""
+
+from __future__ import annotations
+
+import argparse
+
+from .report import generate_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate every table and figure of the paper",
+    )
+    parser.add_argument("output_dir", nargs="?", default="report")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the paper's qualitative claims instead of writing "
+        "the full report",
+    )
+    args = parser.parse_args(argv)
+    if args.verify:
+        from .queries_fig8_11 import run_query_sweep
+        from .runner import get_context
+        from .verification import render_claims, verify_claims
+
+        context = get_context(scale=args.scale, seed=args.seed)
+        measurements = run_query_sweep(context)
+        results = verify_claims(context, measurements)
+        print(render_claims(results))
+        return 0 if all(r.passed for r in results) else 1
+    generate_report(
+        args.output_dir, scale=args.scale, seed=args.seed,
+        verbose=not args.quiet,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

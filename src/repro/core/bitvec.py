@@ -1,0 +1,76 @@
+"""Small-bit-vector helpers shared by the imprints machinery.
+
+Imprint vectors are at most 64 bits wide, so the whole index fits in
+NumPy ``uint64`` arrays.  This module centralises the popcount, Hamming
+distance and formatting primitives so the entropy metric, the renderer
+and the tests all agree on bit order: bit 0 (the least significant bit)
+corresponds to histogram bin 0, matching the paper's
+``imprint_v | (1 << bin)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "popcount",
+    "popcount_int",
+    "hamming",
+    "bits_to_str",
+    "str_to_bits",
+    "low_bits_mask",
+]
+
+_U64 = np.uint64
+
+
+def popcount(vectors: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (paper's ``b(i)``)."""
+    return np.bitwise_count(np.asarray(vectors, dtype=_U64))
+
+
+def popcount_int(vector: int) -> int:
+    """Popcount of one Python int (may exceed 64 bits in tests)."""
+    if vector < 0:
+        raise ValueError(f"popcount of a negative value is undefined: {vector}")
+    return int(vector).bit_count()
+
+
+def hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise Hamming distance between two uint64 arrays.
+
+    This is the paper's edit distance ``d(i, i-1)``: the number of bits
+    that must be flipped to turn one imprint vector into another.
+    """
+    a64 = np.asarray(a, dtype=_U64)
+    b64 = np.asarray(b, dtype=_U64)
+    return np.bitwise_count(np.bitwise_xor(a64, b64))
+
+
+def bits_to_str(vector: int, width: int, set_char: str = "x", unset_char: str = ".") -> str:
+    """Render one imprint vector the way the paper's Figure 3 does.
+
+    Bin 0 is printed first (leftmost), so the string reads like the
+    histogram from the domain minimum to the maximum.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return "".join(
+        set_char if (int(vector) >> bit) & 1 else unset_char for bit in range(width)
+    )
+
+
+def str_to_bits(text: str, set_char: str = "x") -> int:
+    """Inverse of :func:`bits_to_str`, used by tests and doctests."""
+    vector = 0
+    for bit, char in enumerate(text):
+        if char == set_char:
+            vector |= 1 << bit
+    return vector
+
+
+def low_bits_mask(width: int) -> int:
+    """Mask with the ``width`` low bits set (all valid bins)."""
+    if not 0 <= width <= 64:
+        raise ValueError(f"imprint width must be within [0, 64], got {width}")
+    return (1 << width) - 1

@@ -1,0 +1,419 @@
+"""Imprint construction — the paper's Algorithm 1, twice.
+
+Two interchangeable implementations live here:
+
+* :func:`build_imprints_scalar` is a line-by-line port of the paper's
+  ``imprints()`` pseudocode: one pass over the values, a bin lookup per
+  value, and the cacheline-dictionary state machine executed per
+  cacheline.  It is the ground truth the tests compare against,
+  including the 24-bit counter-cap corner cases.
+* :class:`ImprintsBuilder` is the production path: vectorised bin
+  lookups (``searchsorted``) and per-cacheline ORs
+  (``bitwise_or.reduceat``), with the compression state machine executed
+  per *run* of identical vectors instead of per cacheline.  It is
+  streaming — ``feed()`` may be called repeatedly, which is exactly how
+  Section 4.1 appends work: new cachelines extend the imprint list
+  without touching any stored vector.
+
+Both produce identical output bit-for-bit (property-tested with tiny
+injected caps to exercise every split path of the state machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..storage.column import Column
+from .binning import Histogram
+from .dictionary import MAX_CNT, CachelineDictionary
+
+__all__ = ["ImprintsData", "ImprintsBuilder", "build_imprints_scalar"]
+
+_U64 = np.uint64
+
+
+@dataclass(frozen=True, eq=False)
+class ImprintsData:
+    """The materialised imprint index of one column.
+
+    Attributes
+    ----------
+    imprints:
+        The stored (compressed) imprint vectors, ``uint64``.
+    dictionary:
+        The cacheline dictionary mapping stored vectors to cachelines.
+    histogram:
+        The binning used; imprint bit ``k`` corresponds to histogram
+        bin ``k``.
+    n_values:
+        Number of column values covered.
+    values_per_cacheline:
+        The ``vpc`` constant of the column layout.
+    """
+
+    imprints: np.ndarray
+    dictionary: CachelineDictionary
+    histogram: Histogram
+    n_values: int
+    values_per_cacheline: int
+
+    def __post_init__(self) -> None:
+        imprints = np.ascontiguousarray(self.imprints, dtype=_U64)
+        object.__setattr__(self, "imprints", imprints)
+        if imprints.shape[0] != self.dictionary.n_imprint_rows:
+            raise ValueError(
+                f"{imprints.shape[0]} stored vectors but the dictionary "
+                f"describes {self.dictionary.n_imprint_rows}"
+            )
+
+    @property
+    def n_cachelines(self) -> int:
+        return self.dictionary.n_cachelines
+
+    def expand_vectors(self) -> np.ndarray:
+        """The uncompressed per-cacheline imprint vectors.
+
+        Inverse of the compression; used by the entropy metric, the
+        Figure 3 renderer and the round-trip tests.
+        """
+        return self.imprints[self.dictionary.expand_rows()]
+
+    # ------------------------------------------------------------------
+    # size accounting (paper Section 6.2)
+    # ------------------------------------------------------------------
+    @property
+    def imprints_nbytes(self) -> int:
+        """Stored vectors at their logical width (bins / 8 bytes each)."""
+        return self.imprints.shape[0] * self.histogram.imprint_width_bytes
+
+    @property
+    def dictionary_nbytes(self) -> int:
+        return self.dictionary.nbytes
+
+    @property
+    def borders_nbytes(self) -> int:
+        """The ``b[64]`` borders array of Algorithm 1's ``imp_idx``."""
+        return self.histogram.borders.nbytes
+
+    @property
+    def nbytes(self) -> int:
+        """Total index size in bytes."""
+        return self.imprints_nbytes + self.dictionary_nbytes + self.borders_nbytes
+
+
+class _RunCompressor:
+    """The cacheline-dictionary state machine, driven per run.
+
+    Mirrors Algorithm 1's compression exactly, including the behaviour
+    at the 24-bit counter cap: a repeat run that outgrows the cap stores
+    its vector again and restarts, and a full "distinct" entry followed
+    by an identical vector also stores the vector again — both are
+    consequences of the paper's ``cnt < max_cnt - 1`` guards.
+
+    ``cap`` is the largest value a counter may hold (``max_cnt - 1``);
+    it is injectable so tests can exercise splits with tiny caps.
+    """
+
+    def __init__(self, max_cnt: int = MAX_CNT) -> None:
+        if max_cnt < 3:
+            raise ValueError(f"max_cnt must be at least 3, got {max_cnt}")
+        self.cap = max_cnt - 1
+        self._imprints: list[int] = []
+        self._counts: list[int] = []
+        self._repeats: list[bool] = []
+        self._has_open = False
+        self._open_cnt = 0
+        self._open_repeat = False
+        self._pending_vector = 0
+        self._pending_count = 0
+
+    # -- entry plumbing -------------------------------------------------
+    def _push_open(self) -> None:
+        if self._has_open:
+            self._counts.append(self._open_cnt)
+            self._repeats.append(self._open_repeat)
+            self._has_open = False
+
+    def _new_open(self, cnt: int, repeat: bool) -> None:
+        self._push_open()
+        self._open_cnt = cnt
+        self._open_repeat = repeat
+        self._has_open = True
+
+    # -- run emission (see class docstring for the cap cases) -----------
+    def _emit_distinct_stretch(self, vectors) -> None:
+        """A maximal stretch of cachelines whose vectors all differ."""
+        self._imprints.extend(int(v) for v in vectors)
+        k = len(vectors)
+        if self._has_open and not self._open_repeat:
+            take = min(self.cap - self._open_cnt, k)
+            self._open_cnt += take
+            k -= take
+        while k > 0:
+            take = min(self.cap, k)
+            self._new_open(take, False)
+            k -= take
+
+    def _emit_repeat_run(self, vector: int, length: int) -> None:
+        """A maximal run of ``length >= 2`` identical vectors."""
+        # The run's first cacheline arrives like any distinct vector.
+        self._imprints.append(vector)
+        if self._has_open and not self._open_repeat and self._open_cnt < self.cap:
+            self._open_cnt += 1
+        else:
+            self._new_open(1, False)
+        consumed = 1
+        while consumed < length:
+            if not self._open_repeat:
+                if self._open_cnt < self.cap:
+                    # Convert the open entry: steal the previous
+                    # cacheline into a fresh repeat entry (Algorithm 1's
+                    # cnt -= 1 / new entry / repeat = 1 sequence).
+                    if self._open_cnt != 1:
+                        self._open_cnt -= 1
+                        self._new_open(1, False)
+                    self._open_repeat = True
+                    self._open_cnt += 1
+                    consumed += 1
+                else:
+                    # Full distinct entry: the equal vector is stored
+                    # again and a fresh entry starts.
+                    self._imprints.append(vector)
+                    self._new_open(1, False)
+                    consumed += 1
+            else:
+                grow = min(self.cap - self._open_cnt, length - consumed)
+                if grow > 0:
+                    self._open_cnt += grow
+                    consumed += grow
+                else:
+                    # Full repeat entry: store the vector again, restart.
+                    self._imprints.append(vector)
+                    self._new_open(1, False)
+                    consumed += 1
+
+    def _flush_pending(self) -> None:
+        if self._pending_count == 0:
+            return
+        vector, count = self._pending_vector, self._pending_count
+        self._pending_count = 0
+        if count == 1:
+            self._emit_distinct_stretch((vector,))
+        else:
+            self._emit_repeat_run(vector, count)
+
+    # -- public API ------------------------------------------------------
+    def push(self, vectors: np.ndarray) -> None:
+        """Feed a chunk of per-cacheline imprint vectors (uint64)."""
+        vectors = np.asarray(vectors, dtype=_U64)
+        if vectors.size == 0:
+            return
+        start = 0
+        if self._pending_count:
+            # Extend the held-back trailing run across the chunk border.
+            different = np.flatnonzero(vectors != _U64(self._pending_vector))
+            lead = int(different[0]) if different.size else int(vectors.size)
+            self._pending_count += lead
+            start = lead
+            if start == vectors.size:
+                return
+            self._flush_pending()
+        chunk = vectors[start:]
+        boundaries = np.flatnonzero(chunk[1:] != chunk[:-1]) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [chunk.size]])
+        lengths = ends - starts
+        last = starts.size - 1
+        i = 0
+        while i < last:
+            if lengths[i] == 1:
+                # Group consecutive length-1 runs into one bulk emission.
+                j = i
+                while j < last and lengths[j] == 1:
+                    j += 1
+                self._emit_distinct_stretch(chunk[starts[i] : starts[j - 1] + 1])
+                i = j
+            else:
+                self._emit_repeat_run(int(chunk[starts[i]]), int(lengths[i]))
+                i += 1
+        # Hold back the trailing run: the next chunk may continue it.
+        self._pending_vector = int(chunk[starts[last]])
+        self._pending_count = int(lengths[last])
+
+    def clone(self) -> "_RunCompressor":
+        """A snapshot copy that can be flushed without mutating us."""
+        other = _RunCompressor.__new__(_RunCompressor)
+        other.cap = self.cap
+        other._imprints = self._imprints.copy()
+        other._counts = self._counts.copy()
+        other._repeats = self._repeats.copy()
+        other._has_open = self._has_open
+        other._open_cnt = self._open_cnt
+        other._open_repeat = self._open_repeat
+        other._pending_vector = self._pending_vector
+        other._pending_count = self._pending_count
+        return other
+
+    def finish(self) -> tuple[np.ndarray, CachelineDictionary]:
+        """Flush everything and return (stored vectors, dictionary)."""
+        self._flush_pending()
+        self._push_open()
+        imprints = np.array(self._imprints, dtype=_U64)
+        dictionary = CachelineDictionary(
+            counts=np.array(self._counts, dtype=np.uint32),
+            repeats=np.array(self._repeats, dtype=bool),
+        )
+        return imprints, dictionary
+
+
+class ImprintsBuilder:
+    """Streaming, vectorised imprint construction.
+
+    Feed values in any batch sizes; the builder maintains the partial
+    trailing cacheline and the trailing vector run so that appends
+    (Section 4.1) are exactly "more feeds".  :meth:`snapshot` emits the
+    current index without disturbing the streaming state.
+    """
+
+    def __init__(
+        self,
+        histogram: Histogram,
+        values_per_cacheline: int,
+        max_cnt: int = MAX_CNT,
+    ) -> None:
+        if values_per_cacheline <= 0:
+            raise ValueError(
+                f"values_per_cacheline must be positive, got {values_per_cacheline}"
+            )
+        self.histogram = histogram
+        self.vpc = values_per_cacheline
+        self._compressor = _RunCompressor(max_cnt)
+        self._n_values = 0
+        self._tail_vector = 0  # imprint bits of the incomplete cacheline
+        self._tail_count = 0  # values already in the incomplete cacheline
+
+    @property
+    def n_values(self) -> int:
+        return self._n_values
+
+    def feed(self, values) -> None:
+        """Imprint a batch of values (vectorised)."""
+        values = np.asarray(values, dtype=self.histogram.ctype.dtype)
+        if values.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {values.shape}")
+        if values.size == 0:
+            return
+        self._n_values += int(values.size)
+
+        bins = self.histogram.get_bins(values).astype(_U64)
+        bits = _U64(1) << bins
+
+        start = 0
+        if self._tail_count:
+            # Complete the partial cacheline first.
+            take = min(self.vpc - self._tail_count, int(bits.size))
+            tail = self._tail_vector | int(np.bitwise_or.reduce(bits[:take]))
+            self._tail_count += take
+            start = take
+            if self._tail_count < self.vpc:
+                self._tail_vector = tail
+                return
+            self._compressor.push(np.array([tail], dtype=_U64))
+            self._tail_vector = 0
+            self._tail_count = 0
+
+        body = bits[start:]
+        n_full = (body.size // self.vpc) * self.vpc
+        if n_full:
+            vectors = np.bitwise_or.reduceat(
+                body[:n_full], np.arange(0, n_full, self.vpc)
+            )
+            self._compressor.push(vectors)
+        remainder = body[n_full:]
+        if remainder.size:
+            self._tail_vector = int(np.bitwise_or.reduce(remainder))
+            self._tail_count = int(remainder.size)
+
+    def snapshot(self) -> ImprintsData:
+        """Materialise the index for the values fed so far."""
+        compressor = self._compressor.clone()
+        if self._tail_count:
+            compressor.push(np.array([self._tail_vector], dtype=_U64))
+        imprints, dictionary = compressor.finish()
+        return ImprintsData(
+            imprints=imprints,
+            dictionary=dictionary,
+            histogram=self.histogram,
+            n_values=self._n_values,
+            values_per_cacheline=self.vpc,
+        )
+
+
+def build_imprints_scalar(
+    column: Column,
+    histogram: Histogram,
+    max_cnt: int = MAX_CNT,
+) -> ImprintsData:
+    """Line-by-line port of the paper's Algorithm 1 (``imprints()``).
+
+    One pass over the column; per value a bin lookup and a bit OR; per
+    cacheline the dictionary update state machine.  Quadratically slower
+    than :class:`ImprintsBuilder` in Python terms but exactly the
+    paper's control flow — the differential-testing ground truth.
+    """
+    cap = max_cnt - 1
+    vpc = column.values_per_cacheline
+    values = column.values
+
+    imprints: list[int] = []
+    counts: list[int] = [0]
+    repeats: list[bool] = [False]
+
+    imprint_v = 0
+    in_cacheline = 0
+
+    def end_of_cacheline(vector: int) -> None:
+        # Algorithm 1's per-cacheline dictionary update.
+        if imprints and vector == imprints[-1] and counts[-1] < cap:
+            if not repeats[-1]:
+                if counts[-1] != 1:
+                    counts[-1] -= 1
+                    counts.append(1)
+                    repeats.append(False)
+                repeats[-1] = True
+            counts[-1] += 1
+        else:
+            imprints.append(vector)
+            if not repeats[-1] and counts[-1] < cap:
+                counts[-1] += 1
+            else:
+                counts.append(1)
+                repeats.append(False)
+
+    for value in values:
+        bin_index = histogram.get_bin(value)
+        imprint_v |= 1 << bin_index
+        in_cacheline += 1
+        if in_cacheline == vpc:
+            end_of_cacheline(imprint_v)
+            imprint_v = 0
+            in_cacheline = 0
+    if in_cacheline:
+        end_of_cacheline(imprint_v)
+
+    if counts[0] == 0:
+        # The sentinel first entry was never used (empty column).
+        counts.pop(0)
+        repeats.pop(0)
+    return ImprintsData(
+        imprints=np.array(imprints, dtype=_U64),
+        dictionary=CachelineDictionary(
+            counts=np.array(counts, dtype=np.uint32),
+            repeats=np.array(repeats, dtype=bool),
+        ),
+        histogram=histogram,
+        n_values=int(values.shape[0]),
+        values_per_cacheline=vpc,
+    )

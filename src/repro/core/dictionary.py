@@ -1,0 +1,142 @@
+"""The cacheline dictionary — the imprints compression bookkeeping.
+
+The paper compresses the per-cacheline imprint vectors *horizontally*:
+runs of identical consecutive vectors are stored once, and a dictionary
+of ``(cnt:24, repeat:1, flags:7)`` entries records how stored vectors map
+back onto cachelines:
+
+* ``repeat == 0``: the next ``cnt`` cachelines each have their own
+  (stored) imprint vector — ``cnt`` vectors, ``cnt`` cachelines;
+* ``repeat == 1``: the next ``cnt`` cachelines all share one stored
+  imprint vector — 1 vector, ``cnt`` cachelines.
+
+The counter is 24 bits wide, so a single entry can describe at most
+``2^24 - 1`` cachelines; longer runs split exactly the way Algorithm 1's
+state machine splits them (see :mod:`repro.core.builder`).
+
+This module holds the dictionary as a compact structure-of-arrays and
+provides the expansions the query kernels need: cacheline → stored-row
+mapping and per-entry row offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CNT_BITS", "MAX_CNT", "CachelineDictionary"]
+
+#: Width of the ``cnt`` field (paper: ``uint cnt:24``).
+CNT_BITS = 24
+#: The paper's ``max_cnt``: counters stay strictly below this value.
+MAX_CNT = 1 << CNT_BITS
+
+
+@dataclass(frozen=True, eq=False)
+class CachelineDictionary:
+    """Structure-of-arrays view of the cacheline dictionary.
+
+    Attributes
+    ----------
+    counts:
+        ``uint32`` array of ``cnt`` values, one per entry (values in
+        ``[1, MAX_CNT)`` — 24 bits in the paper's packed struct).
+    repeats:
+        ``bool`` array of the ``repeat`` flags, parallel to ``counts``.
+    """
+
+    counts: np.ndarray
+    repeats: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.ascontiguousarray(self.counts, dtype=np.uint32)
+        repeats = np.ascontiguousarray(self.repeats, dtype=bool)
+        if counts.shape != repeats.shape:
+            raise ValueError(
+                f"counts and repeats must be parallel, got shapes "
+                f"{counts.shape} and {repeats.shape}"
+            )
+        if counts.size and (counts.min() < 1 or counts.max() >= MAX_CNT):
+            raise ValueError(f"dictionary counts must lie in [1, {MAX_CNT})")
+        object.__setattr__(self, "counts", counts)
+        object.__setattr__(self, "repeats", repeats)
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def n_cachelines(self) -> int:
+        """Total cachelines described (every entry covers ``cnt``)."""
+        return int(self.counts.sum())
+
+    @property
+    def n_imprint_rows(self) -> int:
+        """Stored imprint vectors described (1 per repeat entry)."""
+        return int(np.where(self.repeats, 1, self.counts).sum())
+
+    @property
+    def nbytes(self) -> int:
+        """On-disk size: each entry is the paper's packed 4-byte struct."""
+        return 4 * self.n_entries
+
+    # ------------------------------------------------------------------
+    # expansions used by the query kernels
+    # ------------------------------------------------------------------
+    def row_offsets(self) -> np.ndarray:
+        """Index of the first stored imprint row of each entry.
+
+        Length ``n_entries + 1``; the final element equals
+        :attr:`n_imprint_rows`, so entry ``i`` owns stored rows
+        ``row_offsets[i] : row_offsets[i + 1]``.
+        """
+        rows_per_entry = np.where(self.repeats, 1, self.counts.astype(np.int64))
+        offsets = np.empty(self.n_entries + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(rows_per_entry, out=offsets[1:])
+        return offsets
+
+    def cacheline_offsets(self) -> np.ndarray:
+        """Index of the first cacheline of each entry (length +1)."""
+        offsets = np.empty(self.n_entries + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(self.counts.astype(np.int64), out=offsets[1:])
+        return offsets
+
+    def expand_rows(self) -> np.ndarray:
+        """Stored-row index for every cacheline, in cacheline order.
+
+        The inverse of the compression: element ``c`` is the index into
+        the stored imprint array holding cacheline ``c``'s vector.
+        Fully vectorised: repeat the per-entry starting row across the
+        entry's cachelines, then add a within-entry ramp for non-repeat
+        entries (whose cachelines advance one stored row each).
+        """
+        if self.n_entries == 0:
+            return np.empty(0, dtype=np.int64)
+        counts = self.counts.astype(np.int64)
+        row_starts = self.row_offsets()[:-1]
+        cl_starts = self.cacheline_offsets()[:-1]
+        rows = np.repeat(row_starts, counts)
+        ramp = np.arange(self.n_cachelines, dtype=np.int64) - np.repeat(cl_starts, counts)
+        rows += ramp * np.repeat(~self.repeats, counts)
+        return rows
+
+    def entry_of_cacheline(self, cacheline: int) -> int:
+        """Dictionary entry covering one cacheline (for point updates)."""
+        if not 0 <= cacheline < self.n_cachelines:
+            raise IndexError(
+                f"cacheline {cacheline} out of range [0, {self.n_cachelines})"
+            )
+        offsets = self.cacheline_offsets()
+        return int(np.searchsorted(offsets, cacheline, side="right") - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CachelineDictionary(entries={self.n_entries}, "
+            f"cachelines={self.n_cachelines}, rows={self.n_imprint_rows})"
+        )

@@ -1,0 +1,249 @@
+"""``ColumnImprints`` — the public secondary index of this library.
+
+Ties the pieces together: histogram binning (Algorithm 2), streaming
+construction with cacheline-dictionary compression (Algorithm 1),
+mask-based range queries (Algorithm 3), and the Section 4 update
+behaviours:
+
+* **appends** (4.1) feed the streaming builder — no stored vector is
+  revisited, only the trailing partial cacheline and trailing run are
+  re-emitted on the next snapshot;
+* **in-place updates** (4.2) set extra bits for the affected cacheline
+  (kept in an overlay so the compressed store stays immutable), slowly
+  *saturating* the index;
+* **deletions** are simply ignored by the imprint — the value check
+  weeds the stale id out only if the caller re-checks values, so the
+  delta structure (:class:`repro.storage.delta.DeltaColumn`) is the
+  intended companion;
+* a rebuild policy watches saturation and overflow-bin pressure and
+  raises :attr:`needs_rebuild` when the index degraded enough that the
+  paper would "disregard the entire secondary index and rebuild it
+  during the next query scan".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index_base import QueryResult, SecondaryIndex
+from ..predicate import RangePredicate
+from ..storage.column import Column
+from .binning import DEFAULT_SAMPLE_SIZE, MAX_BINS, Histogram, binning
+from .builder import ImprintsBuilder, ImprintsData
+from .dictionary import MAX_CNT
+from .query import CachelineCandidates, query_cachelines, query_vectorized
+
+__all__ = ["ColumnImprints"]
+
+
+class ColumnImprints(SecondaryIndex):
+    """Cache-conscious secondary index over one column.
+
+    Parameters
+    ----------
+    column:
+        The column to index.
+    max_bins:
+        Histogram width cap (the paper's 64; 8/16/32 for ablations).
+    sample_size:
+        Binning sample size (the paper's 2048).
+    rng:
+        Generator for the binning sample; defaults to a fixed seed so
+        index construction is reproducible.
+    max_cnt:
+        Cacheline-dictionary counter limit (``2^24``; injectable for
+        compression-splitting tests).
+    saturation_threshold:
+        Allowed *increase* of the average imprint-vector fill fraction
+        over the freshly built index before :attr:`needs_rebuild` turns
+        on.  (Relative to the build-time baseline because a perfectly
+        healthy index over wide-spread data already fills a sizable
+        share of its bits.)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.storage import Column
+    >>> column = Column(np.arange(10_000, dtype=np.int32), name="demo")
+    >>> index = ColumnImprints(column)
+    >>> result = index.query_range(100, 200)
+    >>> list(result.ids) == list(range(100, 200))
+    True
+    """
+
+    kind = "imprints"
+
+    def __init__(
+        self,
+        column: Column,
+        max_bins: int = MAX_BINS,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        rng: np.random.Generator | None = None,
+        max_cnt: int = MAX_CNT,
+        saturation_threshold: float = 0.5,
+        histogram: Histogram | None = None,
+    ) -> None:
+        super().__init__(column)
+        if not 0.0 < saturation_threshold <= 1.0:
+            raise ValueError(
+                f"saturation_threshold must be in (0, 1], got {saturation_threshold}"
+            )
+        self.saturation_threshold = saturation_threshold
+        self._max_bins = max_bins
+        self._sample_size = sample_size
+        self._max_cnt = max_cnt
+        self.histogram = histogram if histogram is not None else binning(
+            column, max_bins=max_bins, sample_size=sample_size, rng=rng
+        )
+        self._builder = ImprintsBuilder(
+            self.histogram, column.values_per_cacheline, max_cnt=max_cnt
+        )
+        self._builder.feed(column.values)
+        self._data: ImprintsData | None = None
+        # Saturation overlay: cacheline -> extra bits set by updates.
+        self._overlay: dict[int, int] = {}
+        self._n_updates = 0
+        self._n_appended = 0
+        self._appended_overflow = 0
+        self._baseline_saturation = self.saturation
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> ImprintsData:
+        """The current compressed index (snapshot, cached)."""
+        if self._data is None:
+            self._data = self._builder.snapshot()
+        return self._data
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def bins(self) -> int:
+        return self.histogram.bins
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, predicate: RangePredicate) -> QueryResult:
+        return query_vectorized(
+            self.data, self.column.values, predicate, overlay=self._overlay or None
+        )
+
+    def candidates(self, predicate: RangePredicate) -> CachelineCandidates:
+        """Late materialisation: qualifying cachelines only (Section 3).
+
+        Use :func:`repro.core.conjunction.conjunctive_query` to
+        merge-join candidates of several predicates before fetching
+        values.
+        """
+        return query_cachelines(self.data, predicate, overlay=self._overlay or None)
+
+    # ------------------------------------------------------------------
+    # updates (Section 4)
+    # ------------------------------------------------------------------
+    def append(self, values) -> None:
+        """Append values to the column and extend the imprints (4.1)."""
+        values = self.column.ctype.cast(values)
+        if values.size == 0:
+            return
+        self.column = self.column.appended(values)
+        self._builder.feed(values)
+        self._data = None
+        self._n_appended += int(values.size)
+        appended_bins = self.histogram.get_bins(values)
+        self._appended_overflow += int(
+            np.count_nonzero(
+                (appended_bins == 0) | (appended_bins == self.histogram.bins - 1)
+            )
+        )
+
+    def note_update(self, value_id: int, new_value) -> None:
+        """Record an in-place update: saturate the cacheline's imprint.
+
+        The old value's bit cannot be cleared (other values in the
+        cacheline may share the bin), so the imprint only ever gains
+        bits — the saturation effect Section 4.2 describes.  The column
+        itself is updated too, so value checks see the new value.
+        """
+        if not 0 <= value_id < len(self.column):
+            raise IndexError(
+                f"value id {value_id} out of range [0, {len(self.column)})"
+            )
+        self.column = self.column.with_value(value_id, new_value)
+        cacheline = self.column.geometry.cacheline_of(value_id)
+        new_bit = 1 << self.histogram.get_bin(new_value)
+        self._overlay[cacheline] = self._overlay.get(cacheline, 0) | new_bit
+        self._n_updates += 1
+
+    def note_delete(self, value_id: int) -> None:
+        """Record a deletion: imprints ignore it (false positives are
+        weeded by the value check / delta merge)."""
+        if not 0 <= value_id < len(self.column):
+            raise IndexError(
+                f"value id {value_id} out of range [0, {len(self.column)})"
+            )
+        self._n_updates += 1
+
+    # ------------------------------------------------------------------
+    # rebuild policy
+    # ------------------------------------------------------------------
+    @property
+    def saturation(self) -> float:
+        """Average fill fraction of the (overlaid) imprint vectors."""
+        data = self.data
+        if data.imprints.shape[0] == 0:
+            return 0.0
+        fill = float(np.bitwise_count(data.imprints).mean())
+        if self._overlay:
+            extra = sum(
+                int(bits).bit_count() for bits in self._overlay.values()
+            ) / data.dictionary.n_cachelines
+            fill += extra
+        return fill / self.histogram.bins
+
+    @property
+    def append_overflow_fraction(self) -> float:
+        """Share of appended values that landed in the overflow bins.
+
+        Appends with a "dramatically different value distribution"
+        (Section 4.1) pile up in the first/last bins and destroy the
+        imprint's selectivity there; this is the detector.
+        """
+        if self._n_appended == 0:
+            return 0.0
+        return self._appended_overflow / self._n_appended
+
+    @property
+    def needs_rebuild(self) -> bool:
+        """Whether the paper's rebuild-on-next-scan policy should fire."""
+        if self.saturation - self._baseline_saturation > self.saturation_threshold:
+            return True
+        # More than half the appended values overflowing means the
+        # binning no longer reflects the data distribution.
+        return self._n_appended > len(self.column) // 4 and (
+            self.append_overflow_fraction > 0.5
+        )
+
+    def rebuild(self, rng: np.random.Generator | None = None) -> None:
+        """Re-bin and re-imprint from the current column (cheap: one
+        scan, per Section 4.2 it can ride along a regular query scan)."""
+        self.histogram = binning(
+            self.column,
+            max_bins=self._max_bins,
+            sample_size=self._sample_size,
+            rng=rng,
+        )
+        self._builder = ImprintsBuilder(
+            self.histogram, self.column.values_per_cacheline, max_cnt=self._max_cnt
+        )
+        self._builder.feed(self.column.values)
+        self._data = None
+        self._overlay.clear()
+        self._n_updates = 0
+        self._n_appended = 0
+        self._appended_overflow = 0
+        self._baseline_saturation = self.saturation

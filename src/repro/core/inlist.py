@@ -1,0 +1,117 @@
+"""IN-list queries over imprints.
+
+``v IN (a, b, c, ...)`` is the other predicate family the imprint
+structure answers naturally: the query mask is the OR of the member
+values' bin bits, and — unlike a range — the mask need not be a
+contiguous bit run.  A cacheline whose imprint intersects the mask is a
+candidate; the value check then tests membership exactly.
+
+The innermask analogue exists too, but only for bins that contain a
+*single* domain value which is in the list (possible when the binning
+ran in low-cardinality mode); such bins prove their cachelines' hits
+without checks.  For general bins the check always runs, because a bin
+spans many values and membership of one does not imply the others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index_base import QueryResult, QueryStats
+from .builder import ImprintsData
+from .index import ColumnImprints
+
+__all__ = ["in_list_masks", "query_in_list"]
+
+_U64 = np.uint64
+
+
+def in_list_masks(data: ImprintsData, members) -> tuple[int, int]:
+    """(mask, innermask) for an IN-list.
+
+    ``innermask`` covers only single-value bins whose one value is a
+    list member: bin ``k`` (for ``k >= 1``) holds exactly the domain
+    value ``borders[k-1]`` when ``borders[k] == borders[k-1] + 1`` in an
+    integer domain — the layout Algorithm 2's low-cardinality path
+    produces.  Everything else stays check-required.
+    """
+    histogram = data.histogram
+    members = np.unique(np.asarray(members, dtype=histogram.ctype.dtype))
+    if members.size == 0:
+        return 0, 0
+    bins = histogram.get_bins(members)
+    mask = 0
+    for bin_index in np.unique(bins):
+        mask |= 1 << int(bin_index)
+
+    innermask = 0
+    if not histogram.ctype.is_float:
+        borders = histogram.borders.astype(np.int64)
+        member_set = set(int(m) for m in members.tolist())
+        for bin_index in np.unique(bins):
+            k = int(bin_index)
+            if k == 0 or k >= histogram.bins - 1:
+                continue  # open-ended overflow bins are never single-valued
+            lo = int(borders[k - 1])
+            hi = int(borders[k])
+            if hi - lo == 1 and lo in member_set:
+                innermask |= 1 << k
+    return mask, innermask
+
+
+def query_in_list(index: ColumnImprints, members) -> QueryResult:
+    """Answer ``column value IN members`` through the imprint index."""
+    data = index.data
+    column = index.column
+    stats = QueryStats()
+    stats.index_probes = data.dictionary.n_imprint_rows
+    stats.index_bytes_read = data.nbytes
+
+    mask, innermask = in_list_masks(data, members)
+    if mask == 0 or data.n_cachelines == 0:
+        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+
+    mask64 = _U64(mask)
+    rows = data.dictionary.expand_rows()
+    vectors = data.imprints
+    hit = (vectors & mask64) != 0
+    hit_lines = np.flatnonzero(hit[rows]).astype(np.int64)
+
+    vpc = data.values_per_cacheline
+    n = data.n_values
+    offsets = np.arange(vpc, dtype=np.int64)
+
+    # Single-value inner bins: a cacheline whose imprint is fully inside
+    # the innermask qualifies wholesale.
+    full_lines = np.empty(0, dtype=np.int64)
+    if innermask:
+        not_inner = _U64(~innermask & ((1 << 64) - 1))
+        full = hit & ((vectors & not_inner) == 0)
+        full_per_line = full[rows]
+        full_lines = np.flatnonzero(full_per_line).astype(np.int64)
+        hit_lines = hit_lines[~full_per_line[hit_lines]]
+
+    stats.full_cachelines = int(full_lines.shape[0])
+    stats.partial_cachelines = int(hit_lines.shape[0])
+    stats.cachelines_fetched = int(hit_lines.shape[0])
+
+    id_chunks: list[np.ndarray] = []
+    if full_lines.size:
+        ids = (full_lines[:, None] * vpc + offsets[None, :]).ravel()
+        id_chunks.append(ids[ids < n])
+    if hit_lines.size:
+        candidates = (hit_lines[:, None] * vpc + offsets[None, :]).ravel()
+        candidates = candidates[candidates < n]
+        stats.value_comparisons = int(candidates.shape[0])
+        member_array = np.unique(
+            np.asarray(members, dtype=column.ctype.dtype)
+        )
+        keep = np.isin(column.values[candidates], member_array)
+        id_chunks.append(candidates[keep])
+
+    if not id_chunks:
+        ids = np.empty(0, dtype=np.int64)
+    else:
+        ids = np.sort(np.concatenate(id_chunks), kind="stable")
+    stats.ids_materialized = int(ids.shape[0])
+    return QueryResult(ids=ids, stats=stats)

@@ -1,0 +1,169 @@
+"""Multi-level imprints — the paper's Section 7 extension.
+
+The conclusions sketch it: "judicious choice of the binning scheme, and
+a multi-level imprints organization, may lead to further improvements".
+This module implements the natural two-level design:
+
+* **level 0** is the ordinary cacheline-granular imprint index;
+* **level 1** adds one *summary vector* per group of ``fanout``
+  cachelines — the OR of the group's cacheline vectors.
+
+A query first tests the summary vectors; only groups whose summary
+intersects the query mask have their cacheline vectors examined at all.
+For selective queries over clustered data this cuts index probes by up
+to ``fanout``x (the same skip-list argument as zonemap hierarchies),
+at a storage cost of ``1/fanout`` extra vectors.
+
+The summary level also supports the innermask shortcut: if a summary
+vector is fully covered by the innermask, *every* value in the whole
+group qualifies without touching level 0 or the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index_base import QueryResult, QueryStats, SecondaryIndex
+from ..predicate import RangePredicate
+from ..storage.column import Column
+from .index import ColumnImprints
+from .masks import make_masks
+
+__all__ = ["MultiLevelImprints"]
+
+_U64 = np.uint64
+
+
+class MultiLevelImprints(SecondaryIndex):
+    """Two-level column imprints (summary vectors over cacheline groups).
+
+    Parameters
+    ----------
+    column:
+        The column to index.
+    fanout:
+        Cachelines per summary vector (power of two recommended; the
+        default 64 makes one summary per 4 KiB of column data for
+        4-byte values — one OS page).
+    **imprints_kwargs:
+        Forwarded to the underlying :class:`ColumnImprints`.
+    """
+
+    kind = "imprints-ml"
+
+    def __init__(self, column: Column, fanout: int = 64, **imprints_kwargs) -> None:
+        super().__init__(column)
+        if fanout < 2:
+            raise ValueError(f"fanout must be at least 2, got {fanout}")
+        self.fanout = fanout
+        self.base = ColumnImprints(column, **imprints_kwargs)
+        self._summaries = self._summarize()
+
+    # ------------------------------------------------------------------
+    def _summarize(self) -> np.ndarray:
+        vectors = self.base.data.expand_vectors()
+        if vectors.shape[0] == 0:
+            return np.empty(0, dtype=_U64)
+        starts = np.arange(0, vectors.shape[0], self.fanout)
+        return np.bitwise_or.reduceat(vectors, starts)
+
+    @property
+    def histogram(self):
+        return self.base.histogram
+
+    @property
+    def n_groups(self) -> int:
+        return int(self._summaries.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        width = self.base.histogram.imprint_width_bytes
+        return self.base.nbytes + self.n_groups * width
+
+    # ------------------------------------------------------------------
+    def query(self, predicate: RangePredicate) -> QueryResult:
+        mask, innermask = make_masks(self.base.histogram, predicate)
+        stats = QueryStats()
+        data = self.base.data
+        n = len(self.column)
+        if mask == 0 or self.n_groups == 0:
+            return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+
+        mask64 = _U64(mask)
+        not_inner64 = _U64(~innermask & ((1 << 64) - 1))
+
+        # ---- level 1: summaries ------------------------------------
+        stats.index_probes += self.n_groups
+        summary_hits = (self._summaries & mask64) != 0
+        summary_full = summary_hits & ((self._summaries & not_inner64) == 0)
+
+        vpc = data.values_per_cacheline
+        group_values = self.fanout * vpc
+        id_chunks: list[np.ndarray] = []
+
+        # Groups fully inside the range: whole id spans, no level 0.
+        full_groups = np.flatnonzero(summary_full)
+        for group in full_groups:
+            start = int(group) * group_values
+            stop = min(start + group_values, n)
+            id_chunks.append(np.arange(start, stop, dtype=np.int64))
+            stats.full_cachelines += -(-(stop - start) // vpc)
+
+        # ---- level 0: only surviving, not-fully-inside groups -------
+        survivors = np.flatnonzero(summary_hits & ~summary_full)
+        if survivors.size:
+            rows = data.dictionary.expand_rows()
+            vectors = data.imprints
+            offsets = np.arange(vpc, dtype=np.int64)
+            n_cachelines = data.n_cachelines
+            # Cachelines of the surviving groups, flattened.
+            lines = (
+                survivors[:, None] * self.fanout
+                + np.arange(self.fanout, dtype=np.int64)[None, :]
+            ).ravel()
+            lines = lines[lines < n_cachelines]
+            # Probe accounting in the same currency as the base index:
+            # distinct stored vectors examined (a repeat-compressed run
+            # is one probe no matter how many cachelines it covers).
+            line_rows = rows[lines]
+            stats.index_probes += int(np.unique(line_rows).shape[0])
+            line_vectors = vectors[line_rows]
+            hit = (line_vectors & mask64) != 0
+            full = hit & ((line_vectors & not_inner64) == 0)
+
+            full_lines = lines[full]
+            partial_lines = lines[hit & ~full]
+            stats.full_cachelines += int(full_lines.shape[0])
+            stats.partial_cachelines = int(partial_lines.shape[0])
+            stats.cachelines_fetched = int(partial_lines.shape[0])
+            if full_lines.size:
+                ids = (full_lines[:, None] * vpc + offsets[None, :]).ravel()
+                id_chunks.append(ids[ids < n])
+            if partial_lines.size:
+                candidates = (
+                    partial_lines[:, None] * vpc + offsets[None, :]
+                ).ravel()
+                candidates = candidates[candidates < n]
+                stats.value_comparisons = int(candidates.shape[0])
+                keep = predicate.matches(self.column.values[candidates])
+                id_chunks.append(candidates[keep])
+
+        stats.index_bytes_read = self.nbytes
+        if not id_chunks:
+            ids = np.empty(0, dtype=np.int64)
+        else:
+            ids = np.sort(np.concatenate(id_chunks), kind="stable")
+        stats.ids_materialized = int(ids.shape[0])
+        return QueryResult(ids=ids, stats=stats)
+
+    # ------------------------------------------------------------------
+    def append(self, values) -> None:
+        """Append through the base index, then refresh the summaries.
+
+        Only the trailing summary group can change plus new groups are
+        added, but recomputing all summaries is one vectorised OR pass
+        and keeps the logic obviously correct.
+        """
+        self.base.append(values)
+        self.column = self.base.column
+        self._summaries = self._summarize()

@@ -1,0 +1,117 @@
+"""Parallel imprint construction — the paper's Section 7 extension.
+
+"Column imprints can be extended to exploit multi-core platforms during
+the construction phase."  The construction splits cleanly:
+
+1. the expensive part — bin lookups and per-cacheline ORs — is
+   embarrassingly parallel over cacheline-aligned partitions (NumPy
+   releases the GIL inside ``searchsorted``/``reduceat``, so plain
+   threads give real speedup);
+2. the cheap part — the run-length compression state machine — is
+   inherently sequential but operates per *run*, so the per-partition
+   vector arrays are drained into one compressor in partition order,
+   preserving the exact output of the serial builder (runs crossing a
+   partition boundary merge naturally through the compressor's pending
+   run).
+
+``build_imprints_parallel`` therefore produces output bit-identical to
+:class:`~repro.core.builder.ImprintsBuilder` — property-tested — while
+parallelising the ~18-comparisons-per-value hot loop of Section 2.5.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..storage.column import Column
+from .binning import Histogram
+from .builder import ImprintsData, _RunCompressor
+from .dictionary import MAX_CNT
+
+__all__ = ["build_imprints_parallel", "partition_bounds"]
+
+_U64 = np.uint64
+
+
+def partition_bounds(
+    n_values: int, values_per_cacheline: int, n_partitions: int
+) -> list[tuple[int, int]]:
+    """Cacheline-aligned half-open partitions covering ``[0, n)``.
+
+    Alignment matters: a cacheline split across partitions would OR its
+    bits into two different vectors and corrupt the index.
+    """
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    n_cachelines = -(-n_values // values_per_cacheline)
+    per_part = -(-n_cachelines // n_partitions)
+    bounds = []
+    for part in range(n_partitions):
+        start = part * per_part * values_per_cacheline
+        stop = min((part + 1) * per_part * values_per_cacheline, n_values)
+        if start >= stop:
+            break
+        bounds.append((start, stop))
+    return bounds
+
+
+def _partition_vectors(
+    values: np.ndarray,
+    histogram: Histogram,
+    values_per_cacheline: int,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Per-cacheline imprint vectors of one partition (parallel part)."""
+    chunk = values[start:stop]
+    bins = histogram.get_bins(chunk).astype(_U64)
+    bits = _U64(1) << bins
+    starts = np.arange(0, chunk.shape[0], values_per_cacheline)
+    return np.bitwise_or.reduceat(bits, starts)
+
+
+def build_imprints_parallel(
+    column: Column,
+    histogram: Histogram,
+    n_workers: int = 4,
+    max_cnt: int = MAX_CNT,
+) -> ImprintsData:
+    """Multi-threaded Algorithm 1 with serial-identical output."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    vpc = column.values_per_cacheline
+    values = column.values
+    n = values.shape[0]
+
+    compressor = _RunCompressor(max_cnt)
+    if n:
+        bounds = partition_bounds(n, vpc, n_workers)
+        if len(bounds) == 1 or n_workers == 1:
+            vector_chunks = [
+                _partition_vectors(values, histogram, vpc, start, stop)
+                for start, stop in bounds
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                vector_chunks = list(
+                    pool.map(
+                        lambda span: _partition_vectors(
+                            values, histogram, vpc, span[0], span[1]
+                        ),
+                        bounds,
+                    )
+                )
+        # Sequential drain preserves the exact serial compression,
+        # including runs spanning partition boundaries.
+        for chunk in vector_chunks:
+            compressor.push(chunk)
+    imprints, dictionary = compressor.finish()
+    return ImprintsData(
+        imprints=imprints,
+        dictionary=dictionary,
+        histogram=histogram,
+        n_values=int(n),
+        values_per_cacheline=vpc,
+    )

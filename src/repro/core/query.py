@@ -1,0 +1,220 @@
+"""Range-query evaluation over imprints — the paper's Algorithm 3.
+
+Two implementations again:
+
+* :func:`query_scalar` walks the cacheline dictionary exactly like the
+  pseudocode — per entry, per imprint vector, per id — and is the
+  differential-testing reference.
+* :func:`query_vectorized` computes the same answer with NumPy: the
+  mask/innermask tests run over the stored vectors once, the dictionary
+  expansion maps them onto cachelines, and only partial cachelines get
+  per-value false-positive checks.
+
+Both return the paper's materialised *sorted id list* plus the
+instrumentation counters of Figure 11.  The cacheline-candidate variant
+(:func:`query_cachelines`) implements the late-materialisation path of
+Section 3: it stops at the list of qualifying cachelines so a
+multi-predicate query can merge-join candidates before touching values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..index_base import QueryResult, QueryStats
+from ..predicate import RangePredicate
+from .builder import ImprintsData
+from .masks import make_masks
+
+__all__ = [
+    "query_scalar",
+    "query_vectorized",
+    "query_cachelines",
+    "CachelineCandidates",
+]
+
+_U64 = np.uint64
+
+
+# ----------------------------------------------------------------------
+# scalar reference (Algorithm 3, line by line)
+# ----------------------------------------------------------------------
+def query_scalar(
+    data: ImprintsData,
+    values: np.ndarray,
+    predicate: RangePredicate,
+) -> QueryResult:
+    """The paper's ``query()`` with explicit loops (ground truth)."""
+    mask, innermask = make_masks(data.histogram, predicate)
+    stats = QueryStats()
+    if mask == 0:
+        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+
+    vpc = data.values_per_cacheline
+    n = data.n_values
+    counts = data.dictionary.counts
+    repeats = data.dictionary.repeats
+    imprints = data.imprints
+    not_inner = ~innermask  # python int bitwise complement; & keeps it finite
+
+    res: list[int] = []
+    i_cnt = 0  # imprint (stored vector) cursor
+    cache_cnt = 0  # cacheline cursor
+
+    def emit(id_start: int, id_stop: int, check: bool) -> None:
+        nonlocal stats
+        id_stop = min(id_stop, n)
+        if check:
+            stats.partial_cachelines += (id_stop - id_start + vpc - 1) // vpc
+            stats.cachelines_fetched += (id_stop - id_start + vpc - 1) // vpc
+            for value_id in range(id_start, id_stop):
+                stats.value_comparisons += 1
+                if predicate.matches_one(values[value_id]):
+                    res.append(value_id)
+        else:
+            stats.full_cachelines += (id_stop - id_start + vpc - 1) // vpc
+            res.extend(range(id_start, id_stop))
+
+    for entry in range(data.dictionary.n_entries):
+        cnt = int(counts[entry])
+        if not repeats[entry]:
+            for j in range(i_cnt, i_cnt + cnt):
+                stats.index_probes += 1
+                imprint = int(imprints[j])
+                if imprint & mask:
+                    emit(
+                        cache_cnt * vpc,
+                        (cache_cnt + 1) * vpc,
+                        check=(imprint & not_inner) != 0,
+                    )
+                cache_cnt += 1
+            i_cnt += cnt
+        else:
+            stats.index_probes += 1
+            imprint = int(imprints[i_cnt])
+            if imprint & mask:
+                emit(
+                    cache_cnt * vpc,
+                    (cache_cnt + cnt) * vpc,
+                    check=(imprint & not_inner) != 0,
+                )
+            i_cnt += 1
+            cache_cnt += cnt
+
+    stats.ids_materialized = len(res)
+    stats.index_bytes_read = data.nbytes
+    return QueryResult(ids=np.array(res, dtype=np.int64), stats=stats)
+
+
+# ----------------------------------------------------------------------
+# vectorised production path
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CachelineCandidates:
+    """The late-materialisation intermediate: qualifying cachelines.
+
+    Attributes
+    ----------
+    cachelines:
+        Sorted cacheline numbers whose imprint intersects the mask.
+    is_full:
+        Parallel flags: ``True`` where the innermask proved the whole
+        cacheline qualifies (no value check needed).
+    stats:
+        Probe counters accumulated while producing the candidates.
+    """
+
+    cachelines: np.ndarray
+    is_full: np.ndarray
+    stats: QueryStats
+
+    @property
+    def n_candidates(self) -> int:
+        return int(self.cachelines.shape[0])
+
+
+def query_cachelines(
+    data: ImprintsData,
+    predicate: RangePredicate,
+    overlay: dict[int, int] | None = None,
+) -> CachelineCandidates:
+    """Candidate cachelines for a predicate (no value access at all).
+
+    ``overlay`` optionally maps cacheline numbers to extra imprint bits
+    set by in-place updates (Section 4.2 saturation); the overlaid bits
+    participate in both the mask and the innermask tests.
+    """
+    mask, innermask = make_masks(data.histogram, predicate)
+    stats = QueryStats()
+    stats.index_probes = data.dictionary.n_imprint_rows
+    stats.index_bytes_read = data.nbytes
+    if mask == 0 or data.n_cachelines == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return CachelineCandidates(empty, np.empty(0, dtype=bool), stats)
+
+    mask64 = _U64(mask)
+    # Complement within 64 bits: the stored vectors never set bits
+    # beyond the histogram width, so the high bits are immaterial.
+    not_inner64 = _U64(~innermask & ((1 << 64) - 1))
+
+    vectors = data.imprints
+    hit_rows = (vectors & mask64) != 0
+    full_rows = hit_rows & ((vectors & not_inner64) == 0)
+
+    rows = data.dictionary.expand_rows()
+    hit = hit_rows[rows]
+    full = full_rows[rows]
+
+    if overlay:
+        for cacheline, extra in overlay.items():
+            vector = int(vectors[rows[cacheline]]) | extra
+            hit[cacheline] = bool(vector & mask)
+            full[cacheline] = hit[cacheline] and (vector & ~innermask) == 0
+
+    candidates = np.flatnonzero(hit).astype(np.int64)
+    return CachelineCandidates(candidates, full[candidates], stats)
+
+
+def query_vectorized(
+    data: ImprintsData,
+    values: np.ndarray,
+    predicate: RangePredicate,
+    overlay: dict[int, int] | None = None,
+) -> QueryResult:
+    """Vectorised Algorithm 3: candidates, then false-positive weeding."""
+    candidates = query_cachelines(data, predicate, overlay)
+    stats = candidates.stats
+    if candidates.n_candidates == 0:
+        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+
+    vpc = data.values_per_cacheline
+    n = data.n_values
+    offsets = np.arange(vpc, dtype=np.int64)
+
+    full_lines = candidates.cachelines[candidates.is_full]
+    partial_lines = candidates.cachelines[~candidates.is_full]
+    stats.full_cachelines = int(full_lines.shape[0])
+    stats.partial_cachelines = int(partial_lines.shape[0])
+    stats.cachelines_fetched = int(partial_lines.shape[0])
+
+    id_chunks: list[np.ndarray] = []
+    if full_lines.size:
+        full_ids = (full_lines[:, None] * vpc + offsets[None, :]).ravel()
+        id_chunks.append(full_ids[full_ids < n])
+    if partial_lines.size:
+        cand_ids = (partial_lines[:, None] * vpc + offsets[None, :]).ravel()
+        cand_ids = cand_ids[cand_ids < n]
+        stats.value_comparisons = int(cand_ids.shape[0])
+        keep = predicate.matches(values[cand_ids])
+        id_chunks.append(cand_ids[keep])
+
+    if not id_chunks:
+        ids = np.empty(0, dtype=np.int64)
+    elif len(id_chunks) == 1:
+        ids = id_chunks[0]
+    else:
+        ids = np.sort(np.concatenate(id_chunks), kind="stable")
+    stats.ids_materialized = int(ids.shape[0])
+    return QueryResult(ids=ids, stats=stats)

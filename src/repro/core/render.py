@@ -1,0 +1,96 @@
+"""ASCII rendering of imprint indexes — the paper's Figure 3.
+
+Figure 3 prints a portion of five real imprint indexes, one line per
+imprint vector, ``'x'`` for a set bit and ``'.'`` for an unset bit, with
+the column's entropy E underneath.  The same renderer doubles as a
+debugging aid: compression runs can be annotated with their dictionary
+counters, making the run-length structure visible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .bitvec import bits_to_str
+from .builder import ImprintsData
+from .entropy import entropy_of_vectors
+
+__all__ = ["render_imprints", "render_compressed", "imprint_lines"]
+
+
+def imprint_lines(
+    data: ImprintsData,
+    max_lines: int | None = None,
+    set_char: str = "x",
+    unset_char: str = ".",
+) -> Iterator[str]:
+    """Yield one ``'x'``/``'.'`` line per (uncompressed) cacheline vector."""
+    vectors = data.expand_vectors()
+    if max_lines is not None:
+        vectors = vectors[:max_lines]
+    width = data.histogram.bins
+    for vector in vectors:
+        yield bits_to_str(int(vector), width, set_char, unset_char)
+
+
+def render_imprints(
+    data: ImprintsData,
+    max_lines: int = 72,
+    title: str = "",
+    with_entropy: bool = True,
+) -> str:
+    """Figure-3 style block: imprint prints plus the entropy value."""
+    lines = list(imprint_lines(data, max_lines=max_lines))
+    if title:
+        lines.insert(0, title)
+    if with_entropy:
+        entropy = entropy_of_vectors(data.expand_vectors())
+        lines.append(f"E = {entropy:.6f}")
+    return "\n".join(lines)
+
+
+def render_compressed(data: ImprintsData, max_entries: int = 40) -> str:
+    """Figure-2 style dump: stored vectors + cacheline dictionary.
+
+    Shows the compression bookkeeping: each dictionary entry with its
+    ``counter`` and ``repeat`` flag next to the stored vectors it owns.
+    """
+    width = data.histogram.bins
+    counts = data.dictionary.counts
+    repeats = data.dictionary.repeats
+    row_offsets = data.dictionary.row_offsets()
+    lines = [f"{'counter':>8} {'repeat':>6}  imprint vectors"]
+    for entry in range(min(data.dictionary.n_entries, max_entries)):
+        rows = data.imprints[row_offsets[entry] : row_offsets[entry + 1]]
+        first = bits_to_str(int(rows[0]), width) if rows.size else ""
+        lines.append(f"{int(counts[entry]):>8} {int(repeats[entry]):>6}  {first}")
+        for vector in rows[1:]:
+            lines.append(f"{'':>8} {'':>6}  {bits_to_str(int(vector), width)}")
+    remaining = data.dictionary.n_entries - max_entries
+    if remaining > 0:
+        lines.append(f"... {remaining} more entries ...")
+    return "\n".join(lines)
+
+
+def render_column_summary(data: ImprintsData, name: str = "") -> str:
+    """One-paragraph index summary used by the examples."""
+    dictionary = data.dictionary
+    vectors = data.imprints
+    compression = (
+        dictionary.n_cachelines / max(1, vectors.shape[0])
+    )
+    parts = [
+        f"column            : {name or '<anonymous>'}",
+        f"values            : {data.n_values}",
+        f"cachelines        : {data.n_cachelines} ({data.values_per_cacheline} values each)",
+        f"histogram bins    : {data.histogram.bins}",
+        f"stored vectors    : {vectors.shape[0]}",
+        f"dictionary entries: {dictionary.n_entries}",
+        f"compression ratio : {compression:.2f} cachelines/vector",
+        f"index size        : {data.nbytes} B "
+        f"({100.0 * data.nbytes / max(1, data.n_values * np.dtype(data.histogram.ctype.dtype).itemsize):.2f}% of column)",
+        f"entropy E         : {entropy_of_vectors(data.expand_vectors()):.6f}",
+    ]
+    return "\n".join(parts)

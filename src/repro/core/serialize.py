@@ -1,0 +1,151 @@
+"""Binary persistence for imprint indexes.
+
+A secondary index that must be rebuilt on every restart defeats its
+purpose for large read-mostly warehouses, so the on-disk form matters.
+The format mirrors the in-memory layout of the paper's ``imp_idx``
+struct: a fixed header, the 64-entry border array, the packed cacheline
+dictionary (4 bytes per entry: ``cnt:24 | repeat:1 | flags:7``) and the
+stored imprint vectors at their logical width.
+
+Layout (little endian)::
+
+    magic      4s   b"CIMP"
+    version    H    format version (currently 1)
+    bins       H    histogram bins
+    vpc        I    values per cacheline
+    n_values   Q
+    ctype      16s  null-padded type name
+    n_imprints Q    stored vector count
+    n_entries  Q    dictionary entry count
+    borders    bins * itemsize bytes
+    dictionary n_entries * 4 bytes (packed as in the paper)
+    imprints   n_imprints * imprint_width bytes
+
+Everything is validated on load; truncated or corrupted inputs raise
+:class:`SerializationError` rather than producing a wrong index.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..storage.types import type_by_name
+from .binning import Histogram
+from .builder import ImprintsData
+from .dictionary import MAX_CNT, CachelineDictionary
+
+__all__ = ["SerializationError", "dump_imprints", "load_imprints"]
+
+MAGIC = b"CIMP"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHIQ16sQQ")
+
+
+class SerializationError(ValueError):
+    """Raised when a serialized imprint index cannot be decoded."""
+
+
+def _vector_dtype(width_bytes: int) -> np.dtype:
+    try:
+        return {1: np.dtype("<u1"), 2: np.dtype("<u2"), 4: np.dtype("<u4"),
+                8: np.dtype("<u8")}[width_bytes]
+    except KeyError:
+        raise SerializationError(
+            f"unsupported imprint width {width_bytes} bytes"
+        ) from None
+
+
+def dump_imprints(data: ImprintsData) -> bytes:
+    """Serialise one imprint index into bytes."""
+    histogram = data.histogram
+    width = histogram.imprint_width_bytes
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        histogram.bins,
+        data.values_per_cacheline,
+        data.n_values,
+        histogram.ctype.name.encode().ljust(16, b"\0"),
+        data.imprints.shape[0],
+        data.dictionary.n_entries,
+    )
+    borders = np.ascontiguousarray(
+        histogram.borders, dtype=histogram.borders.dtype.newbyteorder("<")
+    ).tobytes()
+    packed_dict = (
+        data.dictionary.counts.astype("<u4")
+        | (data.dictionary.repeats.astype("<u4") << np.uint32(24))
+    ).tobytes()
+    vectors = data.imprints.astype(_vector_dtype(width)).tobytes()
+    return header + borders + packed_dict + vectors
+
+
+def load_imprints(blob: bytes) -> ImprintsData:
+    """Decode bytes produced by :func:`dump_imprints`."""
+    if len(blob) < _HEADER.size:
+        raise SerializationError("input shorter than the header")
+    (
+        magic,
+        version,
+        bins,
+        vpc,
+        n_values,
+        ctype_name,
+        n_imprints,
+        n_entries,
+    ) = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    try:
+        ctype = type_by_name(ctype_name.rstrip(b"\0").decode())
+    except KeyError as exc:
+        raise SerializationError(str(exc)) from exc
+    if not 1 <= bins <= 64:
+        raise SerializationError(f"bins out of range: {bins}")
+
+    offset = _HEADER.size
+    borders_bytes = bins * ctype.itemsize
+    width = max(1, bins // 8)
+    dict_bytes = n_entries * 4
+    vector_bytes = n_imprints * width
+    expected = offset + borders_bytes + dict_bytes + vector_bytes
+    if len(blob) != expected:
+        raise SerializationError(
+            f"expected {expected} bytes, got {len(blob)} (truncated or padded)"
+        )
+
+    borders = np.frombuffer(
+        blob, dtype=np.dtype(ctype.dtype).newbyteorder("<"), count=bins,
+        offset=offset,
+    ).astype(ctype.dtype)
+    offset += borders_bytes
+    packed = np.frombuffer(blob, dtype="<u4", count=n_entries, offset=offset)
+    offset += dict_bytes
+    counts = (packed & np.uint32(MAX_CNT - 1)).astype(np.uint32)
+    repeats = ((packed >> np.uint32(24)) & np.uint32(1)).astype(bool)
+    vectors = np.frombuffer(
+        blob, dtype=_vector_dtype(width), count=n_imprints, offset=offset
+    ).astype(np.uint64)
+
+    try:
+        histogram = Histogram(borders=borders, bins=bins, ctype=ctype)
+        dictionary = CachelineDictionary(counts=counts, repeats=repeats)
+        data = ImprintsData(
+            imprints=vectors,
+            dictionary=dictionary,
+            histogram=histogram,
+            n_values=n_values,
+            values_per_cacheline=vpc,
+        )
+    except ValueError as exc:
+        raise SerializationError(f"inconsistent index payload: {exc}") from exc
+    if data.n_cachelines != -(-n_values // vpc) and n_values:
+        raise SerializationError(
+            f"dictionary covers {data.n_cachelines} cachelines but "
+            f"{n_values} values need {-(-n_values // vpc)}"
+        )
+    return data

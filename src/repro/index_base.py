@@ -1,0 +1,163 @@
+"""The secondary-index contract and its instrumentation.
+
+Every index in the evaluation — imprints, zonemap, WAH bitmap and the
+sequential-scan baseline — implements :class:`SecondaryIndex`, so the
+benchmark harness can sweep them interchangeably.  The contract mirrors
+the paper's experimental framing:
+
+* :meth:`SecondaryIndex.query` returns a *sorted materialised id list*
+  (positions, not values — late materialisation);
+* every query also produces a :class:`QueryStats` record with the
+  implementation-independent counters of Figure 11 (index probes, value
+  comparisons) plus the memory-traffic counters the cost model converts
+  into simulated time;
+* :attr:`SecondaryIndex.nbytes` is the storage-overhead number of
+  Figures 5–7.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .predicate import RangePredicate
+from .storage.column import Column
+
+__all__ = ["QueryStats", "QueryResult", "SecondaryIndex"]
+
+
+@dataclass
+class QueryStats:
+    """Counters collected while answering one query.
+
+    Attributes
+    ----------
+    index_probes:
+        Paper Figure 11 (top): how many index units were examined —
+        imprint vectors for imprints (a repeat entry counts once),
+        zones for zonemaps, compressed words for WAH.
+    value_comparisons:
+        Paper Figure 11 (bottom): values inspected while weeding out
+        false positives (the scan inspects every value).
+    cachelines_fetched:
+        Column cachelines actually loaded — the memory traffic the
+        imprint index exists to avoid.
+    ids_materialized:
+        Size of the produced id list.
+    full_cachelines:
+        Cachelines the innermask proved fully qualifying (no value
+        checks needed).
+    partial_cachelines:
+        Cachelines that required per-value false-positive checks.
+    index_bytes_read:
+        Bytes of index structure scanned (vectors + dictionary for
+        imprints, min/max arrays for zonemaps, words for WAH).
+    decode_units:
+        Decompression work units — for WAH, the number of 31-bit groups
+        materialised while expanding fills and merging bin vectors into
+        the id-aligned result bitmap.  This is the per-group CPU work
+        the paper blames for WAH losing to scans in main memory; it is
+        proportional to logical (uncompressed) bitmap length, not to
+        the compressed word count counted by ``index_probes``.
+    """
+
+    index_probes: int = 0
+    value_comparisons: int = 0
+    cachelines_fetched: int = 0
+    ids_materialized: int = 0
+    full_cachelines: int = 0
+    partial_cachelines: int = 0
+    index_bytes_read: int = 0
+    decode_units: int = 0
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Accumulate another query's counters (for workload totals)."""
+        self.index_probes += other.index_probes
+        self.value_comparisons += other.value_comparisons
+        self.cachelines_fetched += other.cachelines_fetched
+        self.ids_materialized += other.ids_materialized
+        self.full_cachelines += other.full_cachelines
+        self.partial_cachelines += other.partial_cachelines
+        self.index_bytes_read += other.index_bytes_read
+        self.decode_units += other.decode_units
+        return self
+
+
+@dataclass
+class QueryResult:
+    """A materialised query answer plus its instrumentation."""
+
+    ids: np.ndarray
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def n_ids(self) -> int:
+        return int(self.ids.shape[0])
+
+    def selectivity(self, n_rows: int) -> float:
+        """Fraction of the column the answer covers."""
+        if n_rows <= 0:
+            return 0.0
+        return self.n_ids / n_rows
+
+
+class SecondaryIndex(ABC):
+    """Common interface of all secondary indexes in the evaluation."""
+
+    #: Short name used in benchmark tables ("imprints", "zonemap", ...).
+    kind: str = "abstract"
+
+    def __init__(self, column: Column) -> None:
+        self.column = column
+
+    # ------------------------------------------------------------------
+    # the contract
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def query(self, predicate: RangePredicate) -> QueryResult:
+        """Sorted ids of the values satisfying ``predicate``."""
+
+    @property
+    @abstractmethod
+    def nbytes(self) -> int:
+        """Total index size in bytes (Figures 5–7)."""
+
+    # ------------------------------------------------------------------
+    # shared conveniences
+    # ------------------------------------------------------------------
+    @property
+    def overhead(self) -> float:
+        """Index size as a fraction of the indexed column's size."""
+        column_bytes = self.column.nbytes
+        if column_bytes == 0:
+            return 0.0
+        return self.nbytes / column_bytes
+
+    def query_range(
+        self,
+        low,
+        high,
+        low_inclusive: bool = True,
+        high_inclusive: bool = False,
+    ) -> QueryResult:
+        """Range query with explicit bound inclusivity."""
+        predicate = RangePredicate.range(
+            low,
+            high,
+            self.column.ctype,
+            low_inclusive=low_inclusive,
+            high_inclusive=high_inclusive,
+        )
+        return self.query(predicate)
+
+    def query_point(self, value) -> QueryResult:
+        """Point query ``v == value``."""
+        return self.query(RangePredicate.point(value, self.column.ctype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(column={self.column.name or '<anonymous>'}, "
+            f"rows={len(self.column)}, {self.nbytes} B)"
+        )

@@ -1,0 +1,31 @@
+"""Baseline secondary indexes the paper evaluates against.
+
+* :class:`~repro.indexes.zonemap.ZoneMap` — per-cacheline min/max;
+* :class:`~repro.indexes.bitmap.WahBitmapIndex` — bit-binned bitmaps
+  with 32-bit WAH compression (FastBit-style);
+* :class:`~repro.indexes.scan.SequentialScan` — the scan floor;
+* :mod:`~repro.indexes.wah` — the reusable WAH codec.
+
+All implement :class:`repro.index_base.SecondaryIndex`, so the harness
+sweeps them interchangeably.
+"""
+
+from ..index_base import QueryResult, QueryStats, SecondaryIndex
+from .bitmap import WahBitmapIndex
+from .scan import SequentialScan
+from .wah import WahVector, wah_and, wah_decode, wah_encode, wah_or
+from .zonemap import ZoneMap
+
+__all__ = [
+    "SecondaryIndex",
+    "QueryResult",
+    "QueryStats",
+    "ZoneMap",
+    "WahBitmapIndex",
+    "SequentialScan",
+    "WahVector",
+    "wah_encode",
+    "wah_decode",
+    "wah_or",
+    "wah_and",
+]

@@ -1,0 +1,392 @@
+"""Word-Aligned Hybrid (WAH) bitmap compression — Wu, Otoo & Shoshani.
+
+The paper's strongest competitor is bit-binned bitmaps compressed with
+WAH [23, 26], the codec at the heart of FastBit.  The scheme, for a
+word of ``w`` bits:
+
+* the bit sequence is cut into ``w - 1``-bit *groups*;
+* a **literal word** (MSB = 0) carries one group verbatim;
+* a **fill word** (MSB = 1) carries the fill bit (bit ``w - 2``) and a
+  count of identical all-zero/all-one groups in its low ``w - 2`` bits,
+  so one word can stand for up to ``2^(w-2) - 1`` groups.
+
+The paper evaluates the 32-bit variant ("WAH compression with word size
+32 bits, as described in [23]"); the codec here is parameterised over
+the word size (32 or 64) because the follow-up analyses it cites [26]
+study exactly that axis — the 64-bit variant trades coarser fills for
+fewer, wider words (see ``benchmarks/bench_ablation_wah_words.py``).
+
+Bit order: within group ``g``, logical bit ``g * (w-1) + j`` occupies
+payload bit ``w - 2 - j`` (big-endian payload, matching FastBit).
+
+Besides encode/decode, the module offers logical OR/AND directly on the
+compressed form (the classic run-cursor merge) and a vectorised
+group-space decoder used by the bitmap index's query path; both report
+the number of compressed words they touched — the "index probes"
+currency of the paper's Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WahCodec",
+    "WahVector",
+    "WAH32",
+    "WAH64",
+    "wah_encode",
+    "wah_decode",
+    "wah_or",
+    "wah_and",
+]
+
+
+class WahCodec:
+    """WAH encoder/decoder for one word size (32 or 64 bits)."""
+
+    def __init__(self, word_bits: int = 32) -> None:
+        if word_bits not in (32, 64):
+            raise ValueError(f"word_bits must be 32 or 64, got {word_bits}")
+        self.word_bits = word_bits
+        self.group_bits = word_bits - 1
+        self.dtype = np.dtype(f"uint{word_bits}")
+        cast = self.dtype.type
+        self.full_group = cast((1 << self.group_bits) - 1)
+        self.fill_flag = cast(1 << (word_bits - 1))
+        self.fill_bit = cast(1 << (word_bits - 2))
+        self.max_fill = (1 << (word_bits - 2)) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WahCodec(word_bits={self.word_bits})"
+
+    # ------------------------------------------------------------------
+    # encode
+    # ------------------------------------------------------------------
+    def _group_values(self, bits: np.ndarray) -> np.ndarray:
+        """Pack a bool array into big-endian group payloads."""
+        n = bits.shape[0]
+        n_groups = -(-n // self.group_bits)
+        padded = np.zeros(n_groups * self.group_bits, dtype=bool)
+        padded[:n] = bits
+        matrix = padded.reshape(n_groups, self.group_bits).astype(self.dtype)
+        shifts = np.arange(self.group_bits - 1, -1, -1, dtype=self.dtype)
+        return (matrix << shifts).sum(axis=1, dtype=self.dtype)
+
+    def encode(self, bits) -> "WahVector":
+        """Compress a boolean array into WAH words."""
+        bits = np.asarray(bits, dtype=bool)
+        if bits.ndim != 1:
+            raise ValueError(f"bit vector must be 1-D, got shape {bits.shape}")
+        n_bits = int(bits.shape[0])
+        if n_bits == 0:
+            return WahVector(
+                words=np.empty(0, dtype=self.dtype),
+                n_bits=0,
+                word_bits=self.word_bits,
+            )
+
+        groups = self._group_values(bits)
+        n_groups = groups.shape[0]
+
+        uniform = (groups == 0) | (groups == self.full_group)
+        same_as_prev = np.zeros(n_groups, dtype=bool)
+        same_as_prev[1:] = (groups[1:] == groups[:-1]) & uniform[1:]
+        run_starts = np.flatnonzero(~same_as_prev)
+        run_lengths = np.diff(np.append(run_starts, n_groups))
+        run_values = groups[run_starts]
+        run_uniform = uniform[run_starts]
+
+        if int(run_lengths.max()) <= self.max_fill:
+            # Fast path: one word per run.
+            zero = self.dtype.type(0)
+            words = np.where(
+                run_uniform,
+                self.fill_flag
+                | np.where(run_values != 0, self.fill_bit, zero)
+                | run_lengths.astype(self.dtype),
+                run_values,
+            ).astype(self.dtype)
+        else:  # pragma: no cover - needs > 2^(w-2) groups
+            pieces: list[int] = []
+            for value, length, is_uniform in zip(
+                run_values, run_lengths, run_uniform
+            ):
+                if not is_uniform:
+                    pieces.append(int(value))
+                    continue
+                flag = int(self.fill_flag | (self.fill_bit if value else 0))
+                remaining = int(length)
+                while remaining > 0:
+                    take = min(remaining, self.max_fill)
+                    pieces.append(flag | take)
+                    remaining -= take
+            words = np.array(pieces, dtype=self.dtype)
+        return WahVector(words=words, n_bits=n_bits, word_bits=self.word_bits)
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def decode_groups(self, vector: "WahVector") -> np.ndarray:
+        """Expand compressed words into per-group payload values.
+
+        This is the vectorised middle representation the bitmap index
+        queries operate on: ORing group values is equivalent to ORing
+        bits.
+        """
+        self._check(vector)
+        words = vector.words
+        if words.shape[0] == 0:
+            return np.empty(0, dtype=self.dtype)
+        is_fill = (words & self.fill_flag) != 0
+        lengths = np.where(
+            is_fill, words & self.dtype.type(self.max_fill), 1
+        ).astype(np.int64)
+        zero = self.dtype.type(0)
+        values = np.where(
+            is_fill,
+            np.where((words & self.fill_bit) != 0, self.full_group, zero),
+            words,
+        ).astype(self.dtype)
+        return np.repeat(values, lengths)
+
+    def groups_to_bits(self, groups: np.ndarray, n_bits: int) -> np.ndarray:
+        """Expand group payloads back into a boolean array of n_bits."""
+        if groups.shape[0] == 0:
+            return np.zeros(n_bits, dtype=bool)
+        shifts = np.arange(self.group_bits - 1, -1, -1, dtype=self.dtype)
+        one = self.dtype.type(1)
+        bits = ((groups[:, None] >> shifts[None, :]) & one).astype(bool).ravel()
+        return bits[:n_bits]
+
+    def decode(self, vector: "WahVector") -> np.ndarray:
+        """Decompress into the original boolean array."""
+        return self.groups_to_bits(self.decode_groups(vector), vector.n_bits)
+
+    def _check(self, vector: "WahVector") -> None:
+        if vector.word_bits != self.word_bits:
+            raise ValueError(
+                f"vector has {vector.word_bits}-bit words, codec expects "
+                f"{self.word_bits}"
+            )
+
+
+#: The paper's evaluated variant.
+WAH32 = WahCodec(32)
+#: The wide-word variant of the follow-up analyses.
+WAH64 = WahCodec(64)
+
+_CODECS = {32: WAH32, 64: WAH64}
+
+#: 32-bit constants, kept as module attributes for direct use in tests
+#: and tools that study the paper's exact variant.
+GROUP_BITS = WAH32.group_bits
+FULL_GROUP = WAH32.full_group
+FILL_FLAG = WAH32.fill_flag
+FILL_BIT = WAH32.fill_bit
+MAX_FILL = WAH32.max_fill
+
+
+def codec_for(word_bits: int) -> WahCodec:
+    """The shared codec instance for a word size."""
+    try:
+        return _CODECS[word_bits]
+    except KeyError:
+        raise ValueError(f"word_bits must be 32 or 64, got {word_bits}") from None
+
+
+@dataclass(frozen=True, eq=False)
+class WahVector:
+    """One WAH-compressed bit vector.
+
+    Attributes
+    ----------
+    words:
+        The compressed words (dtype matches ``word_bits``).
+    n_bits:
+        Logical number of bits (the trailing partial group is padded
+        with zeros inside the final word).
+    word_bits:
+        Word size the vector was encoded with (32 or 64).
+    """
+
+    words: np.ndarray
+    n_bits: int
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        codec = codec_for(self.word_bits)
+        object.__setattr__(
+            self, "words", np.ascontiguousarray(self.words, dtype=codec.dtype)
+        )
+        if self.n_bits < 0:
+            raise ValueError(f"n_bits must be non-negative, got {self.n_bits}")
+
+    @property
+    def codec(self) -> WahCodec:
+        return codec_for(self.word_bits)
+
+    @property
+    def n_words(self) -> int:
+        return int(self.words.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_words * (self.word_bits // 8)
+
+    @property
+    def n_groups(self) -> int:
+        return -(-self.n_bits // self.codec.group_bits)
+
+    def decode(self) -> np.ndarray:
+        return self.codec.decode(self)
+
+    def count(self) -> int:
+        """Number of set bits, computed on the compressed form."""
+        codec = self.codec
+        words = self.words
+        is_fill = (words & codec.fill_flag) != 0
+        literals = words[~is_fill]
+        total = int(np.bitwise_count(literals).sum())
+        fills = words[is_fill]
+        one_fills = fills[(fills & codec.fill_bit) != 0]
+        total += codec.group_bits * int(
+            (one_fills & codec.dtype.type(codec.max_fill))
+            .astype(np.int64)
+            .sum()
+        )
+        return total
+
+
+# ----------------------------------------------------------------------
+# module-level API (32-bit default, as the paper evaluates)
+# ----------------------------------------------------------------------
+def wah_encode(bits, word_bits: int = 32) -> WahVector:
+    """Compress a boolean array into WAH words."""
+    return codec_for(word_bits).encode(bits)
+
+
+def wah_decode(vector: WahVector) -> np.ndarray:
+    """Decompress into the original boolean array."""
+    return vector.codec.decode(vector)
+
+
+def decode_groups(vector: WahVector) -> np.ndarray:
+    """Expand the compressed words into per-group payload values."""
+    return vector.codec.decode_groups(vector)
+
+
+def groups_to_bits(groups: np.ndarray, n_bits: int, word_bits: int = 32) -> np.ndarray:
+    """Expand group payloads back into a boolean array of ``n_bits``."""
+    return codec_for(word_bits).groups_to_bits(groups, n_bits)
+
+
+# ----------------------------------------------------------------------
+# logical operations on the compressed form
+# ----------------------------------------------------------------------
+class _Cursor:
+    """Run cursor over a WAH word array (the classic WAH decoder)."""
+
+    __slots__ = ("codec", "words", "pos", "run_value", "run_len", "words_read")
+
+    def __init__(self, words: np.ndarray, codec: WahCodec) -> None:
+        self.codec = codec
+        self.words = words
+        self.pos = 0
+        self.run_value = 0
+        self.run_len = 0  # groups remaining in the current run
+        self.words_read = 0
+
+    def advance(self) -> None:
+        codec = self.codec
+        word = int(self.words[self.pos])
+        self.pos += 1
+        self.words_read += 1
+        if word & int(codec.fill_flag):
+            self.run_value = (
+                int(codec.full_group) if word & int(codec.fill_bit) else 0
+            )
+            self.run_len = word & codec.max_fill
+        else:
+            self.run_value = word
+            self.run_len = 1
+
+
+class _Emitter:
+    """Builds a WAH word list, merging adjacent compatible runs."""
+
+    __slots__ = ("codec", "words")
+
+    def __init__(self, codec: WahCodec) -> None:
+        self.codec = codec
+        self.words: list[int] = []
+
+    def emit(self, value: int, length: int) -> None:
+        codec = self.codec
+        value = int(value)
+        if value not in (0, int(codec.full_group)):
+            for _ in range(length):
+                self.words.append(value)
+            return
+        flag = int(codec.fill_flag | (codec.fill_bit if value else 0))
+        if self.words:
+            last = self.words[-1]
+            if (last & int(codec.fill_flag)) and (last & int(codec.fill_bit)) == (
+                int(codec.fill_bit) if value else 0
+            ):
+                room = codec.max_fill - (last & codec.max_fill)
+                take = min(room, length)
+                if take:
+                    self.words[-1] = last + take
+                    length -= take
+        while length > 0:
+            take = min(length, codec.max_fill)
+            self.words.append(flag | take)
+            length -= take
+
+
+def _wah_binary(a: WahVector, b: WahVector, op) -> tuple[WahVector, int]:
+    """Merge two compressed vectors run by run with ``op``."""
+    if a.n_bits != b.n_bits:
+        raise ValueError(
+            f"bit vectors differ in length: {a.n_bits} vs {b.n_bits}"
+        )
+    if a.word_bits != b.word_bits:
+        raise ValueError(
+            f"bit vectors differ in word size: {a.word_bits} vs {b.word_bits}"
+        )
+    codec = a.codec
+    cursor_a = _Cursor(a.words, codec)
+    cursor_b = _Cursor(b.words, codec)
+    emitter = _Emitter(codec)
+    remaining = a.n_groups
+    while remaining > 0:
+        if cursor_a.run_len == 0:
+            cursor_a.advance()
+        if cursor_b.run_len == 0:
+            cursor_b.advance()
+        take = min(cursor_a.run_len, cursor_b.run_len)
+        value = int(op(cursor_a.run_value, cursor_b.run_value))
+        emitter.emit(value, take)
+        cursor_a.run_len -= take
+        cursor_b.run_len -= take
+        remaining -= take
+    words_read = cursor_a.words_read + cursor_b.words_read
+    result = WahVector(
+        words=np.array(emitter.words, dtype=codec.dtype),
+        n_bits=a.n_bits,
+        word_bits=a.word_bits,
+    )
+    return result, words_read
+
+
+def wah_or(a: WahVector, b: WahVector) -> tuple[WahVector, int]:
+    """Compressed OR; returns (result, words processed)."""
+    return _wah_binary(a, b, lambda x, y: x | y)
+
+
+def wah_and(a: WahVector, b: WahVector) -> tuple[WahVector, int]:
+    """Compressed AND; returns (result, words processed)."""
+    return _wah_binary(a, b, lambda x, y: x & y)

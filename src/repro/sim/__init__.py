@@ -1,0 +1,9 @@
+"""Simulation substrate: the memory-traffic cost model.
+
+See :mod:`repro.sim.cost` for why simulated time exists next to
+wall-clock time in every benchmark.
+"""
+
+from .cost import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]

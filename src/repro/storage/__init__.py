@@ -1,0 +1,59 @@
+"""Column-store substrate: typed columns, cachelines, tables, deltas.
+
+This package is the storage engine the imprints index (and the baseline
+indexes) are built on.  It models the parts of a MonetDB-style column
+store the paper depends on: dense typed arrays with implicit ids,
+cacheline-granular access, dictionary encoding for strings, tables of
+aligned columns for multi-attribute queries, and delta structures for
+merge-at-query-time updates.
+"""
+
+from .cacheline import CACHELINE_BYTES, CachelineGeometry
+from .column import Column
+from .delta import DeltaColumn
+from .dictionary_encoding import StringDictionary, encode_strings
+from .persist import ColumnStore
+from .table import Table
+from .types import (
+    ALL_TYPES,
+    CHAR,
+    DATE,
+    DOUBLE,
+    INT,
+    LONG,
+    REAL,
+    SHORT,
+    STR_CODE,
+    UCHAR,
+    UINT,
+    USHORT,
+    ColumnType,
+    type_by_name,
+    type_for_dtype,
+)
+
+__all__ = [
+    "CACHELINE_BYTES",
+    "CachelineGeometry",
+    "Column",
+    "DeltaColumn",
+    "StringDictionary",
+    "encode_strings",
+    "ColumnStore",
+    "Table",
+    "ColumnType",
+    "type_by_name",
+    "type_for_dtype",
+    "ALL_TYPES",
+    "CHAR",
+    "UCHAR",
+    "SHORT",
+    "USHORT",
+    "INT",
+    "UINT",
+    "LONG",
+    "DATE",
+    "REAL",
+    "DOUBLE",
+    "STR_CODE",
+]

@@ -1,0 +1,122 @@
+"""Cacheline geometry: the unit at which imprints and zonemaps index.
+
+The paper's central design decision is that one imprint vector covers
+exactly one cacheline of column data (64 bytes on the evaluation
+hardware).  This module isolates all arithmetic that converts between
+value positions (ids) and cacheline numbers, so the index
+implementations never hand-roll the `divmod` logic.
+
+A :class:`CachelineGeometry` is immutable and cheap; indexes store the
+instance they were built with so that queries, appends and size
+accounting always agree on the layout, even when a non-default cacheline
+size is chosen (the 32/128-byte ablation benchmarks do exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CACHELINE_BYTES", "CachelineGeometry"]
+
+#: The cacheline size the paper assumes ("we assume the commonly used
+#: size of 64 bytes", Section 2.3).
+CACHELINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class CachelineGeometry:
+    """Mapping between value ids and cachelines for one column layout.
+
+    Parameters
+    ----------
+    itemsize:
+        Width of one value in bytes.
+    cacheline_bytes:
+        Size of one cacheline in bytes; must be a positive multiple of
+        ``itemsize`` (the paper's layouts always are: value widths are
+        powers of two up to 8 and cachelines are 64 bytes).
+    """
+
+    itemsize: int
+    cacheline_bytes: int = CACHELINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.itemsize <= 0:
+            raise ValueError(f"itemsize must be positive, got {self.itemsize}")
+        if self.cacheline_bytes <= 0:
+            raise ValueError(
+                f"cacheline_bytes must be positive, got {self.cacheline_bytes}"
+            )
+        if self.cacheline_bytes % self.itemsize != 0:
+            raise ValueError(
+                f"cacheline of {self.cacheline_bytes} bytes is not a multiple "
+                f"of the {self.itemsize}-byte value width"
+            )
+
+    @property
+    def values_per_cacheline(self) -> int:
+        """The paper's ``vpc`` constant."""
+        return self.cacheline_bytes // self.itemsize
+
+    def n_cachelines(self, n_values: int) -> int:
+        """Number of (possibly partial) cachelines covering ``n_values``."""
+        if n_values < 0:
+            raise ValueError(f"n_values must be non-negative, got {n_values}")
+        vpc = self.values_per_cacheline
+        return (n_values + vpc - 1) // vpc
+
+    def cacheline_of(self, value_id: int) -> int:
+        """Cacheline number containing the value at position ``value_id``."""
+        if value_id < 0:
+            raise IndexError(f"value id must be non-negative, got {value_id}")
+        return value_id // self.values_per_cacheline
+
+    def cachelines_of(self, value_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cacheline_of`."""
+        ids = np.asarray(value_ids)
+        return ids // self.values_per_cacheline
+
+    def value_range(self, cacheline: int, n_values: int) -> tuple[int, int]:
+        """Half-open id range ``[start, stop)`` of one cacheline.
+
+        The final cacheline of a column is usually partial; ``stop`` is
+        clamped to ``n_values``.
+        """
+        vpc = self.values_per_cacheline
+        start = cacheline * vpc
+        if start >= n_values:
+            raise IndexError(
+                f"cacheline {cacheline} is beyond the column "
+                f"({self.n_cachelines(n_values)} cachelines)"
+            )
+        return start, min(start + vpc, n_values)
+
+    def slice_bounds(self, cachelines: np.ndarray, n_values: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`value_range` for many cachelines at once.
+
+        Returns parallel ``(starts, stops)`` arrays; used by the query
+        kernels to expand candidate cachelines into candidate id ranges
+        without a Python-level loop.
+        """
+        lines = np.asarray(cachelines, dtype=np.int64)
+        vpc = self.values_per_cacheline
+        starts = lines * vpc
+        stops = np.minimum(starts + vpc, n_values)
+        return starts, stops
+
+    def expand_cachelines(self, cachelines: np.ndarray, n_values: int) -> np.ndarray:
+        """All value ids covered by the given cachelines, in id order.
+
+        ``cachelines`` must be sorted and unique; the result is then a
+        sorted array of ids, matching the ordered-id materialisation the
+        paper's query algorithm produces.
+        """
+        lines = np.asarray(cachelines, dtype=np.int64)
+        if lines.size == 0:
+            return np.empty(0, dtype=np.int64)
+        vpc = self.values_per_cacheline
+        offsets = np.arange(vpc, dtype=np.int64)
+        ids = (lines[:, None] * vpc + offsets[None, :]).ravel()
+        return ids[ids < n_values]

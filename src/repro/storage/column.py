@@ -1,0 +1,175 @@
+"""Dense typed columns — the storage unit every index is built over.
+
+A :class:`Column` models MonetDB's BAT tail: a single dense array of
+fixed-width values whose ids (oids) are implicit in the position, so a
+scan returns *positions*, never values (late materialisation, Section 1
+of the paper).  Columns are immutable by default; the update study of
+Section 4 goes through :mod:`repro.storage.delta` and the explicit
+:meth:`Column.appended` constructor instead of in-place mutation.
+
+The column also exposes its cacheline geometry, which is what the
+imprints and zonemap indexes partition over, and a few convenience
+statistics (cardinality, sortedness) used by the workload reports.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from .cacheline import CACHELINE_BYTES, CachelineGeometry
+from .types import ColumnType, type_for_dtype
+
+__all__ = ["Column"]
+
+
+class Column:
+    """An immutable, typed, dense column of values.
+
+    Parameters
+    ----------
+    values:
+        Anything convertible to a 1-D NumPy array of the column type.
+    ctype:
+        The logical :class:`~repro.storage.types.ColumnType`.  If
+        omitted it is inferred from the array dtype.
+    name:
+        Optional column name used in reports (``"trips.lat"``).
+    cacheline_bytes:
+        Cacheline size used for the index geometry; defaults to the
+        paper's 64 bytes.
+    """
+
+    def __init__(
+        self,
+        values,
+        ctype: ColumnType | None = None,
+        name: str = "",
+        cacheline_bytes: int = CACHELINE_BYTES,
+    ) -> None:
+        array = np.asarray(values)
+        if array.ndim != 1:
+            raise ValueError(f"a column must be 1-D, got shape {array.shape}")
+        if ctype is None:
+            ctype = type_for_dtype(array.dtype)
+        self._values = np.ascontiguousarray(array, dtype=ctype.dtype)
+        self._values.setflags(write=False)
+        self.ctype = ctype
+        self.name = name
+        self.geometry = CachelineGeometry(ctype.itemsize, cacheline_bytes)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The read-only backing array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __getitem__(self, item):
+        return self._values[item]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "<anonymous>"
+        return (
+            f"Column({label}, type={self.ctype.name}, rows={len(self)}, "
+            f"{self.nbytes / (1 << 20):.2f} MiB)"
+        )
+
+    # ------------------------------------------------------------------
+    # geometry and sizes
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Size of the raw column data in bytes."""
+        return int(self._values.nbytes)
+
+    @property
+    def n_cachelines(self) -> int:
+        """Number of cachelines covering the column."""
+        return self.geometry.n_cachelines(len(self))
+
+    @property
+    def values_per_cacheline(self) -> int:
+        return self.geometry.values_per_cacheline
+
+    def cacheline_values(self, cacheline: int) -> np.ndarray:
+        """The values stored in one cacheline (a zero-copy view)."""
+        start, stop = self.geometry.value_range(cacheline, len(self))
+        return self._values[start:stop]
+
+    # ------------------------------------------------------------------
+    # statistics used by workload reports and binning sanity checks
+    # ------------------------------------------------------------------
+    @cached_property
+    def cardinality(self) -> int:
+        """Number of distinct values (exact; cached)."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self._values).shape[0])
+
+    @cached_property
+    def is_sorted(self) -> bool:
+        """Whether the column is non-decreasing."""
+        if len(self) <= 1:
+            return True
+        return bool(np.all(self._values[:-1] <= self._values[1:]))
+
+    def min(self):
+        """Smallest value; raises on an empty column."""
+        if len(self) == 0:
+            raise ValueError("empty column has no minimum")
+        return self._values.min()
+
+    def max(self):
+        """Largest value; raises on an empty column."""
+        if len(self) == 0:
+            raise ValueError("empty column has no maximum")
+        return self._values.max()
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def appended(self, new_values) -> "Column":
+        """A new column with ``new_values`` appended (Section 4.1).
+
+        The append path of the paper never rewrites existing data; this
+        returns a fresh column sharing the type and geometry so the
+        index's incremental append can be validated against a full
+        rebuild over the result.
+        """
+        extra = self.ctype.cast(new_values)
+        if extra.ndim != 1:
+            raise ValueError(f"appended values must be 1-D, got shape {extra.shape}")
+        merged = np.concatenate([self._values, extra])
+        return Column(
+            merged,
+            ctype=self.ctype,
+            name=self.name,
+            cacheline_bytes=self.geometry.cacheline_bytes,
+        )
+
+    def with_value(self, value_id: int, value) -> "Column":
+        """A new column with one value replaced (in-place update model).
+
+        Used by the Section 4.2 update study: the *logical* column after
+        an update, against which the saturated imprint must still return
+        a superset of candidates.
+        """
+        if not 0 <= value_id < len(self):
+            raise IndexError(f"value id {value_id} out of range [0, {len(self)})")
+        updated = self._values.copy()
+        updated[value_id] = value
+        return Column(
+            updated,
+            ctype=self.ctype,
+            name=self.name,
+            cacheline_bytes=self.geometry.cacheline_bytes,
+        )

@@ -1,0 +1,115 @@
+"""Tables: collections of aligned columns with tuple reconstruction.
+
+A relation in the decomposed storage model is a set of equally long
+columns; values with the same position belong to the same tuple.  Tables
+are what the multi-attribute query path of Section 3 operates on: each
+predicate is evaluated on its own column's index, candidate cacheline
+lists are merge-joined, and only then are ids materialised and checked
+— the late-materialisation strategy the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .column import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An ordered collection of equally long, position-aligned columns."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._columns: dict[str, Column] = {}
+        self._n_rows: int | None = None
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+    def add_column(self, name: str, column: Column) -> None:
+        """Attach a column under ``name``; lengths must agree."""
+        if name in self._columns:
+            raise ValueError(f"table {self.name!r} already has a column {name!r}")
+        if self._n_rows is not None and len(column) != self._n_rows:
+            raise ValueError(
+                f"column {name!r} has {len(column)} rows but table "
+                f"{self.name!r} has {self._n_rows}"
+            )
+        self._columns[name] = column
+        self._n_rows = len(column)
+
+    @classmethod
+    def from_columns(cls, name: str, columns: dict[str, Column]) -> "Table":
+        """Build a table from a name → column mapping."""
+        table = cls(name)
+        for col_name, column in columns.items():
+            table.add_column(col_name, column)
+        return table
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples (0 for a table with no columns)."""
+        return self._n_rows or 0
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Total raw data size across all columns."""
+        return sum(c.nbytes for c in self._columns.values())
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {self.column_names}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __iter__(self):
+        return iter(self._columns.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Table({self.name!r}, columns={self.n_columns}, rows={self.n_rows}, "
+            f"{self.nbytes / (1 << 20):.2f} MiB)"
+        )
+
+    # ------------------------------------------------------------------
+    # tuple reconstruction
+    # ------------------------------------------------------------------
+    def reconstruct(self, ids, columns: list[str] | None = None) -> dict[str, np.ndarray]:
+        """Materialise tuples for the given ids (late materialisation).
+
+        ``ids`` is the position list a query produced; the result maps
+        each requested column name to the array of its values at those
+        positions, in id order.
+        """
+        positions = np.asarray(ids, dtype=np.int64)
+        if positions.size and (positions.min() < 0 or positions.max() >= self.n_rows):
+            raise IndexError(
+                f"ids out of range [0, {self.n_rows}) for table {self.name!r}"
+            )
+        names = columns if columns is not None else self.column_names
+        return {name: self.column(name).values[positions] for name in names}
+
+    def row(self, row_id: int) -> dict[str, object]:
+        """One reconstructed tuple as a name → value mapping."""
+        if not 0 <= row_id < self.n_rows:
+            raise IndexError(f"row {row_id} out of range [0, {self.n_rows})")
+        return {name: col.values[row_id] for name, col in self._columns.items()}

@@ -1,0 +1,174 @@
+"""Column type registry for the column-store substrate.
+
+The paper evaluates imprints over columns of many C types: ``char``
+(1 byte), ``short`` (2 bytes), ``int`` and ``date`` (4 bytes), ``long``
+and ``double`` (8 bytes), plus ``real`` (``float``, 4 bytes) and
+dictionary-encoded strings.  This module is the single place where those
+types are described: their NumPy dtype, their width in bytes (which
+determines how many values fit in one cacheline), and their domain
+minimum/maximum (used for the open-ended first and last histogram bins).
+
+Every other subsystem goes through :class:`ColumnType` so that the
+cacheline geometry and the histogram overflow bins are always consistent
+with the storage layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ColumnType",
+    "CHAR",
+    "UCHAR",
+    "SHORT",
+    "USHORT",
+    "INT",
+    "UINT",
+    "LONG",
+    "DATE",
+    "REAL",
+    "DOUBLE",
+    "STR_CODE",
+    "ALL_TYPES",
+    "type_by_name",
+    "type_for_dtype",
+]
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """Description of a fixed-width column value type.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name used in dataset statistics tables
+        (``"int"``, ``"double"``, ...).
+    dtype:
+        The NumPy dtype used for the dense array backing a column.
+    min_value / max_value:
+        The domain bounds.  ``max_value`` plays the role of
+        ``coltype_MAX`` in the paper's Algorithm 2: unused histogram
+        borders are padded with it, and the last bin absorbs every value
+        up to it.
+    is_float:
+        Whether the type is a floating-point domain (affects workload
+        generation and quantile-based query bounds, not the index
+        algorithms, which are type-generic).
+    """
+
+    name: str
+    dtype: np.dtype
+    min_value: float
+    max_value: float
+    is_float: bool = False
+
+    @property
+    def itemsize(self) -> int:
+        """Width of one value in bytes (1, 2, 4 or 8)."""
+        return self.dtype.itemsize
+
+    def values_per_cacheline(self, cacheline_bytes: int = 64) -> int:
+        """How many values of this type fit in one cacheline."""
+        if cacheline_bytes < self.itemsize:
+            raise ValueError(
+                f"cacheline of {cacheline_bytes} bytes cannot hold a "
+                f"{self.itemsize}-byte {self.name}"
+            )
+        return cacheline_bytes // self.itemsize
+
+    def cast(self, values) -> np.ndarray:
+        """Return ``values`` as a contiguous array of this type."""
+        return np.ascontiguousarray(values, dtype=self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _int_type(name: str, dtype_name: str) -> ColumnType:
+    dtype = np.dtype(dtype_name)
+    info = np.iinfo(dtype)
+    return ColumnType(name, dtype, int(info.min), int(info.max))
+
+
+def _float_type(name: str, dtype_name: str) -> ColumnType:
+    dtype = np.dtype(dtype_name)
+    info = np.finfo(dtype)
+    return ColumnType(name, dtype, float(-info.max), float(info.max), is_float=True)
+
+
+#: 1-byte signed character / tiny categorical code.
+CHAR = _int_type("char", "int8")
+#: 1-byte unsigned categorical code.
+UCHAR = _int_type("uchar", "uint8")
+#: 2-byte integer.
+SHORT = _int_type("short", "int16")
+#: 2-byte unsigned integer.
+USHORT = _int_type("ushort", "uint16")
+#: 4-byte integer.
+INT = _int_type("int", "int32")
+#: 4-byte unsigned integer.
+UINT = _int_type("uint", "uint32")
+#: 8-byte integer.
+LONG = _int_type("long", "int64")
+#: Dates stored as days since epoch in 4 bytes (paper groups date with int).
+DATE = ColumnType("date", np.dtype("int32"), int(np.iinfo("int32").min), int(np.iinfo("int32").max))
+#: 4-byte IEEE float (the paper's ``real``).
+REAL = _float_type("real", "float32")
+#: 8-byte IEEE float.
+DOUBLE = _float_type("double", "float64")
+#: Dictionary-encoded string: the code array is a 4-byte int column.
+STR_CODE = ColumnType("str", np.dtype("int32"), int(np.iinfo("int32").min), int(np.iinfo("int32").max))
+
+#: All distinct storage types, keyed by name.
+ALL_TYPES: dict[str, ColumnType] = {
+    t.name: t
+    for t in (CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, DATE, REAL, DOUBLE, STR_CODE)
+}
+
+_DTYPE_DEFAULTS: dict[str, ColumnType] = {
+    "int8": CHAR,
+    "uint8": UCHAR,
+    "int16": SHORT,
+    "uint16": USHORT,
+    "int32": INT,
+    "uint32": UINT,
+    "int64": LONG,
+    "float32": REAL,
+    "float64": DOUBLE,
+}
+
+
+def type_by_name(name: str) -> ColumnType:
+    """Look up a :class:`ColumnType` by its registry name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a registered type.
+    """
+    try:
+        return ALL_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown column type {name!r}; known types: {sorted(ALL_TYPES)}"
+        ) from None
+
+
+def type_for_dtype(dtype) -> ColumnType:
+    """Return the canonical :class:`ColumnType` for a NumPy dtype.
+
+    Used when wrapping raw arrays whose logical type was not declared
+    (e.g. ``Column.from_array(np.arange(10))``).
+    """
+    dtype = np.dtype(dtype)
+    try:
+        return _DTYPE_DEFAULTS[dtype.name]
+    except KeyError:
+        raise TypeError(
+            f"dtype {dtype} is not supported by the column store; "
+            f"supported dtypes: {sorted(_DTYPE_DEFAULTS)}"
+        ) from None

@@ -1,0 +1,43 @@
+"""Workload simulators for the paper's five datasets + query generator.
+
+Importing this package registers all five generators; use
+:func:`load_dataset`/:func:`load_all_datasets` to build them at the
+current ``REPRO_SCALE``.
+"""
+
+from .airtraffic import generate_airtraffic
+from .base import (
+    Dataset,
+    DatasetColumn,
+    DatasetStats,
+    dataset_registry,
+    default_scale,
+    load_all_datasets,
+    load_dataset,
+    register_dataset,
+)
+from .cnet import generate_cnet
+from .queries import PAPER_SELECTIVITIES, GeneratedQuery, selectivity_queries
+from .routing import generate_routing
+from .sdss import generate_sdss
+from .tpch import generate_tpch, p_retailprice
+
+__all__ = [
+    "Dataset",
+    "DatasetColumn",
+    "DatasetStats",
+    "register_dataset",
+    "dataset_registry",
+    "default_scale",
+    "load_dataset",
+    "load_all_datasets",
+    "generate_routing",
+    "generate_sdss",
+    "generate_cnet",
+    "generate_airtraffic",
+    "generate_tpch",
+    "p_retailprice",
+    "GeneratedQuery",
+    "selectivity_queries",
+    "PAPER_SELECTIVITIES",
+]

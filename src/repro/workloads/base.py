@@ -1,0 +1,174 @@
+"""Dataset framework for the five evaluation workloads.
+
+The paper evaluates on five real datasets (Table 1).  None are
+redistributable at their original size, so each has a seeded synthetic
+generator reproducing the *statistical property the paper exploits*
+(see DESIGN.md's substitution table).  All generators accept a ``scale``
+factor; the default row counts are the paper's divided by roughly 1000,
+keeping every benchmark laptop-sized while preserving the entropy /
+cardinality / clustering structure that drives the results.
+
+``REPRO_SCALE`` (environment) rescales everything globally, so the same
+benchmark code can run from smoke-test size to multi-million-row runs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from ..storage.column import Column
+from ..storage.dictionary_encoding import StringDictionary
+from ..storage.table import Table
+
+__all__ = [
+    "DatasetColumn",
+    "Dataset",
+    "DatasetStats",
+    "default_scale",
+    "register_dataset",
+    "dataset_registry",
+    "load_dataset",
+    "load_all_datasets",
+]
+
+
+def default_scale() -> float:
+    """The global scale factor (``REPRO_SCALE`` env var, default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from None
+    if scale <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {scale}")
+    return scale
+
+
+@dataclass(frozen=True)
+class DatasetColumn:
+    """One generated column plus its provenance."""
+
+    table: str
+    name: str
+    column: Column
+    dictionary: StringDictionary | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.table}.{self.name}"
+
+    @property
+    def type_name(self) -> str:
+        return self.column.ctype.name
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The Table 1 row for one dataset."""
+
+    name: str
+    size_bytes: int
+    n_columns: int
+    value_types: tuple[str, ...]
+    max_rows: int
+
+
+@dataclass
+class Dataset:
+    """A named collection of generated columns grouped into tables."""
+
+    name: str
+    columns: list[DatasetColumn] = field(default_factory=list)
+
+    def add(
+        self,
+        table: str,
+        name: str,
+        column: Column,
+        dictionary: StringDictionary | None = None,
+    ) -> None:
+        named = Column(
+            column.values,
+            ctype=column.ctype,
+            name=f"{table}.{name}",
+            cacheline_bytes=column.geometry.cacheline_bytes,
+        )
+        self.columns.append(DatasetColumn(table, name, named, dictionary))
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[DatasetColumn]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column(self, qualified_name: str) -> DatasetColumn:
+        """Look up ``table.column``."""
+        for entry in self.columns:
+            if entry.qualified_name == qualified_name:
+                return entry
+        known = [c.qualified_name for c in self.columns]
+        raise KeyError(f"{self.name} has no column {qualified_name!r}; has {known}")
+
+    def tables(self) -> dict[str, Table]:
+        """Group the columns into :class:`~repro.storage.table.Table`."""
+        tables: dict[str, Table] = {}
+        for entry in self.columns:
+            table = tables.setdefault(entry.table, Table(entry.table))
+            table.add_column(entry.name, entry.column)
+        return tables
+
+    def stats(self) -> DatasetStats:
+        """The dataset's Table 1 row."""
+        types = sorted({c.type_name for c in self.columns})
+        return DatasetStats(
+            name=self.name,
+            size_bytes=sum(c.column.nbytes for c in self.columns),
+            n_columns=len(self.columns),
+            value_types=tuple(types),
+            max_rows=max((len(c.column) for c in self.columns), default=0),
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[..., Dataset]] = {}
+
+
+def register_dataset(name: str):
+    """Decorator registering a generator under a dataset name."""
+
+    def decorate(fn: Callable[..., Dataset]) -> Callable[..., Dataset]:
+        if name in _REGISTRY:
+            raise ValueError(f"dataset {name!r} registered twice")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def dataset_registry() -> dict[str, Callable[..., Dataset]]:
+    """Name → generator mapping (importing the package fills it)."""
+    return dict(_REGISTRY)
+
+
+def load_dataset(name: str, scale: float | None = None, seed: int = 0) -> Dataset:
+    """Generate one dataset by name at the given (or global) scale."""
+    try:
+        generator = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return generator(scale=scale if scale is not None else default_scale(), seed=seed)
+
+
+def load_all_datasets(scale: float | None = None, seed: int = 0) -> list[Dataset]:
+    """All five datasets, in the paper's Table 1 order."""
+    order = ["routing", "sdss", "cnet", "airtraffic", "tpch"]
+    names = [n for n in order if n in _REGISTRY]
+    names += [n for n in sorted(_REGISTRY) if n not in order]
+    return [load_dataset(name, scale=scale, seed=seed) for name in names]

@@ -1,0 +1,128 @@
+"""Routing dataset simulator — GPS trip logs.
+
+The paper's Routing dataset is "a collection of over 240 million
+geographical records (longitude, latitude, trip-id, and timestamp) of
+trips as logged by gps devices" stored as ``int``/``long`` columns.
+Figure 3 shows ``trips.lat`` with entropy ~0.31: trips are continuous
+("without any jumps, unless the trip-id changes"), so consecutive
+cachelines index slowly drifting value neighbourhoods — but the stream
+is an *interleaving* of several vehicles driving at once, which is what
+keeps the entropy moderate instead of near zero.
+
+The simulator reproduces that generative process: a small fleet of
+vehicles each performs bounded random-walk trips in fixed-point
+micro-degree coordinates (a fresh random origin per trip), and the
+logged stream interleaves the fleet the way a collection server would —
+ordered by arrival time.  Trip ids are per-trip unique and clustered in
+the stream; timestamps are globally monotone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.column import Column
+from ..storage.types import INT, LONG
+from .base import Dataset, register_dataset
+
+__all__ = ["generate_routing"]
+
+#: Paper row count / 1000.
+BASE_ROWS = 240_000
+#: Amsterdam-ish bounding box in micro-degrees.
+_LAT_RANGE = (52_290_000, 52_430_000)
+_LON_RANGE = (4_760_000, 4_980_000)
+#: Average trip length in points.
+_MEAN_TRIP_POINTS = 600
+#: Random-walk step scale in micro-degrees (a few metres per sample).
+_STEP_SCALE = 320.0
+#: Concurrently driving vehicles whose streams interleave (calibrated so
+#: trips.lat lands near the paper's measured entropy of ~0.31).
+_FLEET_SIZE = 12
+
+
+def _trip_lengths(rng: np.random.Generator, n_rows: int) -> np.ndarray:
+    """Trip lengths summing exactly to ``n_rows``."""
+    lengths: list[int] = []
+    remaining = n_rows
+    while remaining > 0:
+        length = int(rng.geometric(1.0 / _MEAN_TRIP_POINTS))
+        length = max(8, min(length, remaining))
+        lengths.append(length)
+        remaining -= length
+    return np.array(lengths, dtype=np.int64)
+
+
+def _segmented_walk(
+    rng: np.random.Generator,
+    lengths: np.ndarray,
+    low: int,
+    high: int,
+) -> np.ndarray:
+    """Concatenated per-trip bounded random walks (vectorised, exact).
+
+    The global step stream is cumulatively summed once; each trip's
+    value is its random origin plus the cumsum *relative to the trip
+    start* (segmented cumsum), so trips restart independently without a
+    per-trip Python loop.
+    """
+    n = int(lengths.sum())
+    steps = rng.normal(0.0, _STEP_SCALE, size=n)
+    starts = np.zeros(len(lengths), dtype=np.int64)
+    starts[1:] = np.cumsum(lengths)[:-1]
+    steps[starts] = 0.0
+    acc = np.cumsum(steps)
+    relative = acc - np.repeat(acc[starts], lengths)
+    origins = rng.uniform(low + (high - low) * 0.1, high - (high - low) * 0.1,
+                          size=len(lengths))
+    walk = np.repeat(origins, lengths) + relative
+    return np.clip(walk, low, high).astype(INT.dtype)
+
+
+@register_dataset("routing")
+def generate_routing(scale: float = 1.0, seed: int = 0) -> Dataset:
+    """Generate the Routing dataset at ``scale`` (240k rows at 1.0)."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 1]))
+    n_rows = max(1_000, int(BASE_ROWS * scale))
+
+    # Per-vehicle trip streams.
+    per_vehicle = -(-n_rows // _FLEET_SIZE)
+    vehicle_rows = [per_vehicle] * (_FLEET_SIZE - 1)
+    vehicle_rows.append(n_rows - per_vehicle * (_FLEET_SIZE - 1))
+    lengths_per_vehicle = [_trip_lengths(rng, rows) for rows in vehicle_rows]
+
+    lat_streams, lon_streams, trip_streams = [], [], []
+    next_trip_id = 1
+    for lengths in lengths_per_vehicle:
+        lat_streams.append(_segmented_walk(rng, lengths, *_LAT_RANGE))
+        lon_streams.append(_segmented_walk(rng, lengths, *_LON_RANGE))
+        ids = np.arange(next_trip_id, next_trip_id + len(lengths), dtype=LONG.dtype)
+        trip_streams.append(np.repeat(ids, lengths))
+        next_trip_id += len(lengths)
+
+    # Interleave the fleet: row i of the log comes from a random active
+    # vehicle; each vehicle's samples keep their own order (stable sort
+    # groups rows by vehicle, the inverse scatter restores log order).
+    choices = np.repeat(
+        np.arange(_FLEET_SIZE), [len(s) for s in lat_streams]
+    )
+    choices = choices[rng.permutation(n_rows)]
+    order = np.argsort(choices, kind="stable")
+    lat = np.empty(n_rows, dtype=INT.dtype)
+    lon = np.empty(n_rows, dtype=INT.dtype)
+    trip_ids = np.empty(n_rows, dtype=LONG.dtype)
+    lat[order] = np.concatenate(lat_streams)
+    lon[order] = np.concatenate(lon_streams)
+    trip_ids[order] = np.concatenate(trip_streams)
+
+    # Timestamps: the log arrival clock, monotone with ~1s cadence.
+    timestamps = (
+        1_300_000_000 + np.cumsum(rng.integers(0, 3, size=n_rows))
+    ).astype(LONG.dtype)
+
+    dataset = Dataset("routing")
+    dataset.add("trips", "lon", Column(lon, ctype=INT))
+    dataset.add("trips", "lat", Column(lat, ctype=INT))
+    dataset.add("trips", "trip_id", Column(trip_ids, ctype=LONG))
+    dataset.add("trips", "timestamp", Column(timestamps, ctype=LONG))
+    return dataset

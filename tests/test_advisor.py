@@ -1,0 +1,81 @@
+"""Tests for the scan-vs-imprints access-path advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnImprints, execute_with_plan, plan_query
+from repro.indexes import SequentialScan
+from repro.predicate import RangePredicate
+from repro.sim import CostModel
+from repro.storage import Column
+
+from .conftest import make_clustered, make_random
+
+
+@pytest.fixture(scope="module")
+def clustered_index():
+    return ColumnImprints(
+        Column(make_clustered(100_000, np.int32, seed=1), name="t.walk")
+    )
+
+
+class TestPlanning:
+    def test_selective_query_prefers_imprints(self, clustered_index):
+        values = clustered_index.column.values
+        lo, hi = np.quantile(values, [0.50, 0.51])
+        plan = plan_query(
+            clustered_index,
+            RangePredicate.range(int(lo), int(hi), clustered_index.column.ctype),
+        )
+        assert plan.method == "imprints"
+        assert plan.candidate_fraction < 0.2
+        assert plan.imprints_seconds < plan.scan_seconds
+
+    def test_full_range_prefers_scan_under_fetch_heavy_model(self):
+        """With random-access penalised, a query touching every
+        cacheline should be planned as a scan."""
+        column = Column(make_random(50_000, np.int32, seed=2))
+        index = ColumnImprints(column)
+        model = CostModel(random_cacheline_latency=200e-9)
+        lo, hi = np.quantile(column.values, [0.02, 0.98])
+        plan = plan_query(
+            index, RangePredicate.range(int(lo), int(hi), column.ctype), model
+        )
+        assert plan.method == "scan"
+
+    def test_speedup_at_least_one(self, clustered_index):
+        values = clustered_index.column.values
+        lo, hi = np.quantile(values, [0.4, 0.6])
+        plan = plan_query(
+            clustered_index,
+            RangePredicate.range(int(lo), int(hi), clustered_index.column.ctype),
+        )
+        assert plan.speedup >= 1.0
+
+
+class TestExecution:
+    @pytest.mark.parametrize("quantiles", [(0.5, 0.505), (0.05, 0.95)])
+    def test_both_paths_return_scan_answers(self, clustered_index, quantiles):
+        values = clustered_index.column.values
+        lo, hi = np.quantile(values, quantiles)
+        predicate = RangePredicate.range(
+            int(lo), int(hi), clustered_index.column.ctype
+        )
+        result, plan = execute_with_plan(clustered_index, predicate)
+        expected = SequentialScan(clustered_index.column).query(predicate)
+        assert plan.method in ("imprints", "scan")
+        assert np.array_equal(result.ids, expected.ids)
+
+    def test_forced_scan_path(self, clustered_index):
+        """A model that makes index access absurdly expensive must route
+        through the scan branch and still be correct."""
+        model = CostModel(probe_cost=1.0)  # 1 second per probe
+        values = clustered_index.column.values
+        lo, hi = np.quantile(values, [0.3, 0.4])
+        predicate = RangePredicate.range(
+            int(lo), int(hi), clustered_index.column.ctype
+        )
+        result, plan = execute_with_plan(clustered_index, predicate, model)
+        assert plan.method == "scan"
+        expected = SequentialScan(clustered_index.column).query(predicate)
+        assert np.array_equal(result.ids, expected.ids)

@@ -1,0 +1,145 @@
+"""Tests for the benchmark harness (context + figure drivers).
+
+Run at a tiny scale: the point is that every driver produces coherent
+rows, not performance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    METHODS,
+    fig3_entropies,
+    fig5_summary,
+    fig6_rows,
+    fig7_rows,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    get_context,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_table1,
+    run_query_sweep,
+    table1_rows,
+    time_call,
+)
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def context():
+    return get_context(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def measurements(context):
+    return run_query_sweep(context, selectivities=(0.1, 0.5, 0.9))
+
+
+class TestContext:
+    def test_builds_all_datasets(self, context):
+        assert [d.name for d in context.datasets] == [
+            "routing", "sdss", "cnet", "airtraffic", "tpch",
+        ]
+        assert len(context.built) == sum(len(d) for d in context.datasets)
+
+    def test_cached_per_scale(self, context):
+        assert get_context(scale=SCALE) is context
+
+    def test_built_column_accessors(self, context):
+        built = context.built[0]
+        assert built.index("imprints") is built.imprints
+        assert built.index("scan") is built.scan
+        with pytest.raises(KeyError):
+            built.index("btree")
+        assert set(built.sizes()) == {"imprints", "zonemap", "wah"}
+        assert set(built.build_seconds) == {"imprints", "zonemap", "wah"}
+
+    def test_time_call(self):
+        result, seconds = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0
+        with pytest.raises(ValueError):
+            time_call(sum, [1], repeat=0)
+
+
+class TestTable1AndFig3:
+    def test_table1_rows(self, context):
+        rows = table1_rows(context)
+        assert len(rows) == 5
+        assert rows[0][0] == "routing"
+        assert "Table 1" in render_table1(context)
+
+    def test_fig3_columns_exist_and_render(self, context):
+        rows = fig3_entropies(context)
+        assert len(rows) == 5
+        text = render_fig3(context, lines_per_column=4)
+        assert "trips.lat" in text
+        assert "E = " in text
+
+
+class TestSizeFigures:
+    def test_fig5_summary_covers_widths(self, context):
+        rows = fig5_summary(context)
+        widths = {row[0] for row in rows}
+        assert widths <= {"1-byte", "2-byte", "4-byte", "8-byte"}
+        assert len(rows) >= 3
+        assert "Figure 5" in render_fig5(context)
+
+    def test_fig6_per_dataset(self, context):
+        rows = fig6_rows(context)
+        assert [row[0] for row in rows] == [
+            "routing", "sdss", "cnet", "airtraffic", "tpch",
+        ]
+        assert "Figure 6" in render_fig6(context)
+
+    def test_fig7_entropy_buckets(self, context):
+        rows = fig7_rows(context)
+        assert rows  # at least one bucket populated
+        # imprints median stays within the paper's ~12% bound+slack.
+        for row in rows:
+            assert row[2] < 30.0
+        assert "Figure 7" in render_fig7(context)
+
+    def test_fig4_cdf_monotone(self, context):
+        assert "Figure 4" in render_fig4(context)
+
+
+class TestQueryFigures:
+    def test_sweep_verifies_methods_agree(self, measurements):
+        assert measurements
+        assert len(measurements) % len(METHODS) == 0
+
+    def test_fig8_has_all_methods(self, measurements):
+        rows = fig8_rows(measurements)
+        assert rows
+        for row in rows:
+            assert len(row) == 2 + len(METHODS)
+
+    def test_fig9_counts_monotone(self, measurements):
+        rows = fig9_rows(measurements)
+        for method_index in range(len(METHODS)):
+            counts = [row[1 + method_index] for row in rows]
+            assert counts == sorted(counts)
+
+    def test_fig10_factors_positive(self, measurements):
+        for baseline in ("scan", "zonemap"):
+            for row in fig10_rows(measurements, baseline=baseline):
+                for factor in row[1:]:
+                    if factor is not None:
+                        assert factor > 0
+
+    def test_fig11_rows_normalised(self, measurements):
+        rows = fig11_rows(measurements, selectivity_window=(0.0, 1.0))
+        assert rows
+        for row in rows:
+            # zonemap probes per row == 1 / values-per-cacheline <= 1.
+            zm_probes = row[4]
+            if zm_probes is not None:
+                assert 0 < zm_probes <= 1.0

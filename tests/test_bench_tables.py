@@ -1,0 +1,71 @@
+"""Tests for the benchmark table formatting."""
+
+import pytest
+
+from repro.bench.tables import (
+    format_bytes,
+    format_number,
+    format_seconds,
+    format_table,
+)
+
+
+class TestFormatNumber:
+    def test_ints_group_thousands(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_floats_fixed_or_scientific(self):
+        assert format_number(3.14159) == "3.142"
+        assert format_number(1234567.0) == "1.235e+06"
+        assert format_number(0.00001) == "1.000e-05"
+
+    def test_none_is_dash(self):
+        assert format_number(None) == "-"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_number("imprints") == "imprints"
+
+    def test_bools(self):
+        assert format_number(True) == "True"
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 1024**2) == "3.00 MiB"
+        assert format_bytes(5 * 1024**3) == "5.00 GiB"
+
+
+class TestFormatSeconds:
+    def test_units(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0025) == "2.500 ms"
+        assert format_seconds(2.5e-6) == "2.500 us"
+        assert format_seconds(2.5e-9) == "2.5 ns"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            headers=["name", "value"],
+            rows=[["a", 1], ["bb", 22]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert set(lines[1]) == {"="}
+        # All data lines equally wide.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(headers=["a", "b"], rows=[[1]])
+
+    def test_no_title(self):
+        text = format_table(headers=["x"], rows=[[1]])
+        assert text.splitlines()[0].strip() == "x"

@@ -1,0 +1,109 @@
+"""Tests for the bit-binned WAH bitmap index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnImprints, binning
+from repro.indexes import SequentialScan, WahBitmapIndex
+from repro.predicate import RangePredicate
+from repro.storage import Column, INT
+
+from .conftest import column_for_type, make_clustered, make_random
+
+
+class TestBuild:
+    def test_one_vector_per_bin(self):
+        column = Column(make_random(2_000, np.int32, seed=1))
+        index = WahBitmapIndex(column)
+        assert index.bins == index.histogram.bins
+        for bin_index in range(index.bins):
+            assert index.bin_vector(bin_index).n_bits == len(column)
+
+    def test_shares_imprints_bins(self):
+        """Paper Section 6: 'the bins used are identical to those used
+        for the imprints index'."""
+        column = Column(make_random(2_000, np.int32, seed=2))
+        histogram = binning(column, rng=np.random.default_rng(0))
+        imprints = ColumnImprints(column, histogram=histogram)
+        wah = WahBitmapIndex(column, histogram=histogram)
+        assert wah.histogram is imprints.histogram
+
+    def test_each_row_sets_exactly_one_bin(self):
+        column = Column(make_random(1_500, np.int16, seed=3))
+        index = WahBitmapIndex(column)
+        total = sum(index.bin_vector(b).count() for b in range(index.bins))
+        assert total == len(column)
+
+    def test_nbytes_accounts_words_and_borders(self):
+        column = Column(make_random(1_000, np.int32, seed=4))
+        index = WahBitmapIndex(column)
+        assert index.nbytes == (
+            4 * index.total_words
+            + index.histogram.borders.nbytes
+            + 4 * index.bins
+        )
+
+
+class TestQuery:
+    def test_equals_scan(self, any_ctype):
+        column = column_for_type(any_ctype)
+        index = WahBitmapIndex(column)
+        scan = SequentialScan(column)
+        lo, hi = np.quantile(column.values.astype(np.float64), [0.2, 0.7])
+        assert np.array_equal(
+            index.query_range(float(lo), float(hi)).ids,
+            scan.query_range(float(lo), float(hi)).ids,
+        )
+
+    def test_inner_bins_need_no_comparisons(self):
+        """A query aligned with bin borders has no edge candidates."""
+        column = Column(make_random(5_000, np.int32, seed=5))
+        index = WahBitmapIndex(column)
+        borders = index.histogram.borders
+        low, high = int(borders[5]), int(borders[40])
+        result = index.query(RangePredicate.range(low, high, INT))
+        assert result.stats.value_comparisons == 0
+        expected = np.flatnonzero((column.values >= low) & (column.values < high))
+        assert np.array_equal(result.ids, expected)
+
+    def test_probe_count_is_words_processed(self):
+        column = Column(make_random(5_000, np.int32, seed=6))
+        index = WahBitmapIndex(column)
+        lo, hi = np.quantile(column.values, [0.1, 0.9])
+        result = index.query_range(int(lo), int(hi))
+        # Wide range on random data: most bins touched, so the probe
+        # count approaches the total compressed word count.
+        assert result.stats.index_probes > len(column) // 31
+        assert result.stats.decode_units > 0
+
+    def test_empty_predicate(self):
+        column = Column(make_random(100, np.int32, seed=7))
+        index = WahBitmapIndex(column)
+        assert index.query(RangePredicate(5, 5)).n_ids == 0
+
+    def test_point_query_on_categorical(self):
+        column = Column((np.arange(3_000) % 7).astype(np.int8))
+        index = WahBitmapIndex(column)
+        result = index.query_point(3)
+        expected = np.flatnonzero(column.values == 3)
+        assert np.array_equal(result.ids, expected)
+        # Low cardinality: the bin holds exactly the value, no checks.
+        assert result.stats.value_comparisons == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 300),
+    n=st.integers(1, 600),
+    lo=st.integers(-50, 150),
+    width=st.integers(0, 120),
+)
+def test_wah_bitmap_equals_ground_truth(seed, n, lo, width):
+    rng = np.random.default_rng(seed)
+    column = Column(rng.integers(0, 100, n).astype(np.int32))
+    index = WahBitmapIndex(column, rng=np.random.default_rng(seed))
+    predicate = RangePredicate.range(lo, lo + width, INT)
+    expected = np.flatnonzero(predicate.matches(column.values))
+    assert np.array_equal(index.query(predicate).ids, expected)

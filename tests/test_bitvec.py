@@ -1,0 +1,86 @@
+"""Unit and property tests for the bit-vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitvec import (
+    bits_to_str,
+    hamming,
+    low_bits_mask,
+    popcount,
+    popcount_int,
+    str_to_bits,
+)
+
+
+class TestPopcount:
+    def test_array_popcount(self):
+        vectors = np.array([0, 1, 3, 0xFF, 2**64 - 1], dtype=np.uint64)
+        assert list(popcount(vectors)) == [0, 1, 2, 8, 64]
+
+    def test_int_popcount(self):
+        assert popcount_int(0) == 0
+        assert popcount_int(0b1011) == 3
+
+    def test_int_popcount_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount_int(-1)
+
+
+class TestHamming:
+    def test_known_distances(self):
+        a = np.array([0b1100, 0b1010], dtype=np.uint64)
+        b = np.array([0b1010, 0b1010], dtype=np.uint64)
+        assert list(hamming(a, b)) == [2, 0]
+
+    def test_symmetry(self):
+        a = np.array([123456789], dtype=np.uint64)
+        b = np.array([987654321], dtype=np.uint64)
+        assert hamming(a, b)[0] == hamming(b, a)[0]
+
+
+class TestRendering:
+    def test_bit_zero_prints_first(self):
+        assert bits_to_str(0b1, 4) == "x..."
+        assert bits_to_str(0b1000, 4) == "...x"
+
+    def test_roundtrip(self):
+        text = "x..x..xx"
+        assert bits_to_str(str_to_bits(text), 8) == text
+
+    def test_custom_chars(self):
+        assert bits_to_str(0b101, 3, set_char="#", unset_char="_") == "#_#"
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            bits_to_str(1, 0)
+
+
+class TestMask:
+    def test_low_bits_mask(self):
+        assert low_bits_mask(0) == 0
+        assert low_bits_mask(3) == 0b111
+        assert low_bits_mask(64) == 2**64 - 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            low_bits_mask(65)
+        with pytest.raises(ValueError):
+            low_bits_mask(-1)
+
+
+@given(vector=st.integers(0, 2**64 - 1), width=st.just(64))
+def test_render_roundtrip_property(vector, width):
+    assert str_to_bits(bits_to_str(vector, width)) == vector
+
+
+@given(
+    a=st.integers(0, 2**64 - 1),
+    b=st.integers(0, 2**64 - 1),
+)
+def test_hamming_is_xor_popcount(a, b):
+    arr_a = np.array([a], dtype=np.uint64)
+    arr_b = np.array([b], dtype=np.uint64)
+    assert int(hamming(arr_a, arr_b)[0]) == popcount_int(a ^ b)

@@ -1,0 +1,97 @@
+"""Unit and property tests for the cacheline geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import CACHELINE_BYTES, CachelineGeometry
+
+
+class TestConstruction:
+    def test_paper_default_is_64_bytes(self):
+        assert CACHELINE_BYTES == 64
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError, match="not a multiple"):
+            CachelineGeometry(itemsize=3, cacheline_bytes=64)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CachelineGeometry(itemsize=0)
+        with pytest.raises(ValueError):
+            CachelineGeometry(itemsize=4, cacheline_bytes=0)
+
+    def test_values_per_cacheline(self):
+        assert CachelineGeometry(4).values_per_cacheline == 16
+        assert CachelineGeometry(8, 128).values_per_cacheline == 16
+
+
+class TestMapping:
+    def test_n_cachelines_rounds_up(self):
+        geometry = CachelineGeometry(4)  # 16 values per line
+        assert geometry.n_cachelines(0) == 0
+        assert geometry.n_cachelines(1) == 1
+        assert geometry.n_cachelines(16) == 1
+        assert geometry.n_cachelines(17) == 2
+
+    def test_cacheline_of(self):
+        geometry = CachelineGeometry(4)
+        assert geometry.cacheline_of(0) == 0
+        assert geometry.cacheline_of(15) == 0
+        assert geometry.cacheline_of(16) == 1
+
+    def test_cacheline_of_negative(self):
+        with pytest.raises(IndexError):
+            CachelineGeometry(4).cacheline_of(-1)
+
+    def test_value_range_clamps_tail(self):
+        geometry = CachelineGeometry(4)
+        assert geometry.value_range(0, 20) == (0, 16)
+        assert geometry.value_range(1, 20) == (16, 20)
+
+    def test_value_range_out_of_bounds(self):
+        with pytest.raises(IndexError):
+            CachelineGeometry(4).value_range(2, 20)
+
+    def test_expand_cachelines_sorted_and_clamped(self):
+        geometry = CachelineGeometry(8)  # 8 values per line
+        ids = geometry.expand_cachelines(np.array([0, 2]), n_values=20)
+        assert list(ids) == [0, 1, 2, 3, 4, 5, 6, 7, 16, 17, 18, 19]
+
+    def test_expand_cachelines_empty(self):
+        geometry = CachelineGeometry(8)
+        assert geometry.expand_cachelines(np.array([], dtype=np.int64), 100).size == 0
+
+    def test_slice_bounds_vectorised(self):
+        geometry = CachelineGeometry(4)
+        starts, stops = geometry.slice_bounds(np.array([0, 1, 2]), n_values=40)
+        assert list(starts) == [0, 16, 32]
+        assert list(stops) == [16, 32, 40]
+
+
+@given(
+    itemsize=st.sampled_from([1, 2, 4, 8]),
+    n_values=st.integers(min_value=1, max_value=10_000),
+)
+def test_every_value_maps_to_exactly_one_cacheline(itemsize, n_values):
+    """Partition property: value ranges of all cachelines tile [0, n)."""
+    geometry = CachelineGeometry(itemsize)
+    n_lines = geometry.n_cachelines(n_values)
+    covered = []
+    for line in range(n_lines):
+        start, stop = geometry.value_range(line, n_values)
+        assert start < stop
+        covered.extend(range(start, stop))
+    assert covered == list(range(n_values))
+
+
+@given(
+    itemsize=st.sampled_from([1, 2, 4, 8]),
+    value_id=st.integers(min_value=0, max_value=100_000),
+)
+def test_cacheline_of_agrees_with_value_range(itemsize, value_id):
+    geometry = CachelineGeometry(itemsize)
+    line = geometry.cacheline_of(value_id)
+    start, stop = geometry.value_range(line, value_id + 1)
+    assert start <= value_id < stop

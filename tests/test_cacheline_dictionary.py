@@ -1,0 +1,98 @@
+"""Unit and property tests for the cacheline dictionary structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MAX_CNT, CachelineDictionary
+
+
+def make_dictionary(entries):
+    counts = np.array([c for c, _ in entries], dtype=np.uint32)
+    repeats = np.array([r for _, r in entries], dtype=bool)
+    return CachelineDictionary(counts=counts, repeats=repeats)
+
+
+class TestValidation:
+    def test_parallel_arrays_required(self):
+        with pytest.raises(ValueError, match="parallel"):
+            CachelineDictionary(
+                counts=np.array([1, 2], dtype=np.uint32),
+                repeats=np.array([False], dtype=bool),
+            )
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="counts"):
+            make_dictionary([(0, False)])
+
+    def test_count_cap_is_24_bits(self):
+        assert MAX_CNT == 1 << 24
+        with pytest.raises(ValueError):
+            make_dictionary([(MAX_CNT, False)])
+        # The largest storable value fits.
+        make_dictionary([(MAX_CNT - 1, True)])
+
+    def test_nbytes_is_4_per_entry(self):
+        """The paper's packed struct: cnt:24 + repeat:1 + flags:7."""
+        dictionary = make_dictionary([(1, False), (5, True), (2, False)])
+        assert dictionary.nbytes == 12
+
+
+class TestFigure2Example:
+    """The paper's Figure 2: 23 cachelines, entries (7,0),(13,1),(3,0)."""
+
+    def test_counts(self):
+        dictionary = make_dictionary([(7, False), (13, True), (3, False)])
+        assert dictionary.n_entries == 3
+        assert dictionary.n_cachelines == 23
+        assert dictionary.n_imprint_rows == 7 + 1 + 3  # 11 stored vectors
+
+    def test_expand_rows(self):
+        dictionary = make_dictionary([(7, False), (13, True), (3, False)])
+        rows = dictionary.expand_rows()
+        assert list(rows[:7]) == [0, 1, 2, 3, 4, 5, 6]
+        assert list(rows[7:20]) == [7] * 13
+        assert list(rows[20:]) == [8, 9, 10]
+
+    def test_offsets(self):
+        dictionary = make_dictionary([(7, False), (13, True), (3, False)])
+        assert list(dictionary.row_offsets()) == [0, 7, 8, 11]
+        assert list(dictionary.cacheline_offsets()) == [0, 7, 20, 23]
+
+    def test_entry_of_cacheline(self):
+        dictionary = make_dictionary([(7, False), (13, True), (3, False)])
+        assert dictionary.entry_of_cacheline(0) == 0
+        assert dictionary.entry_of_cacheline(6) == 0
+        assert dictionary.entry_of_cacheline(7) == 1
+        assert dictionary.entry_of_cacheline(19) == 1
+        assert dictionary.entry_of_cacheline(20) == 2
+        assert dictionary.entry_of_cacheline(22) == 2
+
+    def test_entry_of_cacheline_out_of_range(self):
+        dictionary = make_dictionary([(2, False)])
+        with pytest.raises(IndexError):
+            dictionary.entry_of_cacheline(2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(1, 50), st.booleans()), min_size=1, max_size=40
+    )
+)
+def test_expand_rows_matches_naive_expansion(entries):
+    """The vectorised expansion equals the obvious per-entry loop."""
+    dictionary = make_dictionary(entries)
+    expected = []
+    row = 0
+    for count, repeat in entries:
+        if repeat:
+            expected.extend([row] * count)
+            row += 1
+        else:
+            expected.extend(range(row, row + count))
+            row += count
+    assert list(dictionary.expand_rows()) == expected
+    assert dictionary.n_imprint_rows == row
+    assert dictionary.n_cachelines == len(expected)

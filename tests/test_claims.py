@@ -1,0 +1,44 @@
+"""CI-scale run of the paper-claim verification harness."""
+
+import pytest
+
+from repro.bench import get_context, run_query_sweep
+from repro.bench.verification import render_claims, verify_claims
+
+SCALE = 0.2  # large enough for the statistical claims to stabilise
+
+
+@pytest.fixture(scope="module")
+def results():
+    context = get_context(scale=SCALE)
+    measurements = run_query_sweep(context)
+    return verify_claims(context, measurements)
+
+
+def test_all_claims_have_citations(results):
+    assert len(results) >= 10
+    for claim in results:
+        assert claim.citation
+        assert claim.detail
+        assert claim.claim_id
+
+
+def test_structural_claims_pass(results):
+    """The claims that must hold at any scale (they are structural, not
+    statistical): compression, probe accounting, correctness."""
+    by_id = {claim.claim_id: claim for claim in results}
+    for claim_id in ("S3", "C1", "P1", "P2", "X1"):
+        assert by_id[claim_id].passed, by_id[claim_id].detail
+
+
+def test_statistical_claims_mostly_pass(results):
+    """Size/time medians can wobble at reduced scale; require a
+    supermajority rather than perfection."""
+    passed = sum(1 for claim in results if claim.passed)
+    assert passed >= len(results) - 1, render_claims(results)
+
+
+def test_render_claims_table(results):
+    text = render_claims(results)
+    assert "claims verified" in text
+    assert "PASS" in text

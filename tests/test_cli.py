@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--scale", "0.05"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "2"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(SCALE + ["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "routing" in out
+
+    def test_summary(self, capsys):
+        assert main(SCALE + ["summary", "routing", "trips.lat"]) == 0
+        out = capsys.readouterr().out
+        assert "entropy" in out
+        assert "index size" in out
+
+    def test_print(self, capsys):
+        assert main(SCALE + ["print", "cnet", "cnet.attr18", "--lines", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "E = " in out
+        assert set(out.splitlines()[1]) <= {"x", "."}
+
+    def test_entropy(self, capsys):
+        assert main(SCALE + ["entropy", "routing"]) == 0
+        out = capsys.readouterr().out
+        assert "trips.lat" in out
+        assert "imprints %" in out
+
+    def test_query_all_methods_agree(self, capsys):
+        code = main(SCALE + ["query", "tpch", "part.p_retailprice", "950", "1250"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("True") == 4
+        assert "False" not in out
+
+    def test_unknown_column_is_an_error(self):
+        code = main(SCALE + ["summary", "routing", "trips.nope"])
+        assert code == 2
+
+    @pytest.mark.parametrize("number", ["4", "6"])
+    def test_figures_without_sweep(self, capsys, number):
+        assert main(SCALE + ["figure", number]) == 0
+        assert f"Figure {number}" in capsys.readouterr().out

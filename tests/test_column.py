@@ -1,0 +1,93 @@
+"""Unit tests for the Column container."""
+
+import numpy as np
+import pytest
+
+from repro.storage import INT, REAL, Column
+
+
+class TestConstruction:
+    def test_infers_type_from_dtype(self):
+        column = Column(np.arange(10, dtype=np.int32))
+        assert column.ctype is INT
+
+    def test_explicit_type_casts(self):
+        column = Column([1.5, 2.5], ctype=REAL)
+        assert column.values.dtype == np.float32
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Column(np.zeros((3, 3), dtype=np.int32))
+
+    def test_backing_array_is_read_only(self):
+        column = Column(np.arange(5, dtype=np.int32))
+        with pytest.raises(ValueError):
+            column.values[0] = 99
+
+    def test_container_protocol(self):
+        column = Column(np.array([3, 1, 2], dtype=np.int32))
+        assert len(column) == 3
+        assert column[1] == 1
+        assert list(column) == [3, 1, 2]
+
+
+class TestGeometry:
+    def test_n_cachelines(self):
+        column = Column(np.arange(33, dtype=np.int32))  # 16 per line
+        assert column.n_cachelines == 3
+        assert column.values_per_cacheline == 16
+
+    def test_cacheline_values_tail(self):
+        column = Column(np.arange(20, dtype=np.int32))
+        assert list(column.cacheline_values(1)) == list(range(16, 20))
+
+    def test_nbytes(self):
+        column = Column(np.arange(10, dtype=np.int64))
+        assert column.nbytes == 80
+
+    def test_custom_cacheline_bytes(self):
+        column = Column(np.arange(32, dtype=np.int32), cacheline_bytes=32)
+        assert column.values_per_cacheline == 8
+        assert column.n_cachelines == 4
+
+
+class TestStatistics:
+    def test_cardinality(self):
+        column = Column(np.array([1, 1, 2, 2, 3], dtype=np.int32))
+        assert column.cardinality == 3
+
+    def test_is_sorted(self):
+        assert Column(np.array([1, 2, 2, 5], dtype=np.int32)).is_sorted
+        assert not Column(np.array([2, 1], dtype=np.int32)).is_sorted
+        assert Column(np.array([], dtype=np.int32)).is_sorted
+
+    def test_min_max(self):
+        column = Column(np.array([5, -2, 9], dtype=np.int32))
+        assert column.min() == -2
+        assert column.max() == 9
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Column(np.array([], dtype=np.int32)).min()
+
+
+class TestDerivation:
+    def test_appended_preserves_type_and_name(self):
+        column = Column(np.arange(5, dtype=np.int32), name="t.x")
+        longer = column.appended([10, 11])
+        assert len(longer) == 7
+        assert longer.name == "t.x"
+        assert longer.ctype is column.ctype
+        assert list(longer.values[-2:]) == [10, 11]
+        # The original is untouched.
+        assert len(column) == 5
+
+    def test_with_value(self):
+        column = Column(np.arange(5, dtype=np.int32))
+        updated = column.with_value(2, 99)
+        assert updated[2] == 99
+        assert column[2] == 2
+
+    def test_with_value_out_of_range(self):
+        with pytest.raises(IndexError):
+            Column(np.arange(5, dtype=np.int32)).with_value(5, 0)

@@ -1,0 +1,95 @@
+"""Tests for the memory-traffic cost model."""
+
+import pytest
+
+from repro.index_base import QueryStats
+from repro.sim import DEFAULT_COST_MODEL, CostModel
+
+
+class TestQueryTime:
+    def test_zero_stats_zero_time(self):
+        assert DEFAULT_COST_MODEL.query_time(QueryStats()) == 0.0
+
+    def test_each_counter_contributes(self):
+        model = CostModel()
+        base = model.query_time(QueryStats())
+        for field, value in [
+            ("index_probes", 1000),
+            ("value_comparisons", 1000),
+            ("cachelines_fetched", 1000),
+            ("ids_materialized", 1000),
+            ("index_bytes_read", 10**6),
+            ("decode_units", 1000),
+        ]:
+            stats = QueryStats(**{field: value})
+            assert model.query_time(stats) > base, field
+
+    def test_monotone_in_traffic(self):
+        model = CostModel()
+        small = QueryStats(cachelines_fetched=10, value_comparisons=100)
+        large = QueryStats(cachelines_fetched=1000, value_comparisons=10_000)
+        assert model.query_time(small) < model.query_time(large)
+
+    def test_linearity(self):
+        model = CostModel()
+        stats = QueryStats(
+            index_probes=10,
+            value_comparisons=20,
+            cachelines_fetched=30,
+            ids_materialized=40,
+            index_bytes_read=50,
+            decode_units=60,
+        )
+        double = QueryStats(
+            index_probes=20,
+            value_comparisons=40,
+            cachelines_fetched=60,
+            ids_materialized=80,
+            index_bytes_read=100,
+            decode_units=120,
+        )
+        assert model.query_time(double) == pytest.approx(
+            2 * model.query_time(stats)
+        )
+
+
+class TestScanTime:
+    def test_scales_with_rows(self):
+        model = CostModel()
+        assert model.scan_time(10**6, 4, 0) > model.scan_time(10**3, 4, 0)
+
+    def test_wider_types_cost_more_bandwidth(self):
+        model = CostModel()
+        assert model.scan_time(10**6, 8, 0) > model.scan_time(10**6, 1, 0)
+
+    def test_result_materialisation_charged(self):
+        model = CostModel()
+        assert model.scan_time(1000, 4, 1000) > model.scan_time(1000, 4, 0)
+
+
+class TestCalibration:
+    def test_random_fetch_pricier_than_sequential(self):
+        """A randomly fetched cacheline must cost more than streaming
+        the same 64 bytes, else indexes would always win."""
+        model = DEFAULT_COST_MODEL
+        sequential = 64 / model.sequential_bandwidth
+        assert model.random_cacheline_latency > sequential
+
+    def test_custom_model_overrides(self):
+        model = CostModel(comparison_cost=1.0)
+        stats = QueryStats(value_comparisons=3)
+        assert model.query_time(stats) == pytest.approx(3.0)
+
+
+class TestStatsMerge:
+    def test_merge_accumulates_all_fields(self):
+        a = QueryStats(index_probes=1, value_comparisons=2, cachelines_fetched=3,
+                       ids_materialized=4, full_cachelines=5, partial_cachelines=6,
+                       index_bytes_read=7, decode_units=8)
+        b = QueryStats(index_probes=10, value_comparisons=20, cachelines_fetched=30,
+                       ids_materialized=40, full_cachelines=50, partial_cachelines=60,
+                       index_bytes_read=70, decode_units=80)
+        a.merge(b)
+        assert (a.index_probes, a.value_comparisons, a.cachelines_fetched,
+                a.ids_materialized, a.full_cachelines, a.partial_cachelines,
+                a.index_bytes_read, a.decode_units) == (11, 22, 33, 44, 55, 66, 77, 88)

@@ -1,0 +1,115 @@
+"""Unit and property tests for delta structures (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import SequentialScan
+from repro.storage import Column, DeltaColumn
+
+
+def base_column(n: int = 100) -> Column:
+    return Column(np.arange(n, dtype=np.int32), name="t.x")
+
+
+class TestRecording:
+    def test_append_extends_logical_rows(self):
+        delta = DeltaColumn(base_column())
+        delta.append([100, 101])
+        assert delta.n_rows == 102
+        assert list(delta.appended_values) == [100, 101]
+
+    def test_update_and_delete_bounds_checked(self):
+        delta = DeltaColumn(base_column())
+        with pytest.raises(IndexError):
+            delta.update(100, 0)
+        with pytest.raises(IndexError):
+            delta.delete(100)
+
+    def test_update_after_delete_rejected(self):
+        delta = DeltaColumn(base_column())
+        delta.delete(5)
+        with pytest.raises(ValueError, match="deleted"):
+            delta.update(5, 1)
+
+    def test_delete_clears_pending_update(self):
+        delta = DeltaColumn(base_column())
+        delta.update(5, 999)
+        delta.delete(5)
+        assert 5 not in set(delta.updated_ids)
+
+    def test_n_pending(self):
+        delta = DeltaColumn(base_column())
+        delta.append([1, 2, 3])
+        delta.update(0, 9)
+        delta.delete(1)
+        assert delta.n_pending == 5
+
+
+class TestMaterialize:
+    def test_applies_everything(self):
+        delta = DeltaColumn(base_column(5))
+        delta.append([50])
+        delta.update(0, 42)
+        delta.delete(2)
+        merged = delta.materialize()
+        assert list(merged.values) == [42, 1, 3, 4, 50]
+
+
+class TestMergeResult:
+    def test_pure_append_merge(self):
+        delta = DeltaColumn(base_column(10))
+        delta.append([3, 100])
+        base_ids = np.array([3, 4], dtype=np.int64)  # answer of [3, 5)
+        merged = delta.merge_result(base_ids, 3, 5)
+        assert list(merged) == [3, 4, 10]  # appended 3 is id 10
+
+    def test_update_requalifies(self):
+        delta = DeltaColumn(base_column(10))
+        delta.update(7, 4)  # 7 now qualifies for [3, 5)
+        delta.update(3, 99)  # 3 no longer qualifies
+        merged = delta.merge_result(np.array([3, 4], dtype=np.int64), 3, 5)
+        assert list(merged) == [4, 7]
+
+    def test_delete_removes(self):
+        delta = DeltaColumn(base_column(10))
+        delta.delete(4)
+        merged = delta.merge_result(np.array([3, 4], dtype=np.int64), 3, 5)
+        assert list(merged) == [3]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_updates=st.integers(0, 30),
+    n_deletes=st.integers(0, 20),
+    n_appends=st.integers(0, 40),
+)
+def test_delta_merge_equals_scan_of_materialized(seed, n_updates, n_deletes, n_appends):
+    """The central delta invariant: base-index answer + merge equals a
+    scan over the fully materialised column (modulo id compaction)."""
+    generator = np.random.default_rng(seed)
+    base = Column(generator.integers(0, 50, 200).astype(np.int32))
+    delta = DeltaColumn(base)
+    for _ in range(n_updates):
+        delta.update(int(generator.integers(0, 200)), int(generator.integers(0, 50)))
+    for _ in range(n_deletes):
+        victim = int(generator.integers(0, 200))
+        if victim not in set(delta.deleted_ids):
+            delta.delete(victim)
+    if n_appends:
+        delta.append(generator.integers(0, 50, n_appends).astype(np.int32))
+
+    low, high = 10, 30
+    base_answer = SequentialScan(base).query_range(low, high)
+    merged = delta.merge_result(base_answer.ids, low, high)
+    truth = SequentialScan(delta.materialize()).query_range(low, high)
+    # Deletions compact ids in the materialised column, so compare the
+    # selected value multisets, which are invariant.
+    logical = np.concatenate([delta.base.values, delta.appended_values])
+    for vid, value in delta.updated_items():
+        logical[vid] = value
+    lhs = np.sort(logical[merged])
+    rhs = np.sort(delta.materialize().values[truth.ids])
+    assert np.array_equal(lhs, rhs)

@@ -1,0 +1,73 @@
+"""Unit tests for string dictionary encoding."""
+
+import numpy as np
+import pytest
+
+from repro.storage import StringDictionary, encode_strings
+
+
+class TestStringDictionary:
+    def test_sorted_codes_preserve_lexicographic_order(self):
+        dictionary = StringDictionary(["delta", "alpha", "charlie", "bravo"])
+        assert dictionary.strings == ["alpha", "bravo", "charlie", "delta"]
+        codes = [dictionary.encode_one(s) for s in dictionary.strings]
+        assert codes == [0, 1, 2, 3]
+
+    def test_encode_decode_roundtrip(self):
+        values = ["b", "a", "c", "a", "b"]
+        dictionary = StringDictionary(values)
+        codes = dictionary.encode(values)
+        assert dictionary.decode(codes) == values
+
+    def test_duplicates_collapse(self):
+        dictionary = StringDictionary(["x", "x", "x"])
+        assert len(dictionary) == 1
+
+    def test_unknown_string_raises(self):
+        dictionary = StringDictionary(["a"])
+        with pytest.raises(KeyError, match="not in the dictionary"):
+            dictionary.encode_one("b")
+
+    def test_decode_out_of_range(self):
+        dictionary = StringDictionary(["a"])
+        with pytest.raises(IndexError):
+            dictionary.decode_one(1)
+
+    def test_contains(self):
+        dictionary = StringDictionary(["a", "b"])
+        assert "a" in dictionary
+        assert "z" not in dictionary
+
+    def test_encode_range_half_open(self):
+        dictionary = StringDictionary(["ATL", "BOS", "DEN", "LAX", "SEA"])
+        lo, hi = dictionary.encode_range("BOS", "LAX")
+        codes = dictionary.encode(["ATL", "BOS", "DEN", "LAX", "SEA"])
+        selected = [
+            s
+            for s, c in zip(["ATL", "BOS", "DEN", "LAX", "SEA"], codes)
+            if lo <= c < hi
+        ]
+        assert selected == ["BOS", "DEN"]
+
+    def test_encode_range_nonmember_bounds(self):
+        dictionary = StringDictionary(["b", "d", "f"])
+        lo, hi = dictionary.encode_range("a", "e")
+        # strings in ["a", "e"): b and d.
+        assert (lo, hi) == (0, 2)
+
+
+class TestEncodeStrings:
+    def test_returns_indexable_code_column(self):
+        column, dictionary = encode_strings(["b", "a", "b"], name="t.s")
+        assert column.values.dtype == np.int32
+        assert list(column.values) == [1, 0, 1]
+        assert column.name == "t.s"
+        assert len(dictionary) == 2
+
+    def test_range_query_through_codes_matches_string_predicate(self):
+        values = ["SEA", "ATL", "DEN", "BOS", "LAX", "ATL", "SEA"]
+        column, dictionary = encode_strings(values)
+        lo, hi = dictionary.encode_range("B", "M")
+        hits = [v for v in values if "B" <= v < "M"]
+        mask = (column.values >= lo) & (column.values < hi)
+        assert sorted(np.array(values)[mask]) == sorted(hits)

@@ -1,0 +1,128 @@
+"""Tests for disjunctive queries and candidate set operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ColumnImprints,
+    candidate_difference,
+    candidate_union,
+    disjunctive_query,
+)
+from repro.predicate import RangePredicate
+from repro.storage import Column
+
+from .conftest import make_clustered, make_random
+
+
+def truth_or(columns, predicates):
+    keep = np.zeros(len(columns[0]), dtype=bool)
+    for column, predicate in zip(columns, predicates):
+        keep |= predicate.matches(column.values)
+    return np.flatnonzero(keep).astype(np.int64)
+
+
+class TestCandidateSetOps:
+    def test_union(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([3, 4], dtype=np.int64)
+        assert list(candidate_union(a, b)) == [1, 3, 4, 5]
+
+    def test_difference(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([3, 4], dtype=np.int64)
+        assert list(candidate_difference(a, b)) == [1, 5]
+
+    def test_empty_operands(self):
+        empty = np.array([], dtype=np.int64)
+        a = np.array([2], dtype=np.int64)
+        assert list(candidate_union(empty, a)) == [2]
+        assert list(candidate_difference(a, empty)) == [2]
+        assert list(candidate_difference(empty, a)) == []
+
+
+class TestDisjunctiveQuery:
+    def test_two_ranges_same_column(self):
+        column = Column(make_clustered(10_000, np.int32, seed=1), name="t.x")
+        index = ColumnImprints(column)
+        lo1, hi1 = np.quantile(column.values, [0.1, 0.2])
+        lo2, hi2 = np.quantile(column.values, [0.8, 0.9])
+        predicates = [
+            RangePredicate.range(int(lo1), int(hi1), column.ctype),
+            RangePredicate.range(int(lo2), int(hi2), column.ctype),
+        ]
+        result = disjunctive_query([index, index], predicates)
+        assert np.array_equal(result.ids, truth_or([column, column], predicates))
+
+    def test_or_across_columns(self):
+        a = Column(make_clustered(8_000, np.int32, seed=2), name="t.a")
+        b = Column(make_random(8_000, np.int32, seed=3), name="t.b")
+        predicates = [
+            RangePredicate.range(9_000, 10_000, a.ctype),
+            RangePredicate.range(0, 5_000, b.ctype),
+        ]
+        result = disjunctive_query(
+            [ColumnImprints(a), ColumnImprints(b)], predicates
+        )
+        assert np.array_equal(result.ids, truth_or([a, b], predicates))
+
+    def test_overlapping_ranges_deduplicate(self):
+        column = Column(np.arange(2_000, dtype=np.int32))
+        index = ColumnImprints(column)
+        predicates = [
+            RangePredicate.range(100, 600, column.ctype),
+            RangePredicate.range(400, 900, column.ctype),
+        ]
+        result = disjunctive_query([index, index], predicates)
+        assert list(result.ids) == list(range(100, 900))
+
+    def test_empty_sides(self):
+        column = Column(make_random(3_000, np.int32, seed=4))
+        index = ColumnImprints(column)
+        predicates = [RangePredicate(5, 5), RangePredicate(9, 9)]
+        assert disjunctive_query([index, index], predicates).n_ids == 0
+
+    def test_validation(self):
+        column = Column(make_random(100, np.int32, seed=5))
+        index = ColumnImprints(column)
+        with pytest.raises(ValueError, match="one predicate per index"):
+            disjunctive_query([index], [])
+        short = ColumnImprints(Column(make_random(50, np.int32, seed=6)))
+        with pytest.raises(ValueError, match="equally long"):
+            disjunctive_query(
+                [index, short],
+                [RangePredicate.everything(), RangePredicate.everything()],
+            )
+
+    def test_full_cachelines_skip_value_checks(self):
+        """A bin-aligned predicate contributes its ids without checks."""
+        column = Column(np.repeat(np.arange(8, dtype=np.int8), 640))
+        index = ColumnImprints(column)
+        result = disjunctive_query([index], [RangePredicate.everything()])
+        assert result.n_ids == len(column)
+        assert result.stats.value_comparisons == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 300),
+    bounds=st.lists(
+        st.tuples(st.integers(0, 90), st.integers(0, 40)),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_disjunction_equals_ground_truth(seed, bounds):
+    rng = np.random.default_rng(seed)
+    column = Column(rng.integers(0, 100, 800).astype(np.int16))
+    index = ColumnImprints(column)
+    predicates = [
+        RangePredicate.range(lo, lo + width, column.ctype)
+        for lo, width in bounds
+    ]
+    result = disjunctive_query([index] * len(predicates), predicates)
+    assert np.array_equal(
+        result.ids, truth_or([column] * len(predicates), predicates)
+    )

@@ -1,0 +1,160 @@
+"""Edge-case and failure-injection tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColumnImprints,
+    ImprintsBuilder,
+    MultiLevelImprints,
+    binning,
+)
+from repro.indexes import SequentialScan, WahBitmapIndex, ZoneMap
+from repro.predicate import RangePredicate
+from repro.storage import Column, DOUBLE, INT, LONG
+
+
+class TestDegenerateColumns:
+    def test_single_value_column_all_indexes(self):
+        column = Column(np.array([42], dtype=np.int32))
+        for index in (ColumnImprints(column), ZoneMap(column),
+                      WahBitmapIndex(column), SequentialScan(column)):
+            assert list(index.query_point(42).ids) == [0]
+            assert index.query_point(41).n_ids == 0
+
+    def test_column_shorter_than_one_cacheline(self):
+        column = Column(np.array([5, 1, 9], dtype=np.int64))  # vpc = 8
+        index = ColumnImprints(column)
+        assert index.data.n_cachelines == 1
+        assert list(index.query_range(1, 6).ids) == [0, 1]
+
+    def test_all_identical_values(self):
+        column = Column(np.full(10_000, 7, dtype=np.int32))
+        index = ColumnImprints(column)
+        assert index.query_point(7).n_ids == 10_000
+        assert index.query_point(8).n_ids == 0
+        # Maximal compression: a single stored vector.
+        assert index.data.imprints.shape[0] == 1
+
+    def test_two_distinct_values_in_runs(self):
+        """The Airtraffic two-value case the paper calls out ("they only
+        contain two distinct values, thus allowing both WAH and imprints
+        to fully compress"): values arriving in long runs compress fully
+        under both schemes."""
+        column = Column(
+            np.repeat(np.tile([0, 1], 10), 5_000).astype(np.int8)
+        )
+        imprints = ColumnImprints(column)
+        wah = WahBitmapIndex(column, histogram=imprints.histogram)
+        assert imprints.overhead < 0.01
+        assert wah.overhead < 0.01
+        assert np.array_equal(
+            imprints.query_point(1).ids, wah.query_point(1).ids
+        )
+
+    def test_two_distinct_values_interleaved_defeats_wah_not_imprints(self):
+        """Interleaving the same two values flips the outcome for WAH
+        (alternating bits have no runs) while imprints stay fully
+        compressed — the order-immunity claim of Section 1."""
+        column = Column(np.tile([0, 1], 50_000).astype(np.int8))
+        imprints = ColumnImprints(column)
+        wah = WahBitmapIndex(column, histogram=imprints.histogram)
+        assert imprints.overhead < 0.01
+        assert wah.overhead > 0.10
+        assert np.array_equal(
+            imprints.query_point(1).ids, wah.query_point(1).ids
+        )
+
+    def test_extreme_domain_values_int64(self):
+        lo, hi = np.iinfo(np.int64).min, np.iinfo(np.int64).max
+        column = Column(np.array([lo, -1, 0, 1, hi], dtype=np.int64))
+        index = ColumnImprints(column)
+        scan = SequentialScan(column)
+        for predicate in (
+            RangePredicate.range(lo, hi, LONG, high_inclusive=True),
+            RangePredicate.point(lo, LONG),
+            RangePredicate.point(hi, LONG),
+            RangePredicate.range(-5, 5, LONG),
+        ):
+            assert np.array_equal(
+                index.query(predicate).ids, scan.query(predicate).ids
+            ), predicate
+
+    def test_negative_floats_with_infinite_like_spread(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate([
+            rng.normal(-1e30, 1e28, 1000),
+            rng.normal(1e-30, 1e-32, 1000),
+        ]).astype(np.float64)
+        column = Column(values)
+        index = ColumnImprints(column)
+        scan = SequentialScan(column)
+        predicate = RangePredicate.range(-1e31, 0.0, DOUBLE)
+        assert np.array_equal(
+            index.query(predicate).ids, scan.query(predicate).ids
+        )
+
+
+class TestSmallCachelines:
+    @pytest.mark.parametrize("cacheline_bytes", [8, 16, 32, 512])
+    def test_unusual_geometries_stay_correct(self, cacheline_bytes):
+        rng = np.random.default_rng(3)
+        column = Column(
+            rng.integers(0, 1000, 3_000).astype(np.int32),
+            cacheline_bytes=cacheline_bytes,
+        )
+        index = ColumnImprints(column)
+        scan = SequentialScan(column)
+        assert np.array_equal(
+            index.query_range(100, 400).ids, scan.query_range(100, 400).ids
+        )
+
+    def test_vpc_one(self):
+        """One value per cacheline: imprints degenerate to a (binned)
+        per-value bitmap and must still answer correctly."""
+        rng = np.random.default_rng(4)
+        column = Column(
+            rng.integers(0, 100, 500).astype(np.int64), cacheline_bytes=8
+        )
+        assert column.values_per_cacheline == 1
+        index = ColumnImprints(column)
+        scan = SequentialScan(column)
+        assert np.array_equal(
+            index.query_range(10, 60).ids, scan.query_range(10, 60).ids
+        )
+
+
+class TestPredicateEdges:
+    def test_inverted_bounds_empty(self):
+        column = Column(np.arange(100, dtype=np.int32))
+        index = ColumnImprints(column)
+        assert index.query_range(50, 10).n_ids == 0
+
+    def test_range_far_above_domain(self):
+        column = Column(np.arange(100, dtype=np.int32))
+        index = ColumnImprints(column)
+        assert index.query_range(10**9, 2 * 10**9).n_ids == 0
+
+    def test_range_spanning_entire_int_domain(self):
+        column = Column(np.arange(100, dtype=np.int32))
+        index = ColumnImprints(column)
+        result = index.query_range(INT.min_value, INT.max_value,
+                                   high_inclusive=True)
+        assert result.n_ids == 100
+
+
+class TestBuilderMisuse:
+    def test_histogram_of_wrong_type_still_bins(self):
+        """Feeding int16 values through an int32 histogram casts them;
+        results stay consistent with the cast."""
+        column32 = Column(np.arange(0, 1000, dtype=np.int32))
+        histogram = binning(column32)
+        builder = ImprintsBuilder(histogram, 16)
+        builder.feed(np.arange(0, 1000, dtype=np.int16))
+        assert builder.snapshot().n_values == 1000
+
+    def test_multilevel_on_tiny_column(self):
+        column = Column(np.arange(10, dtype=np.int32))
+        index = MultiLevelImprints(column, fanout=4)
+        assert index.n_groups == 1
+        assert list(index.query_range(3, 7).ids) == [3, 4, 5, 6]

@@ -1,0 +1,92 @@
+"""Tests for the column entropy metric (paper Section 6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnImprints, column_entropy, entropy_of_vectors
+from repro.storage import Column
+
+from .conftest import make_clustered, make_random
+
+
+class TestVectorEntropy:
+    def test_empty_and_single(self):
+        assert entropy_of_vectors(np.array([], dtype=np.uint64)) == 0.0
+        assert entropy_of_vectors(np.array([0b1011], dtype=np.uint64)) == 0.0
+
+    def test_identical_vectors_zero_entropy(self):
+        vectors = np.full(100, 0b1100, dtype=np.uint64)
+        assert entropy_of_vectors(vectors) == 0.0
+
+    def test_alternating_disjoint_vectors_max_entropy(self):
+        """Fully redrawn bits every step: E == (n-1)/n -> 1."""
+        vectors = np.array([0b0011, 0b1100] * 500, dtype=np.uint64)
+        entropy = entropy_of_vectors(vectors)
+        assert entropy == pytest.approx(999 / 1000, abs=1e-9)
+
+    def test_formula_by_hand(self):
+        # vectors: 0b01, 0b11, 0b10
+        # d = 1 + 1 = 2 ; sum b = 1 + 2 + 1 = 4 ; E = 2 / 8 = 0.25
+        vectors = np.array([0b01, 0b11, 0b10], dtype=np.uint64)
+        assert entropy_of_vectors(vectors) == pytest.approx(0.25)
+
+    def test_all_zero_vectors(self):
+        assert entropy_of_vectors(np.zeros(10, dtype=np.uint64)) == 0.0
+
+
+class TestColumnEntropy:
+    def test_sorted_below_random(self):
+        values = make_random(30_000, np.int32, seed=1)
+        sorted_entropy = column_entropy(Column(np.sort(values)))
+        random_entropy = column_entropy(Column(values))
+        assert sorted_entropy < 0.1
+        assert random_entropy > 0.5
+        assert sorted_entropy < random_entropy
+
+    def test_clustered_in_between(self):
+        clustered = column_entropy(Column(make_clustered(30_000, np.int32, seed=2)))
+        assert 0.0 < clustered < 0.5
+
+    def test_bounds(self):
+        for seed in range(5):
+            entropy = column_entropy(Column(make_random(5_000, np.int32, seed=seed)))
+            assert 0.0 <= entropy <= 1.0
+
+    def test_accepts_prebuilt_imprints(self):
+        column = Column(make_clustered(10_000, np.int32, seed=3))
+        index = ColumnImprints(column)
+        from_data = column_entropy(index.data)
+        assert 0.0 <= from_data <= 1.0
+
+    def test_empty_column(self):
+        assert column_entropy(Column(np.array([], dtype=np.int32))) == 0.0
+
+    def test_constant_column_zero(self):
+        assert column_entropy(Column(np.full(5_000, 9, dtype=np.int32))) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    vectors=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=200)
+)
+def test_entropy_always_in_unit_interval(vectors):
+    """E <= 1 because d(i,i-1) <= b(i) + b(i-1) and each b(i) appears in
+    at most two distance terms."""
+    array = np.array(vectors, dtype=np.uint64)
+    entropy = entropy_of_vectors(array)
+    assert 0.0 <= entropy <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    vectors=st.lists(st.integers(0, 2**32 - 1), min_size=2, max_size=100),
+    repeat=st.integers(2, 5),
+)
+def test_repeating_each_vector_lowers_entropy(vectors, repeat):
+    """Injecting local clustering (repeating each vector) cannot raise
+    entropy: distances stay, popcount mass grows."""
+    base = np.array(vectors, dtype=np.uint64)
+    stretched = np.repeat(base, repeat)
+    assert entropy_of_vectors(stretched) <= entropy_of_vectors(base) + 1e-12

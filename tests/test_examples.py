@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are user-facing documentation; breaking one is a release
+blocker, so they execute here (at their default scale they finish in
+seconds).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_the_promised_scripts():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # every example narrates what it did

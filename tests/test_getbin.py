@@ -1,0 +1,82 @@
+"""Tests for the scalar get_bin ports (paper Section 2.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComparisonCounter, UnrolledGetBin, binning, get_bin_loop
+from repro.core.getbin import generate_unrolled_getbin
+from repro.storage import Column
+
+from .conftest import make_random
+
+
+class TestLoopSearch:
+    def test_matches_searchsorted_on_real_histogram(self):
+        column = Column(make_random(5_000, np.int32, seed=1))
+        histogram = binning(column)
+        for value in column.values[:300]:
+            assert (
+                get_bin_loop(histogram.borders, histogram.bins, value)
+                == histogram.get_bin(value)
+            )
+
+    def test_counts_comparisons_log2_bins(self):
+        column = Column(make_random(5_000, np.int32, seed=2))
+        histogram = binning(column)
+        counter = ComparisonCounter()
+        get_bin_loop(histogram.borders, histogram.bins, column.values[0], counter)
+        assert counter.count == 6  # log2(64)
+
+
+class TestUnrolledGeneration:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            generate_unrolled_getbin(12)
+        with pytest.raises(ValueError):
+            generate_unrolled_getbin(1)
+
+    def test_source_has_no_else(self):
+        """Section 2.5: if-statements without any else-branching."""
+        source = generate_unrolled_getbin(64)
+        assert "else" not in source
+
+    def test_charges_18_comparisons_for_64_bins(self):
+        """The paper's 3 x log2(64) = 18 comparisons cost claim."""
+        unrolled = UnrolledGetBin(64)
+        counter = ComparisonCounter()
+        borders = np.arange(1, 65, dtype=np.int64)
+        unrolled(borders, 17, counter)
+        assert counter.count == 18
+
+    @pytest.mark.parametrize("bins", [2, 4, 8, 16, 32, 64])
+    def test_exhaustive_against_rank_rule(self, bins):
+        """For every value position around every border, the unrolled
+        search returns the border rank."""
+        borders = np.arange(10, 10 * (bins + 1), 10, dtype=np.int64)[:bins]
+        unrolled = UnrolledGetBin(bins)
+        for probe in range(0, 10 * bins + 15):
+            expected = int(np.count_nonzero(borders[: bins - 1] <= probe))
+            assert unrolled(borders, probe) == expected, probe
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bins=st.sampled_from([8, 16, 32, 64]),
+    data=st.lists(st.integers(-(10**6), 10**6), min_size=1, max_size=200),
+    probes=st.lists(st.integers(-(10**6), 10**6), min_size=1, max_size=20),
+)
+def test_three_implementations_agree(bins, data, probes):
+    """loop == unrolled == searchsorted on arbitrary histograms."""
+    column = Column(np.array(data, dtype=np.int64))
+    histogram = binning(column, max_bins=bins, rng=np.random.default_rng(0))
+    # Low-cardinality data rounds the bin count down; the unrolled
+    # search must be generated for the *actual* histogram width.
+    unrolled = UnrolledGetBin(histogram.bins)
+    for probe in probes:
+        value = np.int64(probe)
+        a = histogram.get_bin(value)
+        b = get_bin_loop(histogram.borders, histogram.bins, value)
+        c = unrolled(histogram.borders, value)
+        assert a == b == c

@@ -1,0 +1,169 @@
+"""Tests for the public ColumnImprints index (build/query/update API)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnImprints
+from repro.indexes import SequentialScan
+from repro.storage import Column
+
+from .conftest import column_for_type, make_clustered, make_random
+
+
+class TestConstruction:
+    def test_builds_and_reports_sizes(self, clustered_column):
+        index = ColumnImprints(clustered_column)
+        assert index.nbytes > 0
+        assert 0 < index.overhead < 0.5
+        assert index.bins in (8, 16, 32, 64)
+        assert index.kind == "imprints"
+
+    def test_every_type(self, any_ctype):
+        column = column_for_type(any_ctype)
+        index = ColumnImprints(column)
+        scan = SequentialScan(column)
+        lo, hi = np.quantile(column.values.astype(np.float64), [0.25, 0.75])
+        a = index.query_range(float(lo), float(hi))
+        b = scan.query_range(float(lo), float(hi))
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_max_bins_parameter(self, random_column):
+        index = ColumnImprints(random_column, max_bins=16)
+        assert index.bins == 16
+
+    def test_bad_threshold(self, random_column):
+        with pytest.raises(ValueError, match="saturation_threshold"):
+            ColumnImprints(random_column, saturation_threshold=0.0)
+
+    def test_deterministic_with_seeded_rng(self, random_column):
+        a = ColumnImprints(random_column, rng=np.random.default_rng(5))
+        b = ColumnImprints(random_column, rng=np.random.default_rng(5))
+        assert np.array_equal(a.data.imprints, b.data.imprints)
+
+
+class TestQueryAPI:
+    def test_inclusive_bounds(self):
+        column = Column(np.arange(100, dtype=np.int32))
+        index = ColumnImprints(column)
+        result = index.query_range(10, 20, high_inclusive=True)
+        assert list(result.ids) == list(range(10, 21))
+
+    def test_exclusive_low(self):
+        column = Column(np.arange(100, dtype=np.int32))
+        index = ColumnImprints(column)
+        result = index.query_range(10, 20, low_inclusive=False)
+        assert list(result.ids) == list(range(11, 20))
+
+    def test_point_query(self):
+        column = Column(np.array([5, 7, 5, 9, 5], dtype=np.int32))
+        index = ColumnImprints(column)
+        assert list(index.query_point(5).ids) == [0, 2, 4]
+
+
+class TestAppend:
+    def test_append_equals_fresh_build(self):
+        base = make_clustered(10_000, np.int32, seed=1)
+        extra = make_clustered(3_000, np.int32, seed=2)
+        index = ColumnImprints(Column(base, name="t.x"))
+        index.append(extra)
+
+        fresh = ColumnImprints(index.column, histogram=index.histogram)
+        assert np.array_equal(index.data.imprints, fresh.data.imprints)
+        assert np.array_equal(
+            index.data.dictionary.counts, fresh.data.dictionary.counts
+        )
+
+    def test_append_answers_queries_over_new_rows(self):
+        index = ColumnImprints(Column(np.arange(1000, dtype=np.int32)))
+        index.append(np.arange(1000, 1500, dtype=np.int32))
+        result = index.query_range(990, 1010)
+        assert list(result.ids) == list(range(990, 1010))
+
+    def test_empty_append_noop(self, clustered_column):
+        index = ColumnImprints(clustered_column)
+        before = index.data.imprints.copy()
+        index.append(np.array([], dtype=np.int32))
+        assert np.array_equal(index.data.imprints, before)
+
+    def test_multiple_appends(self):
+        index = ColumnImprints(Column(make_random(777, np.int32, seed=3)))
+        for seed in range(4, 9):
+            index.append(make_random(333, np.int32, seed=seed))
+        scan = SequentialScan(index.column)
+        lo, hi = 20_000, 60_000
+        assert np.array_equal(
+            index.query_range(lo, hi).ids, scan.query_range(lo, hi).ids
+        )
+
+    def test_overflow_detection(self):
+        values = make_random(5_000, np.int32, seed=10, low=0, high=1000)
+        index = ColumnImprints(Column(values))
+        index.append(make_random(5_000, np.int32, seed=11,
+                                 low=10**8, high=2 * 10**8))
+        assert index.append_overflow_fraction > 0.9
+        assert index.needs_rebuild
+
+
+class TestUpdates:
+    def test_update_is_found_by_queries(self):
+        column = Column(np.zeros(1000, dtype=np.int32))
+        index = ColumnImprints(column)
+        index.note_update(500, 999)
+        result = index.query_range(900, 1100)
+        assert 500 in result.ids.tolist()
+
+    def test_update_never_causes_false_negatives(self):
+        values = make_clustered(5_000, np.int32, seed=12)
+        index = ColumnImprints(Column(values))
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            index.note_update(
+                int(rng.integers(0, 5_000)), int(rng.integers(5_000, 15_000))
+            )
+        scan = SequentialScan(index.column)
+        for lo, hi in [(6_000, 9_000), (0, 20_000), (9_999, 10_001)]:
+            assert np.array_equal(
+                index.query_range(lo, hi).ids, scan.query_range(lo, hi).ids
+            )
+
+    def test_update_bounds_checked(self, clustered_column):
+        index = ColumnImprints(clustered_column)
+        with pytest.raises(IndexError):
+            index.note_update(len(clustered_column), 0)
+        with pytest.raises(IndexError):
+            index.note_delete(len(clustered_column))
+
+    def test_saturation_grows_monotonically(self):
+        values = make_clustered(3_000, np.int32, seed=13)
+        index = ColumnImprints(Column(values))
+        rng = np.random.default_rng(1)
+        last = index.saturation
+        for _ in range(5):
+            for _ in range(50):
+                index.note_update(
+                    int(rng.integers(0, 3_000)),
+                    int(rng.integers(-50_000, 50_000)),
+                )
+            assert index.saturation >= last
+            last = index.saturation
+
+    def test_rebuild_resets_overlay_and_baseline(self):
+        values = make_clustered(3_000, np.int32, seed=14)
+        index = ColumnImprints(Column(values), saturation_threshold=0.05)
+        rng = np.random.default_rng(2)
+        while not index.needs_rebuild:
+            index.note_update(
+                int(rng.integers(0, 3_000)), int(rng.integers(-90_000, 90_000))
+            )
+        index.rebuild()
+        assert not index.needs_rebuild
+        scan = SequentialScan(index.column)
+        assert np.array_equal(
+            index.query_range(0, 10_000).ids, scan.query_range(0, 10_000).ids
+        )
+
+    def test_delete_is_ignored_by_imprint(self, clustered_column):
+        index = ColumnImprints(clustered_column)
+        before = index.query_range(9_000, 11_000).n_ids
+        index.note_delete(0)
+        assert index.query_range(9_000, 11_000).n_ids == before

@@ -1,0 +1,77 @@
+"""Tests for the shared secondary-index contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnImprints
+from repro.index_base import QueryResult, QueryStats, SecondaryIndex
+from repro.indexes import SequentialScan, WahBitmapIndex, ZoneMap
+from repro.storage import Column
+
+from .conftest import make_random
+
+ALL_INDEX_TYPES = [ColumnImprints, ZoneMap, WahBitmapIndex, SequentialScan]
+
+
+@pytest.fixture(params=ALL_INDEX_TYPES, ids=lambda c: c.kind)
+def any_index(request):
+    column = Column(make_random(4_000, np.int32, seed=11), name="t.x")
+    return request.param(column)
+
+
+class TestContract:
+    def test_kind_is_distinct(self):
+        kinds = {cls.kind for cls in ALL_INDEX_TYPES}
+        assert kinds == {"imprints", "zonemap", "wah", "scan"}
+
+    def test_query_range_inclusivity_plumbing(self, any_index):
+        closed = any_index.query_range(10_000, 20_000, high_inclusive=True)
+        open_ = any_index.query_range(10_000, 20_000)
+        assert closed.n_ids >= open_.n_ids
+
+    def test_query_point_plumbing(self, any_index):
+        needle = int(any_index.column.values[0])
+        result = any_index.query_point(needle)
+        assert 0 in result.ids.tolist()
+
+    def test_nbytes_and_overhead_consistent(self, any_index):
+        assert any_index.overhead == pytest.approx(
+            any_index.nbytes / any_index.column.nbytes
+        )
+
+    def test_repr_mentions_column(self, any_index):
+        assert "t.x" in repr(any_index)
+
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            SecondaryIndex(Column(np.arange(4, dtype=np.int32)))
+
+
+class TestQueryResult:
+    def test_selectivity(self):
+        result = QueryResult(ids=np.arange(25, dtype=np.int64))
+        assert result.selectivity(100) == 0.25
+        assert result.selectivity(0) == 0.0
+
+    def test_n_ids(self):
+        assert QueryResult(ids=np.empty(0, dtype=np.int64)).n_ids == 0
+
+
+class TestQueryStatsDefaults:
+    def test_all_counters_start_at_zero(self):
+        stats = QueryStats()
+        assert (
+            stats.index_probes,
+            stats.value_comparisons,
+            stats.cachelines_fetched,
+            stats.ids_materialized,
+            stats.full_cachelines,
+            stats.partial_cachelines,
+            stats.index_bytes_read,
+            stats.decode_units,
+        ) == (0, 0, 0, 0, 0, 0, 0, 0)
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b = QueryStats(), QueryStats(index_probes=1)
+        assert a.merge(b) is a
+        assert a.index_probes == 1

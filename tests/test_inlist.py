@@ -1,0 +1,95 @@
+"""Tests for IN-list queries over imprints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnImprints, in_list_masks, query_in_list
+from repro.storage import Column
+
+from .conftest import make_clustered, make_random
+
+
+def truth(column, members):
+    member_array = np.asarray(members, dtype=column.ctype.dtype)
+    return np.flatnonzero(np.isin(column.values, member_array)).astype(np.int64)
+
+
+class TestMasks:
+    def test_empty_list(self):
+        index = ColumnImprints(Column(make_random(500, np.int32, seed=1)))
+        assert in_list_masks(index.data, []) == (0, 0)
+
+    def test_mask_covers_member_bins(self):
+        column = Column(make_random(5_000, np.int32, seed=2))
+        index = ColumnImprints(column)
+        members = column.values[[3, 500, 4000]].tolist()
+        mask, _ = in_list_masks(index.data, members)
+        for member in members:
+            assert mask >> index.histogram.get_bin(member) & 1
+
+    def test_single_value_bins_become_inner(self):
+        """Low-cardinality binning gives one value per bin, so list
+        members with adjacent-border bins skip value checks."""
+        column = Column((np.arange(6_400) % 10).astype(np.int8))
+        index = ColumnImprints(column)
+        mask, innermask = in_list_masks(index.data, [3, 5])
+        assert innermask != 0
+        assert innermask & ~mask == 0
+
+
+class TestQuery:
+    def test_matches_isin_ground_truth(self):
+        column = Column(make_random(8_000, np.int32, seed=3))
+        index = ColumnImprints(column)
+        members = column.values[::997].tolist()
+        result = query_in_list(index, members)
+        assert np.array_equal(result.ids, truth(column, members))
+
+    def test_absent_members_return_nothing(self):
+        column = Column(make_random(3_000, np.int32, seed=4, low=0, high=1000))
+        index = ColumnImprints(column)
+        result = query_in_list(index, [10**8, 10**8 + 1])
+        assert result.n_ids == 0
+
+    def test_duplicated_members_are_harmless(self):
+        column = Column(make_clustered(3_000, np.int32, seed=5))
+        index = ColumnImprints(column)
+        member = int(column.values[100])
+        once = query_in_list(index, [member])
+        thrice = query_in_list(index, [member, member, member])
+        assert np.array_equal(once.ids, thrice.ids)
+
+    def test_categorical_in_list_skips_checks(self):
+        """Cachelines holding *only* member values come entirely from
+        inner (single-value) bins — zero comparisons.  This needs runs
+        of one value per cacheline; a cacheline mixing members with
+        non-members must still be checked (the imprint cannot say which
+        positions hold the members)."""
+        column = Column(np.repeat(np.arange(10), 640).astype(np.int8))
+        index = ColumnImprints(column)
+        result = query_in_list(index, [3, 5])
+        assert np.array_equal(result.ids, truth(column, [3, 5]))
+        assert result.stats.value_comparisons == 0
+
+    def test_prunes_cachelines_on_clustered_data(self):
+        column = Column(make_clustered(50_000, np.int32, seed=6))
+        index = ColumnImprints(column)
+        members = [int(column.values[25_000])]
+        result = query_in_list(index, members)
+        assert result.stats.cachelines_fetched < column.n_cachelines / 2
+        assert np.array_equal(result.ids, truth(column, members))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 300),
+    members=st.lists(st.integers(-10, 110), min_size=0, max_size=12),
+)
+def test_in_list_equals_ground_truth(seed, members):
+    rng = np.random.default_rng(seed)
+    column = Column(rng.integers(0, 100, 600).astype(np.int16))
+    index = ColumnImprints(column)
+    result = query_in_list(index, members)
+    assert np.array_equal(result.ids, truth(column, members))

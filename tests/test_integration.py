@@ -1,0 +1,124 @@
+"""Integration tests: the whole library working together.
+
+These are the end-to-end checks the paper's evaluation implies: for
+every dataset, every column, every selectivity — all four access
+methods return identical answers, and the structural relationships the
+paper reports (probe counts, compression, size orderings) hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import get_context, run_query_sweep
+from repro.core import ColumnImprints, build_imprints_scalar, query_scalar
+from repro.indexes import SequentialScan
+from repro.predicate import RangePredicate
+from repro.workloads import load_dataset, selectivity_queries
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def context():
+    return get_context(scale=SCALE)
+
+
+class TestCrossMethodEquivalence:
+    def test_full_sweep_all_methods_agree(self, context):
+        """run_query_sweep verifies every query internally; reaching the
+        end without AssertionError is the test."""
+        measurements = run_query_sweep(
+            context, selectivities=(0.05, 0.45, 0.95), verify=True
+        )
+        assert len(measurements) > 0
+
+    def test_string_columns_via_dictionary(self):
+        """End to end over an encoded string column: a lexicographic
+        range maps to a code range, answered by imprints."""
+        dataset = load_dataset("airtraffic", scale=SCALE)
+        origin = dataset.column("ontime.origin")
+        index = ColumnImprints(origin.column)
+        lo, hi = origin.dictionary.encode_range("D", "M")
+        result = index.query_range(lo, hi)
+        strings = origin.dictionary.decode(origin.column.values[result.ids])
+        assert all("D" <= s < "M" for s in strings)
+        # Completeness against a python-level filter.
+        everything = origin.dictionary.decode(origin.column.values)
+        assert result.n_ids == sum(1 for s in everything if "D" <= s < "M")
+
+
+class TestScalarPortsOnRealData:
+    def test_scalar_algorithms_agree_on_dataset_column(self):
+        """The pseudocode ports handle real (not synthetic-unit-test)
+        data identically to the vectorised production path."""
+        dataset = load_dataset("tpch", scale=SCALE)
+        column = dataset.column("part.p_retailprice").column
+        index = ColumnImprints(column)
+        scalar_data = build_imprints_scalar(column, index.histogram)
+        assert np.array_equal(scalar_data.imprints, index.data.imprints)
+
+        predicate = RangePredicate.range(950.0, 1250.0, column.ctype)
+        scalar_result = query_scalar(scalar_data, column.values, predicate)
+        assert np.array_equal(scalar_result.ids, index.query(predicate).ids)
+
+
+class TestPaperStructuralClaims:
+    def test_imprints_probes_never_exceed_zonemap_probes(self, context):
+        """Compression can only reduce examined vectors below the
+        one-per-cacheline of zonemaps."""
+        for built in context.built:
+            predicate = RangePredicate.everything()
+            imprints_result = built.imprints.query(predicate)
+            zonemap_result = built.zonemap.query(predicate)
+            assert (
+                imprints_result.stats.index_probes
+                <= zonemap_result.stats.index_probes
+            )
+
+    def test_imprints_size_bounded_by_uncompressed_vectors(self, context):
+        """'at most 64 bits per cacheline unit' plus dictionary."""
+        for built in context.built:
+            data = built.imprints.data
+            bound = (
+                data.n_cachelines * data.histogram.imprint_width_bytes
+                + data.dictionary_nbytes
+                + data.borders_nbytes
+            )
+            assert data.nbytes <= bound
+
+    def test_low_entropy_columns_compress(self, context):
+        for built in context.built:
+            if built.entropy < 0.05 and built.imprints.data.n_cachelines > 50:
+                data = built.imprints.data
+                assert data.imprints.shape[0] < data.n_cachelines / 2, (
+                    built.qualified_name
+                )
+
+    def test_appending_dataset_column_preserves_answers(self, context):
+        built = context.find("routing", "trips.lat")
+        index = ColumnImprints(built.column)
+        tail = built.column.values[:4_096]
+        index.append(tail)
+        scan = SequentialScan(index.column)
+        lo, hi = np.quantile(built.column.values, [0.4, 0.6])
+        assert np.array_equal(
+            index.query_range(float(lo), float(hi)).ids,
+            scan.query_range(float(lo), float(hi)).ids,
+        )
+
+
+class TestWorkloadQueryEquivalence:
+    @pytest.mark.parametrize("dataset_name", ["routing", "cnet", "tpch"])
+    def test_generated_queries_answered_identically(self, dataset_name):
+        dataset = load_dataset(dataset_name, scale=SCALE)
+        rng = np.random.default_rng(42)
+        for entry in list(dataset)[:3]:
+            index = ColumnImprints(entry.column)
+            scan = SequentialScan(entry.column)
+            for query in selectivity_queries(
+                entry.column, selectivities=(0.1, 0.6), rng=rng
+            ):
+                assert np.array_equal(
+                    index.query(query.predicate).ids,
+                    scan.query(query.predicate).ids,
+                ), (entry.qualified_name, query.predicate)

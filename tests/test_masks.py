@@ -1,0 +1,137 @@
+"""Tests for mask/innermask construction (Algorithm 3's make_masks)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import binning, edge_bins, make_masks
+from repro.core.masks import describe_masks
+from repro.predicate import RangePredicate
+from repro.storage import Column, DOUBLE, INT, LONG
+
+from .conftest import make_random
+
+
+def histogram_of(values, dtype=np.int32, seed=0):
+    column = Column(np.asarray(values, dtype=dtype))
+    return binning(column, rng=np.random.default_rng(seed)), column
+
+
+class TestEdgeBins:
+    def test_empty_predicate(self):
+        histogram, _ = histogram_of(make_random(1_000, np.int32, seed=1))
+        assert edge_bins(histogram, RangePredicate(5, 5)) == (-1, -1)
+
+    def test_unbounded_sides(self):
+        histogram, _ = histogram_of(make_random(1_000, np.int32, seed=2))
+        first, last = edge_bins(histogram, RangePredicate.everything())
+        assert first == 0
+        assert last == histogram.bins - 1
+
+    def test_single_bin_query(self):
+        histogram, column = histogram_of(make_random(1_000, np.int32, seed=3))
+        value = int(column.values[0])
+        predicate = RangePredicate.point(value, INT)
+        first, last = edge_bins(histogram, predicate)
+        assert first == last == histogram.get_bin(value)
+
+
+class TestMaskShape:
+    def test_mask_is_contiguous_bit_run(self):
+        histogram, column = histogram_of(make_random(5_000, np.int32, seed=4))
+        lo, hi = np.quantile(column.values, [0.3, 0.7])
+        predicate = RangePredicate.range(int(lo), int(hi), INT)
+        mask, innermask = make_masks(histogram, predicate)
+        assert mask > 0
+        # A contiguous run: mask == (mask | (mask >> 1)) pattern check.
+        lowest = mask & -mask
+        assert (mask // lowest) & ((mask // lowest) + 1) == 0
+        # innermask is a subset of mask.
+        assert innermask & ~mask == 0
+
+    def test_innermask_drops_partial_edges(self):
+        histogram, column = histogram_of(make_random(5_000, np.int32, seed=5))
+        borders = histogram.borders
+        # A query strictly inside bin ranges: low/high not on borders.
+        low = int(borders[10]) + 1
+        high = int(borders[20]) - 1
+        if low < high:
+            mask, innermask = make_masks(
+                histogram, RangePredicate.range(low, high, INT)
+            )
+            assert innermask & (1 << 11) == 0 or borders[10] == borders[11]
+            assert mask != innermask
+
+    def test_border_aligned_query_keeps_edges_inner(self):
+        """A query whose bounds coincide with bin borders is fully
+        covered by whole bins - everything inner."""
+        histogram, _ = histogram_of(make_random(5_000, np.int32, seed=6))
+        borders = histogram.borders
+        low, high = int(borders[9]), int(borders[19])
+        if low < high:
+            mask, innermask = make_masks(
+                histogram, RangePredicate.range(low, high, INT)
+            )
+            assert mask == innermask
+
+    def test_empty_predicate_zero_masks(self):
+        histogram, _ = histogram_of(make_random(1_000, np.int32, seed=7))
+        assert make_masks(histogram, RangePredicate(3, 3)) == (0, 0)
+
+    def test_describe_masks_renders(self):
+        histogram, column = histogram_of(make_random(1_000, np.int32, seed=8))
+        predicate = RangePredicate.range(0, 1000, INT)
+        text = describe_masks(histogram, predicate)
+        assert "mask" in text and "innermask" in text
+
+
+class TestExactnessOnLargeInt64:
+    def test_no_float_corruption_for_huge_borders(self):
+        """int64 borders beyond 2^53 must not round through float64."""
+        base = (1 << 62) + 1
+        values = np.arange(base, base + 50_000, 7, dtype=np.int64)
+        histogram, column = histogram_of(values, dtype=np.int64)
+        low = int(values[100])
+        high = int(values[200])
+        predicate = RangePredicate.range(low, high, LONG)
+        mask, innermask = make_masks(histogram, predicate)
+        # Soundness: every bin holding a matching value is in the mask.
+        matching = column.values[predicate.matches(column.values)]
+        for bin_index in np.unique(histogram.get_bins(matching)):
+            assert mask >> int(bin_index) & 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    q_lo=st.floats(0.0, 1.0),
+    width=st.floats(0.0, 1.0),
+)
+def test_mask_soundness_and_inner_correctness(seed, q_lo, width):
+    """Two safety properties on random histograms and random queries:
+
+    * soundness: the mask covers the bin of *every* matching value
+      (no false negatives possible);
+    * inner correctness: every value in an innermask bin matches the
+      predicate (the skip-check fast path never admits a wrong id).
+    """
+    generator = np.random.default_rng(seed)
+    values = generator.normal(0, 1000, 3_000)
+    column = Column(values.astype(np.float64))
+    histogram = binning(column, rng=generator)
+    lo_value = float(np.quantile(values, min(q_lo, 0.999)))
+    hi_value = float(np.quantile(values, min(q_lo + width, 1.0)))
+    predicate = RangePredicate.range(lo_value, hi_value, DOUBLE)
+    mask, innermask = make_masks(histogram, predicate)
+
+    bins = histogram.get_bins(column.values)
+    matches = predicate.matches(column.values)
+
+    # Soundness.
+    for bin_index in np.unique(bins[matches]):
+        assert mask >> int(bin_index) & 1
+
+    # Inner correctness.
+    inner_value_mask = (np.uint64(innermask) >> bins.astype(np.uint64)) & np.uint64(1)
+    in_inner_bins = inner_value_mask.astype(bool)
+    assert np.all(matches[in_inner_bins])

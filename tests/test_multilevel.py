@@ -1,0 +1,119 @@
+"""Tests for two-level imprints (the paper's Section 7 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnImprints, MultiLevelImprints
+from repro.indexes import SequentialScan
+from repro.predicate import RangePredicate
+from repro.storage import Column, INT
+
+from .conftest import make_clustered, make_random
+
+
+class TestConstruction:
+    def test_summary_count(self):
+        column = Column(make_clustered(16_000, np.int32, seed=1))
+        index = MultiLevelImprints(column, fanout=64)
+        expected_groups = -(-column.n_cachelines // 64)
+        assert index.n_groups == expected_groups
+
+    def test_summary_is_or_of_group(self):
+        column = Column(make_random(4_000, np.int32, seed=2))
+        index = MultiLevelImprints(column, fanout=16)
+        vectors = index.base.data.expand_vectors()
+        for group in range(index.n_groups):
+            chunk = vectors[group * 16 : (group + 1) * 16]
+            assert index._summaries[group] == np.bitwise_or.reduce(chunk)
+
+    def test_bad_fanout(self):
+        column = Column(make_random(100, np.int32, seed=3))
+        with pytest.raises(ValueError, match="fanout"):
+            MultiLevelImprints(column, fanout=1)
+
+    def test_size_slightly_above_single_level(self):
+        column = Column(make_clustered(16_000, np.int32, seed=4))
+        single = ColumnImprints(column)
+        multi = MultiLevelImprints(column, fanout=64)
+        assert multi.nbytes > single.nbytes
+        # The summary level costs at most 1/fanout of the uncompressed
+        # vector space — a few percent.
+        assert multi.nbytes < single.nbytes * 1.35
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fanout", [4, 16, 64])
+    def test_equals_scan(self, fanout):
+        column = Column(make_clustered(12_000, np.int32, seed=5))
+        index = MultiLevelImprints(column, fanout=fanout)
+        scan = SequentialScan(column)
+        for q_lo, q_hi in [(0.1, 0.2), (0.45, 0.55), (0.0, 1.0)]:
+            lo, hi = np.quantile(column.values, [q_lo, q_hi])
+            assert np.array_equal(
+                index.query_range(float(lo), float(hi)).ids,
+                scan.query_range(float(lo), float(hi)).ids,
+            ), (fanout, q_lo, q_hi)
+
+    def test_miss_query(self):
+        column = Column(make_random(5_000, np.int32, seed=6, low=0, high=1000))
+        index = MultiLevelImprints(column)
+        assert index.query_range(10**6, 10**7).n_ids == 0
+
+    def test_append_keeps_answers_correct(self):
+        column = Column(make_clustered(6_000, np.int32, seed=7))
+        index = MultiLevelImprints(column, fanout=8)
+        index.append(make_clustered(2_000, np.int32, seed=8))
+        scan = SequentialScan(index.column)
+        lo, hi = np.quantile(index.column.values, [0.3, 0.5])
+        assert np.array_equal(
+            index.query_range(float(lo), float(hi)).ids,
+            scan.query_range(float(lo), float(hi)).ids,
+        )
+
+
+class TestSkipping:
+    def test_selective_query_probes_fewer_vectors(self):
+        """The point of the second level: a selective query on clustered
+        (random-walk) data skips whole groups.
+
+        A walk keeps neighbouring cachelines similar but not identical,
+        so level 0 barely compresses (probing it costs ~one probe per
+        cacheline) while whole groups fall outside a narrow range.
+        """
+        column = Column(make_clustered(64_000, np.int32, seed=9, scale=15.0))
+        single = ColumnImprints(column)
+        multi = MultiLevelImprints(column, fanout=64)
+        lo, hi = np.quantile(column.values, [0.50, 0.52])
+        predicate = RangePredicate.range(int(lo), int(hi), INT)
+        single_probes = single.query(predicate).stats.index_probes
+        multi_probes = multi.query(predicate).stats.index_probes
+        assert multi_probes < single_probes
+        # Both answer identically, of course.
+        assert np.array_equal(
+            single.query(predicate).ids, multi.query(predicate).ids
+        )
+
+    def test_fully_covered_groups_skip_level0(self):
+        column = Column(np.sort(make_random(64_000, np.int32, seed=10)))
+        multi = MultiLevelImprints(column, fanout=64)
+        result = multi.query(RangePredicate.everything())
+        assert result.n_ids == len(column)
+        assert result.stats.value_comparisons == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 300),
+    fanout=st.sampled_from([2, 4, 8]),
+    lo=st.integers(-20, 120),
+    width=st.integers(0, 100),
+)
+def test_multilevel_equals_ground_truth(seed, fanout, lo, width):
+    rng = np.random.default_rng(seed)
+    column = Column(rng.integers(0, 100, 700).astype(np.int16))
+    index = MultiLevelImprints(column, fanout=fanout)
+    predicate = RangePredicate.range(lo, lo + width, column.ctype)
+    expected = np.flatnonzero(predicate.matches(column.values))
+    assert np.array_equal(index.query(predicate).ids, expected)

@@ -1,0 +1,127 @@
+"""Tests for the on-disk column store (copy and mmap loading)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnImprints, query_vectorized
+from repro.predicate import RangePredicate
+from repro.storage import Column, ColumnStore, encode_strings
+
+from .conftest import make_clustered, make_random
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ColumnStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_write_read_copy(self, store):
+        column = Column(make_random(5_000, np.int32, seed=1), name="t.x")
+        store.write_column("t", "x", column)
+        loaded, dictionary = store.read_column("t", "x")
+        assert dictionary is None
+        assert np.array_equal(loaded.values, column.values)
+        assert loaded.ctype is column.ctype
+        assert loaded.name == "t.x"
+
+    def test_write_read_mmap(self, store):
+        column = Column(make_clustered(5_000, np.int32, seed=2))
+        store.write_column("t", "x", column)
+        loaded, _ = store.read_column("t", "x", mmap=True)
+        assert np.array_equal(np.asarray(loaded.values), column.values)
+
+    def test_mmap_column_is_indexable(self, store):
+        """The whole point: build and query imprints straight off the
+        memory-mapped file."""
+        column = Column(make_clustered(20_000, np.int32, seed=3))
+        store.write_column("t", "x", column)
+        loaded, _ = store.read_column("t", "x", mmap=True)
+        index = ColumnImprints(loaded)
+        lo, hi = np.quantile(column.values, [0.3, 0.5])
+        expected = np.flatnonzero(
+            (column.values >= int(lo)) & (column.values < int(hi))
+        )
+        assert np.array_equal(
+            index.query_range(int(lo), int(hi)).ids, expected
+        )
+
+    def test_string_column_with_dictionary(self, store):
+        codes, dictionary = encode_strings(["SEA", "ATL", "SEA", "DEN"])
+        store.write_column("t", "origin", codes, dictionary=dictionary)
+        loaded, loaded_dict = store.read_column("t", "origin")
+        assert loaded_dict is not None
+        assert loaded_dict.strings == dictionary.strings
+        assert loaded_dict.decode(loaded.values) == ["SEA", "ATL", "SEA", "DEN"]
+
+    def test_every_type(self, store, any_ctype):
+        from .conftest import column_for_type
+
+        column = column_for_type(any_ctype)
+        store.write_column("types", any_ctype.name, column)
+        loaded, _ = store.read_column("types", any_ctype.name)
+        assert np.array_equal(loaded.values, column.values)
+
+
+class TestCatalog:
+    def test_tables_and_columns_listing(self, store):
+        store.write_column("a", "x", Column(make_random(10, np.int32, seed=4)))
+        store.write_column("a", "y", Column(make_random(10, np.int64, seed=5)))
+        store.write_column("b", "z", Column(make_random(10, np.int8, seed=6)))
+        assert store.tables() == ["a", "b"]
+        assert store.columns("a") == ["x", "y"]
+
+    def test_unknown_table(self, store):
+        with pytest.raises(KeyError, match="no table"):
+            store.read_column("nope", "x")
+
+    def test_unknown_column(self, store):
+        store.write_column("t", "x", Column(make_random(10, np.int32, seed=7)))
+        with pytest.raises(KeyError, match="no column"):
+            store.read_column("t", "y")
+
+    def test_invalid_table_name(self, store):
+        with pytest.raises(ValueError, match="invalid table name"):
+            store.write_column("../evil", "x", Column(np.arange(3, dtype=np.int32)))
+
+    def test_size_mismatch_detected(self, store, tmp_path):
+        column = Column(make_random(100, np.int32, seed=8))
+        path = store.write_column("t", "x", column)
+        path.write_bytes(path.read_bytes()[:-4])  # truncate one value
+        with pytest.raises(ValueError, match="bytes"):
+            store.read_column("t", "x")
+
+    def test_overwrite_updates_catalog(self, store):
+        store.write_column("t", "x", Column(make_random(10, np.int32, seed=9)))
+        store.write_column("t", "x", Column(make_random(20, np.int64, seed=10)))
+        loaded, _ = store.read_column("t", "x")
+        assert len(loaded) == 20
+        assert loaded.ctype.name == "long"
+
+
+class TestImprintPersistence:
+    def test_index_roundtrip_through_store(self, store):
+        column = Column(make_clustered(8_000, np.int32, seed=11))
+        index = ColumnImprints(column)
+        store.write_column("t", "x", column)
+        store.write_imprints("t", "x", index.data)
+
+        loaded_column, _ = store.read_column("t", "x", mmap=True)
+        loaded_data = store.read_imprints("t", "x")
+        lo, hi = np.quantile(column.values, [0.4, 0.6])
+        predicate = RangePredicate.range(int(lo), int(hi), column.ctype)
+        assert np.array_equal(
+            query_vectorized(loaded_data, loaded_column.values, predicate).ids,
+            index.query(predicate).ids,
+        )
+
+    def test_missing_imprints(self, store):
+        store.write_column("t", "x", Column(make_random(10, np.int32, seed=12)))
+        with pytest.raises(KeyError, match="no persisted imprints"):
+            store.read_imprints("t", "x")
+
+    def test_imprints_require_column(self, store):
+        column = Column(make_random(100, np.int32, seed=13))
+        index = ColumnImprints(column)
+        with pytest.raises(KeyError):
+            store.write_imprints("t", "ghost", index.data)

@@ -1,0 +1,90 @@
+"""Tests for the selectivity-targeted query generator."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Column
+from repro.workloads import PAPER_SELECTIVITIES, selectivity_queries
+
+from .conftest import make_clustered, make_random
+
+
+class TestPaperSelectivities:
+    def test_ten_steps_from_under_0_1(self):
+        """'starts from less than 0.1 and increases each time by 0.1,
+        until it surpasses 0.9'"""
+        assert len(PAPER_SELECTIVITIES) == 10
+        assert PAPER_SELECTIVITIES[0] < 0.1
+        assert PAPER_SELECTIVITIES[-1] > 0.9
+        steps = np.diff(PAPER_SELECTIVITIES)
+        assert np.allclose(steps, 0.1)
+
+
+class TestGeneration:
+    def test_hits_targets_on_continuous_data(self):
+        column = Column(make_random(50_000, np.float64, seed=1))
+        queries = selectivity_queries(column, rng=np.random.default_rng(0))
+        for query in queries:
+            assert query.exact_selectivity == pytest.approx(
+                query.target_selectivity, abs=0.02
+            )
+
+    def test_hits_targets_on_clustered_ints(self):
+        column = Column(make_clustered(50_000, np.int32, seed=2))
+        queries = selectivity_queries(column, rng=np.random.default_rng(1))
+        for query in queries:
+            assert query.exact_selectivity == pytest.approx(
+                query.target_selectivity, abs=0.05
+            )
+
+    def test_exact_selectivity_is_truthful(self):
+        column = Column(make_random(10_000, np.int32, seed=3))
+        for query in selectivity_queries(column, rng=np.random.default_rng(2)):
+            measured = query.predicate.count(column.values) / len(column)
+            assert measured == pytest.approx(query.exact_selectivity)
+
+    def test_low_cardinality_quantises_but_reports_exact(self):
+        """On a 95%-constant column most windows collapse to the
+        dominant value; the generator must report what it actually
+        achieved rather than the unreachable target."""
+        values = np.zeros(10_000, dtype=np.int32)
+        values[:500] = np.arange(500) % 7 + 1
+        rng = np.random.default_rng(3)
+        column = Column(rng.permutation(values))
+        queries = selectivity_queries(column, rng=rng)
+        for query in queries:
+            measured = query.predicate.count(column.values) / len(column)
+            assert measured == pytest.approx(query.exact_selectivity)
+
+    def test_custom_selectivity_list(self):
+        column = Column(make_random(5_000, np.float32, seed=4))
+        queries = selectivity_queries(
+            column, selectivities=(0.01, 0.5), rng=np.random.default_rng(4)
+        )
+        assert [q.target_selectivity for q in queries] == [0.01, 0.5]
+
+    def test_full_selectivity_includes_maximum(self):
+        column = Column(np.arange(1_000, dtype=np.int32))
+        queries = selectivity_queries(
+            column, selectivities=(1.0,), rng=np.random.default_rng(5)
+        )
+        assert queries[0].exact_selectivity == pytest.approx(1.0)
+
+    def test_invalid_selectivity_rejected(self):
+        column = Column(np.arange(100, dtype=np.int32))
+        with pytest.raises(ValueError, match="selectivity"):
+            selectivity_queries(column, selectivities=(0.0,))
+        with pytest.raises(ValueError):
+            selectivity_queries(column, selectivities=(1.5,))
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            selectivity_queries(Column(np.array([], dtype=np.int32)))
+
+    def test_deterministic_under_seeded_rng(self):
+        column = Column(make_random(5_000, np.int32, seed=6))
+        a = selectivity_queries(column, rng=np.random.default_rng(9))
+        b = selectivity_queries(column, rng=np.random.default_rng(9))
+        assert [(q.predicate.low, q.predicate.high) for q in a] == [
+            (q.predicate.low, q.predicate.high) for q in b
+        ]

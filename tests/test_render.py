@@ -1,0 +1,75 @@
+"""Tests for the Figure 3 renderer."""
+
+import numpy as np
+
+from repro.core import ColumnImprints
+from repro.core.render import (
+    imprint_lines,
+    render_column_summary,
+    render_compressed,
+    render_imprints,
+)
+from repro.storage import Column
+
+from .conftest import make_clustered, make_random
+
+
+def build_index(values):
+    return ColumnImprints(Column(values))
+
+
+class TestImprintLines:
+    def test_one_line_per_cacheline(self):
+        index = build_index(make_random(1_600, np.int32, seed=1))
+        lines = list(imprint_lines(index.data))
+        assert len(lines) == index.data.n_cachelines
+
+    def test_line_width_is_bin_count(self):
+        index = build_index(make_random(1_600, np.int32, seed=2))
+        lines = list(imprint_lines(index.data, max_lines=5))
+        assert all(len(line) == index.bins for line in lines)
+
+    def test_only_x_and_dot(self):
+        index = build_index(make_random(800, np.int32, seed=3))
+        for line in imprint_lines(index.data, max_lines=10):
+            assert set(line) <= {"x", "."}
+
+    def test_bits_match_values(self):
+        """The printed 'x' positions are exactly the witnessed bins."""
+        index = build_index(make_random(320, np.int16, seed=4))
+        histogram = index.histogram
+        vpc = index.column.values_per_cacheline
+        lines = list(imprint_lines(index.data))
+        for line_no, text in enumerate(lines):
+            chunk = index.column.values[line_no * vpc : (line_no + 1) * vpc]
+            witnessed = set(histogram.get_bins(chunk).tolist())
+            printed = {i for i, c in enumerate(text) if c == "x"}
+            assert printed == witnessed
+
+
+class TestRenderers:
+    def test_render_imprints_has_entropy_footer(self):
+        index = build_index(make_clustered(2_000, np.int32, seed=5))
+        text = render_imprints(index.data, max_lines=10, title="demo")
+        assert text.startswith("demo")
+        assert "E = " in text
+
+    def test_render_compressed_shows_dictionary(self):
+        index = build_index(np.repeat(np.arange(20, dtype=np.int32), 100))
+        text = render_compressed(index.data)
+        assert "counter" in text
+        assert "repeat" in text
+
+    def test_render_compressed_truncates(self):
+        # 500 aligned runs of 4 identical cachelines each -> 500 repeat
+        # entries, far more than the 3 we ask to see.
+        index = build_index(np.repeat(np.arange(500, dtype=np.int32), 64))
+        text = render_compressed(index.data, max_entries=3)
+        assert "more entries" in text
+
+    def test_summary_mentions_sizes(self):
+        index = build_index(make_clustered(3_000, np.int32, seed=7))
+        text = render_column_summary(index.data, name="t.x")
+        assert "t.x" in text
+        assert "index size" in text
+        assert "entropy" in text

@@ -1,0 +1,45 @@
+"""Tests for the sequential-scan baseline."""
+
+import numpy as np
+
+from repro.indexes import SequentialScan
+from repro.predicate import RangePredicate
+from repro.storage import Column, INT
+
+from .conftest import make_random
+
+
+class TestScan:
+    def test_zero_storage(self):
+        scan = SequentialScan(Column(make_random(100, np.int32)))
+        assert scan.nbytes == 0
+        assert scan.overhead == 0.0
+
+    def test_compares_every_value(self):
+        column = Column(make_random(1_000, np.int32, seed=1))
+        scan = SequentialScan(column)
+        result = scan.query_range(0, 10)
+        assert result.stats.value_comparisons == 1_000
+        assert result.stats.cachelines_fetched == column.n_cachelines
+        assert result.stats.index_probes == 0
+
+    def test_correct_answers(self):
+        column = Column(np.array([5, 1, 9, 5, 3], dtype=np.int32))
+        scan = SequentialScan(column)
+        assert list(scan.query_range(3, 6).ids) == [0, 3, 4]
+        assert list(scan.query_point(9).ids) == [2]
+
+    def test_empty_predicate(self):
+        column = Column(make_random(100, np.int32, seed=2))
+        scan = SequentialScan(column)
+        assert scan.query(RangePredicate(7, 7)).n_ids == 0
+
+    def test_ids_sorted(self):
+        column = Column(make_random(5_000, np.int32, seed=3))
+        ids = SequentialScan(column).query_range(10_000, 90_000).ids
+        assert np.all(np.diff(ids) > 0)
+
+    def test_selectivity_helper(self):
+        column = Column(np.arange(100, dtype=np.int32))
+        result = SequentialScan(column).query_range(0, 25)
+        assert result.selectivity(len(column)) == 0.25

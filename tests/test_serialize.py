@@ -1,0 +1,129 @@
+"""Tests for the binary index format (round trips + corruption)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ColumnImprints,
+    SerializationError,
+    dump_imprints,
+    load_imprints,
+    query_vectorized,
+)
+from repro.predicate import RangePredicate
+from repro.storage import Column
+
+from .conftest import column_for_type, make_clustered, make_random
+
+
+def roundtrip(column):
+    index = ColumnImprints(column)
+    blob = dump_imprints(index.data)
+    return index.data, load_imprints(blob), blob
+
+
+class TestRoundTrip:
+    def test_int_column(self):
+        original, loaded, _ = roundtrip(Column(make_random(5_000, np.int32, seed=1)))
+        assert np.array_equal(original.imprints, loaded.imprints)
+        assert np.array_equal(
+            original.dictionary.counts, loaded.dictionary.counts
+        )
+        assert np.array_equal(
+            original.dictionary.repeats, loaded.dictionary.repeats
+        )
+        assert np.array_equal(original.histogram.borders, loaded.histogram.borders)
+        assert original.n_values == loaded.n_values
+
+    def test_every_type(self, any_ctype):
+        column = column_for_type(any_ctype)
+        original, loaded, _ = roundtrip(column)
+        assert np.array_equal(original.imprints, loaded.imprints)
+        assert loaded.histogram.ctype is column.ctype
+
+    def test_loaded_index_answers_queries(self):
+        column = Column(make_clustered(8_000, np.int32, seed=2))
+        original, loaded, _ = roundtrip(column)
+        lo, hi = np.quantile(column.values, [0.3, 0.5])
+        predicate = RangePredicate.range(int(lo), int(hi), column.ctype)
+        assert np.array_equal(
+            query_vectorized(loaded, column.values, predicate).ids,
+            query_vectorized(original, column.values, predicate).ids,
+        )
+
+    def test_narrow_vector_width_preserved(self):
+        """8-bin indexes store 1-byte vectors on disk."""
+        column = Column((np.arange(4_000) % 5).astype(np.int8))
+        original, loaded, blob = roundtrip(column)
+        assert original.histogram.bins == 8
+        # Vectors occupy 1 byte each in the blob.
+        assert len(blob) < 4_000
+        assert np.array_equal(original.imprints, loaded.imprints)
+
+    def test_deterministic_bytes(self):
+        column = Column(make_random(2_000, np.int32, seed=3))
+        index = ColumnImprints(column, rng=np.random.default_rng(1))
+        again = ColumnImprints(column, rng=np.random.default_rng(1))
+        assert dump_imprints(index.data) == dump_imprints(again.data)
+
+
+class TestCorruptionRejected:
+    def test_truncated_header(self):
+        with pytest.raises(SerializationError, match="shorter"):
+            load_imprints(b"CIMP")
+
+    def test_bad_magic(self):
+        _, _, blob = roundtrip(Column(make_random(500, np.int32, seed=4)))
+        with pytest.raises(SerializationError, match="magic"):
+            load_imprints(b"XXXX" + blob[4:])
+
+    def test_bad_version(self):
+        _, _, blob = roundtrip(Column(make_random(500, np.int32, seed=5)))
+        corrupted = blob[:4] + b"\x63\x00" + blob[6:]
+        with pytest.raises(SerializationError, match="version"):
+            load_imprints(corrupted)
+
+    def test_truncated_payload(self):
+        _, _, blob = roundtrip(Column(make_random(500, np.int32, seed=6)))
+        with pytest.raises(SerializationError, match="truncated"):
+            load_imprints(blob[:-3])
+
+    def test_padded_payload(self):
+        _, _, blob = roundtrip(Column(make_random(500, np.int32, seed=7)))
+        with pytest.raises(SerializationError, match="truncated or padded"):
+            load_imprints(blob + b"\x00\x00")
+
+    def test_unknown_type_name(self):
+        _, _, blob = roundtrip(Column(make_random(500, np.int32, seed=8)))
+        # The type name field starts at offset 20 (4s H H I Q).
+        corrupted = blob[:20] + b"quux".ljust(16, b"\0") + blob[36:]
+        with pytest.raises(SerializationError, match="unknown column type"):
+            load_imprints(corrupted)
+
+    def test_inconsistent_dictionary(self):
+        """A dictionary claiming fewer cachelines than n_values needs."""
+        column = Column(make_random(2_000, np.int32, seed=9))
+        index = ColumnImprints(column)
+        blob = bytearray(dump_imprints(index.data))
+        # Overwrite n_values (offset 12, Q) with a huge count.
+        import struct
+
+        struct.pack_into("<Q", blob, 12, 10**9)
+        with pytest.raises(SerializationError):
+            load_imprints(bytes(blob))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 500), n=st.integers(1, 2_000))
+def test_roundtrip_property(seed, n):
+    rng = np.random.default_rng(seed)
+    column = Column(rng.integers(0, 300, n).astype(np.int16))
+    index = ColumnImprints(column, rng=np.random.default_rng(0))
+    loaded = load_imprints(dump_imprints(index.data))
+    assert np.array_equal(index.data.imprints, loaded.imprints)
+    assert np.array_equal(
+        index.data.dictionary.counts, loaded.dictionary.counts
+    )
+    assert loaded.values_per_cacheline == index.data.values_per_cacheline

@@ -1,0 +1,80 @@
+"""Unit tests for the column type registry."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    ALL_TYPES,
+    CHAR,
+    DATE,
+    DOUBLE,
+    INT,
+    LONG,
+    REAL,
+    SHORT,
+    STR_CODE,
+    type_by_name,
+    type_for_dtype,
+)
+
+
+class TestColumnType:
+    def test_itemsizes_match_the_paper_groups(self):
+        assert CHAR.itemsize == 1
+        assert SHORT.itemsize == 2
+        assert INT.itemsize == 4
+        assert DATE.itemsize == 4
+        assert REAL.itemsize == 4
+        assert LONG.itemsize == 8
+        assert DOUBLE.itemsize == 8
+
+    def test_values_per_cacheline_default(self):
+        assert CHAR.values_per_cacheline() == 64
+        assert SHORT.values_per_cacheline() == 32
+        assert INT.values_per_cacheline() == 16
+        assert LONG.values_per_cacheline() == 8
+
+    def test_values_per_cacheline_custom(self):
+        assert INT.values_per_cacheline(128) == 32
+
+    def test_values_per_cacheline_too_small(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            LONG.values_per_cacheline(4)
+
+    def test_int_domain_bounds(self):
+        assert INT.min_value == -(2**31)
+        assert INT.max_value == 2**31 - 1
+        assert not INT.is_float
+
+    def test_float_domain_bounds(self):
+        assert DOUBLE.is_float
+        assert DOUBLE.max_value == float(np.finfo(np.float64).max)
+        assert DOUBLE.min_value == -DOUBLE.max_value
+
+    def test_cast_returns_contiguous_typed_array(self):
+        out = INT.cast([1, 2, 3])
+        assert out.dtype == np.int32
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_str_code_is_int32(self):
+        assert STR_CODE.dtype == np.dtype("int32")
+
+
+class TestRegistry:
+    def test_type_by_name_roundtrip(self):
+        for name, ctype in ALL_TYPES.items():
+            assert type_by_name(name) is ctype
+
+    def test_type_by_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown column type"):
+            type_by_name("decimal")
+
+    def test_type_for_dtype_defaults(self):
+        assert type_for_dtype(np.int32) is INT
+        assert type_for_dtype(np.float32) is REAL
+        assert type_for_dtype(np.int8) is CHAR
+        assert type_for_dtype(np.int64) is LONG
+
+    def test_type_for_dtype_unsupported(self):
+        with pytest.raises(TypeError, match="not supported"):
+            type_for_dtype(np.complex128)

@@ -1,0 +1,72 @@
+"""Unit tests for the Table substrate."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Column, Table
+
+
+def make_table() -> Table:
+    table = Table("t")
+    table.add_column("a", Column(np.arange(10, dtype=np.int32)))
+    table.add_column("b", Column(np.arange(10, 20, dtype=np.int64)))
+    return table
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        table = make_table()
+        assert table.n_rows == 10
+        assert table.n_columns == 2
+        assert table.column_names == ["a", "b"]
+        assert "a" in table
+
+    def test_duplicate_column_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError, match="already has"):
+            table.add_column("a", Column(np.arange(10, dtype=np.int32)))
+
+    def test_length_mismatch_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError, match="rows"):
+            table.add_column("c", Column(np.arange(5, dtype=np.int32)))
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError, match="no column"):
+            make_table().column("zzz")
+
+    def test_from_columns(self):
+        table = Table.from_columns(
+            "u", {"x": Column(np.arange(3, dtype=np.int32))}
+        )
+        assert table.n_rows == 3
+
+    def test_nbytes_sums_columns(self):
+        assert make_table().nbytes == 10 * 4 + 10 * 8
+
+    def test_empty_table(self):
+        assert Table("empty").n_rows == 0
+
+
+class TestReconstruction:
+    def test_reconstruct_aligned_positions(self):
+        table = make_table()
+        out = table.reconstruct([2, 5])
+        assert list(out["a"]) == [2, 5]
+        assert list(out["b"]) == [12, 15]
+
+    def test_reconstruct_subset_of_columns(self):
+        out = make_table().reconstruct([0], columns=["b"])
+        assert set(out) == {"b"}
+
+    def test_reconstruct_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_table().reconstruct([10])
+
+    def test_row(self):
+        row = make_table().row(3)
+        assert row == {"a": 3, "b": 13}
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_table().row(10)

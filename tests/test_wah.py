@@ -1,0 +1,192 @@
+"""Unit and property tests for the WAH codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import WahVector, wah_and, wah_decode, wah_encode, wah_or
+from repro.indexes.wah import (
+    FILL_BIT,
+    FILL_FLAG,
+    FULL_GROUP,
+    GROUP_BITS,
+    decode_groups,
+    groups_to_bits,
+)
+
+
+class TestEncodeBasics:
+    def test_empty(self):
+        vector = wah_encode(np.array([], dtype=bool))
+        assert vector.n_words == 0
+        assert vector.n_bits == 0
+        assert wah_decode(vector).size == 0
+
+    def test_all_zeros_is_one_fill_word(self):
+        vector = wah_encode(np.zeros(31 * 100, dtype=bool))
+        assert vector.n_words == 1
+        word = int(vector.words[0])
+        assert word & int(FILL_FLAG)
+        assert not word & int(FILL_BIT)
+        assert word & ((1 << 30) - 1) == 100
+
+    def test_all_ones_is_one_fill_word(self):
+        vector = wah_encode(np.ones(31 * 42, dtype=bool))
+        assert vector.n_words == 1
+        word = int(vector.words[0])
+        assert word & int(FILL_FLAG)
+        assert word & int(FILL_BIT)
+
+    def test_random_data_is_mostly_literals(self):
+        rng = np.random.default_rng(0)
+        bits = rng.random(31 * 50) < 0.5
+        vector = wah_encode(bits)
+        literals = int(np.count_nonzero((vector.words & FILL_FLAG) == 0))
+        assert literals >= 45  # almost every group is mixed
+
+    def test_trailing_partial_group_padded(self):
+        bits = np.array([True] * 5, dtype=bool)
+        vector = wah_encode(bits)
+        assert vector.n_bits == 5
+        assert list(wah_decode(vector)) == [True] * 5
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            wah_encode(np.zeros((2, 31), dtype=bool))
+
+    def test_count_on_compressed_form(self):
+        rng = np.random.default_rng(1)
+        bits = rng.random(10_000) < 0.03
+        vector = wah_encode(bits)
+        assert vector.count() == int(bits.sum())
+
+    def test_nbytes_is_4_per_word(self):
+        vector = wah_encode(np.zeros(1000, dtype=bool))
+        assert vector.nbytes == 4 * vector.n_words
+
+
+class TestCompressionBehaviour:
+    def test_sparse_compresses_well(self):
+        """The WAH selling point: sparse bitmaps collapse into fills."""
+        bits = np.zeros(31_000, dtype=bool)
+        bits[15_000] = True
+        vector = wah_encode(bits)
+        assert vector.n_words <= 4
+
+    def test_incompressible_random_is_about_one_word_per_group(self):
+        rng = np.random.default_rng(2)
+        bits = rng.random(31 * 200) < 0.5
+        vector = wah_encode(bits)
+        assert 195 <= vector.n_words <= 205
+
+    def test_paper_failure_mode_size_vs_plain_bitmap(self):
+        """High-entropy data: WAH storage ~= one word per 31 bits, i.e.
+        barely smaller than the uncompressed bitmap (Figure 7's story)."""
+        rng = np.random.default_rng(3)
+        bits = rng.random(31 * 300) < 0.4
+        vector = wah_encode(bits)
+        plain_bytes = len(bits) / 8
+        assert vector.nbytes > 0.9 * plain_bytes
+
+
+class TestLogicalOps:
+    def test_or_known(self):
+        a = wah_encode(np.array([1, 0, 1, 0] * 31, dtype=bool))
+        b = wah_encode(np.array([0, 1, 1, 0] * 31, dtype=bool))
+        result, words = wah_or(a, b)
+        assert list(wah_decode(result)) == list(
+            np.array([1, 1, 1, 0] * 31, dtype=bool)
+        )
+        assert words >= 2
+
+    def test_and_with_zero_fill_short_circuits_runs(self):
+        a = wah_encode(np.zeros(31 * 100, dtype=bool))
+        rng = np.random.default_rng(4)
+        b = wah_encode(rng.random(31 * 100) < 0.5)
+        result, words = wah_and(a, b)
+        assert result.count() == 0
+        # The result should itself be a single zero fill.
+        assert result.n_words == 1
+
+    def test_length_mismatch_rejected(self):
+        a = wah_encode(np.zeros(31, dtype=bool))
+        b = wah_encode(np.zeros(62, dtype=bool))
+        with pytest.raises(ValueError, match="differ in length"):
+            wah_or(a, b)
+
+    def test_fill_merging_in_emitter(self):
+        """OR of two complementary sparse vectors stays compressed."""
+        bits_a = np.zeros(31 * 1000, dtype=bool)
+        bits_b = np.zeros(31 * 1000, dtype=bool)
+        bits_a[: 31 * 400] = True
+        bits_b[31 * 400 : 31 * 700] = True
+        result, _ = wah_or(wah_encode(bits_a), wah_encode(bits_b))
+        assert result.n_words <= 3
+
+
+class TestGroupDecoding:
+    def test_decode_groups_expands_fills(self):
+        vector = wah_encode(np.ones(31 * 7, dtype=bool))
+        groups = decode_groups(vector)
+        assert groups.shape == (7,)
+        assert np.all(groups == FULL_GROUP)
+
+    def test_groups_to_bits_truncates_to_n_bits(self):
+        groups = np.array([FULL_GROUP], dtype=np.uint32)
+        bits = groups_to_bits(groups, 10)
+        assert bits.shape == (10,)
+        assert bits.all()
+
+    def test_bit_order_is_big_endian_within_group(self):
+        bits = np.zeros(GROUP_BITS, dtype=bool)
+        bits[0] = True  # logical bit 0 -> payload bit 30
+        vector = wah_encode(bits)
+        assert int(vector.words[0]) == 1 << 30
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    bits=st.lists(st.booleans(), min_size=0, max_size=400),
+)
+def test_roundtrip_property(bits):
+    array = np.array(bits, dtype=bool)
+    assert np.array_equal(wah_decode(wah_encode(array)), array)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 2_000),
+    density=st.floats(0.0, 1.0),
+)
+def test_roundtrip_with_runs(seed, n, density):
+    """Random data with run structure (blocks), exercising fills."""
+    rng = np.random.default_rng(seed)
+    n_blocks = max(1, n // 50)
+    blocks = [
+        np.full(rng.integers(1, 100), rng.random() < density, dtype=bool)
+        for _ in range(n_blocks)
+    ]
+    array = np.concatenate(blocks)[:n]
+    vector = wah_encode(array)
+    assert np.array_equal(wah_decode(vector), array)
+    assert vector.count() == int(array.sum())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 1_500),
+)
+def test_ops_equal_plain_boolean_ops(seed, n):
+    rng = np.random.default_rng(seed)
+    a = rng.random(n) < rng.random()
+    b = rng.random(n) < rng.random()
+    va, vb = wah_encode(a), wah_encode(b)
+    or_result, _ = wah_or(va, vb)
+    and_result, _ = wah_and(va, vb)
+    assert np.array_equal(wah_decode(or_result), a | b)
+    assert np.array_equal(wah_decode(and_result), a & b)
+    # Results are themselves valid WAH vectors (re-encodable).
+    assert np.array_equal(wah_decode(wah_encode(a | b)), a | b)

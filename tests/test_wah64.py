@@ -1,0 +1,139 @@
+"""Tests for the 64-bit WAH variant and the codec parameterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import SequentialScan, WahBitmapIndex
+from repro.indexes.wah import (
+    WAH32,
+    WAH64,
+    WahCodec,
+    wah_and,
+    wah_decode,
+    wah_encode,
+    wah_or,
+)
+from repro.storage import Column
+
+from .conftest import make_random
+
+
+class TestCodecParameterisation:
+    def test_only_32_and_64(self):
+        with pytest.raises(ValueError, match="word_bits"):
+            WahCodec(16)
+        with pytest.raises(ValueError):
+            wah_encode(np.zeros(10, dtype=bool), word_bits=48)
+
+    def test_codec_geometry(self):
+        assert WAH32.group_bits == 31
+        assert WAH64.group_bits == 63
+        assert WAH64.max_fill == (1 << 62) - 1
+        assert WAH32.dtype == np.dtype("uint32")
+        assert WAH64.dtype == np.dtype("uint64")
+
+    def test_vector_carries_word_size(self):
+        vector = wah_encode(np.ones(100, dtype=bool), word_bits=64)
+        assert vector.word_bits == 64
+        assert vector.words.dtype == np.dtype("uint64")
+        assert vector.nbytes == vector.n_words * 8
+
+    def test_mixed_word_sizes_rejected_in_ops(self):
+        a = wah_encode(np.zeros(62, dtype=bool), word_bits=32)
+        b = wah_encode(np.zeros(62, dtype=bool), word_bits=64)
+        with pytest.raises(ValueError, match="word size"):
+            wah_or(a, b)
+
+    def test_codec_check_on_decode(self):
+        vector = wah_encode(np.ones(10, dtype=bool), word_bits=32)
+        with pytest.raises(ValueError, match="codec expects"):
+            WAH64.decode(vector)
+
+
+class TestWah64Behaviour:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.random(10_007) < 0.2
+        vector = wah_encode(bits, word_bits=64)
+        assert np.array_equal(wah_decode(vector), bits)
+        assert vector.count() == int(bits.sum())
+
+    def test_sparse_still_one_fill(self):
+        vector = wah_encode(np.zeros(63 * 500, dtype=bool), word_bits=64)
+        assert vector.n_words == 1
+
+    def test_ops_match_plain_boolean(self):
+        rng = np.random.default_rng(1)
+        a = rng.random(5_000) < 0.1
+        b = rng.random(5_000) < 0.4
+        va = wah_encode(a, word_bits=64)
+        vb = wah_encode(b, word_bits=64)
+        or_result, _ = wah_or(va, vb)
+        and_result, _ = wah_and(va, vb)
+        assert np.array_equal(wah_decode(or_result), a | b)
+        assert np.array_equal(wah_decode(and_result), a & b)
+
+    def test_size_tradeoff_on_random_data(self):
+        """Incompressible data: both variants pay ~1 word per group, so
+        the byte cost is similar (w/(w-1) bits per bit); 64-bit wins
+        slightly on the flag overhead."""
+        rng = np.random.default_rng(2)
+        bits = rng.random(31 * 63 * 20) < 0.5
+        v32 = wah_encode(bits, word_bits=32)
+        v64 = wah_encode(bits, word_bits=64)
+        assert v64.nbytes == pytest.approx(v32.nbytes, rel=0.05)
+
+    def test_size_tradeoff_on_sparse_data(self):
+        """Sparse data with short gaps: 32-bit fills amortise better
+        because each isolated set bit costs one literal word — 4 bytes
+        instead of 8."""
+        bits = np.zeros(31 * 63 * 20, dtype=bool)
+        bits[:: 31 * 8] = True
+        v32 = wah_encode(bits, word_bits=32)
+        v64 = wah_encode(bits, word_bits=64)
+        assert v32.nbytes < v64.nbytes
+
+
+class TestWah64BitmapIndex:
+    def test_query_equals_scan(self):
+        column = Column(make_random(6_000, np.int32, seed=3))
+        index = WahBitmapIndex(column, word_bits=64)
+        scan = SequentialScan(column)
+        lo, hi = np.quantile(column.values, [0.2, 0.6])
+        assert np.array_equal(
+            index.query_range(int(lo), int(hi)).ids,
+            scan.query_range(int(lo), int(hi)).ids,
+        )
+
+    def test_nbytes_uses_word_size(self):
+        column = Column(make_random(3_000, np.int16, seed=4))
+        index32 = WahBitmapIndex(column, word_bits=32)
+        index64 = WahBitmapIndex(
+            column, histogram=index32.histogram, word_bits=64
+        )
+        assert index64.nbytes != index32.nbytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.lists(st.booleans(), min_size=0, max_size=300),
+    word_bits=st.sampled_from([32, 64]),
+)
+def test_roundtrip_property_both_variants(bits, word_bits):
+    array = np.array(bits, dtype=bool)
+    vector = wah_encode(array, word_bits=word_bits)
+    assert np.array_equal(wah_decode(vector), array)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 500), n=st.integers(1, 1_200))
+def test_variants_agree_on_count(seed, n):
+    rng = np.random.default_rng(seed)
+    bits = rng.random(n) < rng.random()
+    assert (
+        wah_encode(bits, word_bits=32).count()
+        == wah_encode(bits, word_bits=64).count()
+        == int(bits.sum())
+    )

@@ -1,0 +1,139 @@
+"""Tests for the five dataset simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core import column_entropy
+from repro.workloads import (
+    dataset_registry,
+    load_all_datasets,
+    load_dataset,
+    p_retailprice,
+)
+
+
+SCALE = 0.1  # keep generator tests fast
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        names = set(dataset_registry())
+        assert {"routing", "sdss", "cnet", "airtraffic", "tpch"} <= names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_load_all_order_matches_table1(self):
+        datasets = load_all_datasets(scale=SCALE)
+        assert [d.name for d in datasets][:5] == [
+            "routing", "sdss", "cnet", "airtraffic", "tpch",
+        ]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["routing", "sdss", "cnet", "airtraffic", "tpch"]
+    )
+    def test_same_seed_same_data(self, name):
+        a = load_dataset(name, scale=SCALE, seed=3)
+        b = load_dataset(name, scale=SCALE, seed=3)
+        for col_a, col_b in zip(a.columns, b.columns):
+            assert col_a.qualified_name == col_b.qualified_name
+            assert np.array_equal(col_a.column.values, col_b.column.values)
+
+    def test_different_seed_different_data(self):
+        a = load_dataset("sdss", scale=SCALE, seed=1)
+        b = load_dataset("sdss", scale=SCALE, seed=2)
+        col = "photoprofile.profmean"
+        assert not np.array_equal(
+            a.column(col).column.values, b.column(col).column.values
+        )
+
+
+class TestStructure:
+    def test_routing_columns_and_clustering(self):
+        dataset = load_dataset("routing", scale=SCALE)
+        names = {c.qualified_name for c in dataset}
+        assert names == {
+            "trips.lon", "trips.lat", "trips.trip_id", "trips.timestamp",
+        }
+        assert dataset.column("trips.timestamp").column.is_sorted
+        lat = dataset.column("trips.lat").column
+        assert column_entropy(lat) < 0.6  # clustered, not random
+
+    def test_sdss_mixes_entropies(self):
+        dataset = load_dataset("sdss", scale=SCALE)
+        entropies = {
+            c.qualified_name: column_entropy(c.column) for c in dataset
+        }
+        assert entropies["photoprofile.profmean"] > 0.6  # the Figure 3 one
+        assert entropies["photoobj.objid"] < 0.1  # sorted identifier
+
+    def test_cnet_is_sparse_and_has_attr18(self):
+        dataset = load_dataset("cnet", scale=SCALE)
+        attr = dataset.column("cnet.attr18").column
+        dominant = np.count_nonzero(attr.values == 0) / len(attr)
+        assert dominant > 0.8
+        assert attr.cardinality < 64
+
+    def test_airtraffic_is_time_ordered_with_dictionaries(self):
+        dataset = load_dataset("airtraffic", scale=SCALE)
+        # Rows arrive in monthly batches: the (year, month) sequence is
+        # sorted even though days inside a month are not.
+        year = dataset.column("ontime.year").column.values.astype(np.int64)
+        month = dataset.column("ontime.month").column.values.astype(np.int64)
+        batch = year * 12 + month
+        assert np.all(batch[:-1] <= batch[1:])
+        origin = dataset.column("ontime.origin")
+        assert origin.dictionary is not None
+        decoded = origin.dictionary.decode(origin.column.values[:5])
+        assert all(isinstance(s, str) and len(s) == 3 for s in decoded)
+
+    def test_tpch_retailprice_formula(self):
+        keys = np.array([1, 10, 1000, 20010], dtype=np.int64)
+        prices = p_retailprice(keys)
+        # Spot values from the spec formula:
+        # key 1:  90000 + (0 % 20001) + 100*(1 % 1000)  = 90100 cents
+        # key 10: 90000 + (1 % 20001) + 100*(10 % 1000) = 91001 cents
+        assert prices[0] == pytest.approx(901.00)
+        assert prices[1] == pytest.approx(910.01)
+
+    def test_tpch_lineitem_consistency(self):
+        dataset = load_dataset("tpch", scale=SCALE)
+        quantity = dataset.column("lineitem.l_quantity").column.values
+        assert quantity.min() >= 1 and quantity.max() <= 50
+        orderkey = dataset.column("lineitem.l_orderkey").column
+        assert orderkey.is_sorted
+        ship = dataset.column("lineitem.l_shipdate").column.values
+        receipt = dataset.column("lineitem.l_receiptdate").column.values
+        assert np.all(receipt > ship)
+
+
+class TestStats:
+    def test_stats_shapes(self):
+        dataset = load_dataset("routing", scale=SCALE)
+        stats = dataset.stats()
+        assert stats.name == "routing"
+        assert stats.n_columns == 4
+        assert stats.max_rows == len(dataset.column("trips.lat").column)
+        assert set(stats.value_types) == {"int", "long"}
+
+    def test_tables_are_aligned(self):
+        dataset = load_dataset("tpch", scale=SCALE)
+        tables = dataset.tables()
+        assert set(tables) == {"part", "orders", "lineitem"}
+        lineitem = tables["lineitem"]
+        assert lineitem.n_rows == len(
+            dataset.column("lineitem.l_orderkey").column
+        )
+
+    def test_scale_controls_rows(self):
+        small = load_dataset("sdss", scale=0.05).stats().max_rows
+        large = load_dataset("sdss", scale=0.2).stats().max_rows
+        assert large > small
+
+    def test_unknown_column_lookup(self):
+        dataset = load_dataset("routing", scale=SCALE)
+        with pytest.raises(KeyError, match="no column"):
+            dataset.column("trips.nope")

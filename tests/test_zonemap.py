@@ -1,0 +1,103 @@
+"""Tests for the zonemap baseline index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import SequentialScan, ZoneMap
+from repro.predicate import RangePredicate
+from repro.storage import Column, INT
+
+from .conftest import column_for_type, make_clustered, make_random
+
+
+class TestBuild:
+    def test_zone_per_cacheline(self, clustered_column):
+        zonemap = ZoneMap(clustered_column)
+        assert zonemap.n_zones == clustered_column.n_cachelines
+
+    def test_min_max_are_exact(self):
+        column = Column(make_random(1_000, np.int32, seed=1))
+        zonemap = ZoneMap(column)
+        vpc = column.values_per_cacheline
+        for zone in range(zonemap.n_zones):
+            chunk = column.values[zone * vpc : (zone + 1) * vpc]
+            assert zonemap.zone_min[zone] == chunk.min()
+            assert zonemap.zone_max[zone] == chunk.max()
+
+    def test_nbytes_two_values_per_zone(self):
+        column = Column(make_random(1_600, np.int32, seed=2))
+        zonemap = ZoneMap(column)
+        assert zonemap.nbytes == 2 * 4 * zonemap.n_zones
+
+    def test_empty_column(self):
+        zonemap = ZoneMap(Column(np.array([], dtype=np.int32)))
+        assert zonemap.n_zones == 0
+        result = zonemap.query(RangePredicate.range(0, 10, INT))
+        assert result.n_ids == 0
+
+
+class TestQuery:
+    def test_equals_scan(self, any_ctype):
+        column = column_for_type(any_ctype)
+        zonemap = ZoneMap(column)
+        scan = SequentialScan(column)
+        lo, hi = np.quantile(column.values.astype(np.float64), [0.3, 0.6])
+        assert np.array_equal(
+            zonemap.query_range(float(lo), float(hi)).ids,
+            scan.query_range(float(lo), float(hi)).ids,
+        )
+
+    def test_probes_always_all_zones(self, clustered_column):
+        """Figure 11: zonemap probes == number of cachelines, always."""
+        zonemap = ZoneMap(clustered_column)
+        for lo, hi in [(0, 1), (9_000, 11_000), (-10**6, 10**6)]:
+            result = zonemap.query_range(lo, hi)
+            assert result.stats.index_probes == zonemap.n_zones
+
+    def test_full_zones_need_no_comparisons(self):
+        column = Column(np.sort(make_random(4_000, np.int32, seed=3)))
+        zonemap = ZoneMap(column)
+        result = zonemap.query_range(
+            int(column.values.min()), int(column.values.max()) + 1
+        )
+        # Sorted column, full range: every zone fully inside.
+        assert result.stats.value_comparisons == 0
+        assert result.n_ids == len(column)
+
+    def test_skew_defeats_zonemaps(self):
+        """The paper's motivating adversary: each cacheline contains the
+        domain min and max, so zonemaps can prune nothing."""
+        vpc = 16
+        n_lines = 200
+        rng = np.random.default_rng(4)
+        lines = []
+        for _ in range(n_lines):
+            chunk = rng.integers(400, 600, vpc).astype(np.int32)
+            chunk[0] = 0
+            chunk[1] = 1000
+            lines.append(chunk)
+        column = Column(np.concatenate(lines))
+        zonemap = ZoneMap(column)
+        result = zonemap.query_range(100, 200)  # matches nothing
+        assert result.n_ids == 0
+        # ... but zonemaps had to fetch and check every single zone.
+        assert result.stats.partial_cachelines == n_lines
+        assert result.stats.value_comparisons == len(column)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    n=st.integers(1, 800),
+    lo=st.integers(-100, 1100),
+    width=st.integers(0, 600),
+)
+def test_zonemap_equals_ground_truth(seed, n, lo, width):
+    rng = np.random.default_rng(seed)
+    column = Column(rng.integers(0, 1000, n).astype(np.int32))
+    zonemap = ZoneMap(column)
+    predicate = RangePredicate.range(lo, lo + width, INT)
+    expected = np.flatnonzero(predicate.matches(column.values))
+    assert np.array_equal(zonemap.query(predicate).ids, expected)
