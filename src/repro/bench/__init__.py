@@ -32,6 +32,12 @@ from .queries_fig8_11 import (
     render_fig11,
     run_query_sweep,
 )
+from .query_kernels import (
+    kernel_study_rows,
+    query_compressed,
+    query_expanded,
+    render_kernel_study,
+)
 from .runner import METHODS, BenchContext, BuiltColumn, get_context, time_call
 from .size_time import (
     fig5_rows,
@@ -74,6 +80,10 @@ __all__ = [
     "fig10_rows",
     "render_fig11",
     "fig11_rows",
+    "render_kernel_study",
+    "kernel_study_rows",
+    "query_expanded",
+    "query_compressed",
     "format_table",
     "format_bytes",
     "format_seconds",

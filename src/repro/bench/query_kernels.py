@@ -1,0 +1,202 @@
+"""Expanded vs compressed-domain query kernels — the PR-level ablation.
+
+The production query engine evaluates Algorithm 3 against the *stored*
+imprint vectors and emits qualifying cachelines as ranges
+(:func:`repro.core.query.query_ranges`).  This study keeps the old
+expanded kernel alive — ``expand_rows()`` per query, per-cacheline
+candidate arrays — and races the two across selectivities and
+run-length distributions, so the benefit of staying in the compressed
+domain is a regenerable number instead of PR folklore.
+
+Datasets sweep the compression ratio (cachelines per stored vector):
+
+* ``random`` — i.i.d. uniform values, ratio ~1 (no runs): the floor,
+  both kernels do the same work;
+* ``clustered`` — a random walk, moderate runs;
+* ``sorted`` — fully sorted values, long runs;
+* ``low-card`` — few distinct values in long stretches, extreme runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core import ColumnImprints
+from ..core.builder import ImprintsData
+from ..core.query import materialize_ranges, query_ranges
+from ..index_base import QueryResult
+from ..predicate import RangePredicate
+from ..storage import Column
+from .tables import format_table
+
+__all__ = [
+    "query_expanded",
+    "query_compressed",
+    "kernel_datasets",
+    "kernel_study_rows",
+    "render_kernel_study",
+]
+
+_U64 = np.uint64
+
+#: Query selectivities swept (fraction of the column returned).
+SELECTIVITIES = (0.001, 0.01, 0.1, 0.5)
+
+
+# ----------------------------------------------------------------------
+# the legacy kernel (pre-compressed-domain), kept honest and comparable
+# ----------------------------------------------------------------------
+def query_expanded(
+    data: ImprintsData,
+    values: np.ndarray,
+    predicate: RangePredicate,
+) -> QueryResult:
+    """Algorithm 3 the old way: expand the dictionary, test per cacheline.
+
+    Allocates the O(n_cachelines) ``expand_rows()`` array on every call
+    and explodes candidates to per-cacheline id blocks — exactly the
+    query path this repo shipped before the run-level engine.
+    """
+    from ..core.masks import make_masks
+    from ..core.query import fresh_query_stats
+
+    mask, innermask = make_masks(data.histogram, predicate)
+    stats = fresh_query_stats(data)
+    if mask == 0 or data.n_cachelines == 0:
+        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+
+    mask64 = _U64(mask)
+    not_inner64 = _U64(~innermask & ((1 << 64) - 1))
+    vectors = data.imprints
+    hit_rows = (vectors & mask64) != 0
+    full_rows = hit_rows & ((vectors & not_inner64) == 0)
+
+    rows = data.dictionary._compute_expand_rows()  # the per-query expansion
+    hit = hit_rows[rows]
+    full = full_rows[rows]
+    candidates = np.flatnonzero(hit).astype(np.int64)
+    is_full = full[candidates]
+
+    vpc = data.values_per_cacheline
+    n = data.n_values
+    offsets = np.arange(vpc, dtype=np.int64)
+    full_lines = candidates[is_full]
+    partial_lines = candidates[~is_full]
+    stats.full_cachelines = int(full_lines.shape[0])
+    stats.partial_cachelines = int(partial_lines.shape[0])
+    stats.cachelines_fetched = int(partial_lines.shape[0])
+
+    id_chunks: list[np.ndarray] = []
+    if full_lines.size:
+        ids = (full_lines[:, None] * vpc + offsets[None, :]).ravel()
+        id_chunks.append(ids[ids < n])
+    if partial_lines.size:
+        cand = (partial_lines[:, None] * vpc + offsets[None, :]).ravel()
+        cand = cand[cand < n]
+        stats.value_comparisons = int(cand.shape[0])
+        keep = predicate.matches(values[cand])
+        id_chunks.append(cand[keep])
+    if not id_chunks:
+        ids = np.empty(0, dtype=np.int64)
+    elif len(id_chunks) == 1:
+        ids = id_chunks[0]
+    else:
+        ids = np.sort(np.concatenate(id_chunks), kind="stable")
+    stats.ids_materialized = int(ids.shape[0])
+    return QueryResult(ids=ids, stats=stats)
+
+
+def query_compressed(
+    data: ImprintsData,
+    values: np.ndarray,
+    predicate: RangePredicate,
+) -> QueryResult:
+    """The production run-level kernel (for symmetric timing calls)."""
+    return materialize_ranges(
+        data, values, predicate.matches, query_ranges(data, predicate)
+    )
+
+
+# ----------------------------------------------------------------------
+# datasets sweeping the run-length distribution
+# ----------------------------------------------------------------------
+def kernel_datasets(n: int = 400_000, seed: int = 0) -> dict[str, Column]:
+    rng = np.random.default_rng(seed)
+    random = rng.integers(0, 1_000_000, n).astype(np.int32)
+    clustered = (np.cumsum(rng.normal(0.0, 30.0, n)) + 50_000.0).astype(np.int32)
+    ordered = np.sort(rng.integers(0, 1_000_000, n)).astype(np.int32)
+    low_card = np.repeat(
+        rng.integers(0, 50, max(1, n // 2_000)).astype(np.int32), 2_000
+    )[:n]
+    return {
+        "random": Column(random, name="kern.random"),
+        "clustered": Column(clustered, name="kern.clustered"),
+        "sorted": Column(ordered, name="kern.sorted"),
+        "low-card": Column(low_card, name="kern.lowcard"),
+    }
+
+
+def _median_seconds(fn, repeats: int = 7) -> float:
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return float(np.median(times))
+
+
+def kernel_study_rows(n: int = 400_000, seed: int = 0) -> list[list]:
+    """One row per (dataset, selectivity): both kernels, verified equal."""
+    rows: list[list] = []
+    for name, column in kernel_datasets(n=n, seed=seed).items():
+        index = ColumnImprints(column)
+        data = index.data
+        ratio = data.n_cachelines / max(1, data.dictionary.n_imprint_rows)
+        for selectivity in SELECTIVITIES:
+            lo, hi = np.quantile(
+                column.values, [0.45, min(1.0, 0.45 + selectivity)]
+            )
+            predicate = RangePredicate.range(int(lo), int(hi), column.ctype)
+            expanded = query_expanded(data, column.values, predicate)
+            compressed = query_compressed(data, column.values, predicate)
+            if not np.array_equal(expanded.ids, compressed.ids):
+                raise AssertionError(
+                    f"kernel disagreement on {name} @ {selectivity}"
+                )
+            t_expanded = _median_seconds(
+                lambda: query_expanded(data, column.values, predicate)
+            )
+            t_compressed = _median_seconds(
+                lambda: query_compressed(data, column.values, predicate)
+            )
+            rows.append(
+                [
+                    name,
+                    ratio,
+                    selectivity,
+                    t_expanded * 1e3,
+                    t_compressed * 1e3,
+                    t_expanded / t_compressed if t_compressed > 0 else float("inf"),
+                ]
+            )
+    return rows
+
+
+def render_kernel_study(n: int = 400_000, seed: int = 0) -> str:
+    return format_table(
+        headers=[
+            "data",
+            "lines/vector",
+            "selectivity",
+            "expanded ms",
+            "compressed ms",
+            "speedup",
+        ],
+        rows=kernel_study_rows(n=n, seed=seed),
+        title=(
+            "Query kernels: expanded (per-cacheline) vs compressed-domain "
+            "(per stored vector)"
+        ),
+    )

@@ -15,6 +15,7 @@ from .ablations import render_ablations
 from .datasets_table import render_table1
 from .entropy_fig4 import render_fig4
 from .prints_fig3 import render_fig3
+from .query_kernels import render_kernel_study
 from .queries_fig8_11 import (
     render_fig8,
     render_fig9,
@@ -77,6 +78,8 @@ def generate_report(
          lambda: render_fig11(measurements)),
         ("update_study", "Section 4 - update study",
          lambda: render_update_study()),
+        ("query_kernels", "Query kernels - expanded vs compressed-domain",
+         lambda: render_kernel_study(n=max(10_000, int(400_000 * scale)))),
         ("ablations", "Ablations - design-choice sweeps",
          lambda: render_ablations()),
     ]

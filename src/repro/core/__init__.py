@@ -34,14 +34,25 @@ from .entropy import column_entropy, entropy_of_vectors
 from .inlist import in_list_masks, query_in_list
 from .getbin import ComparisonCounter, UnrolledGetBin, get_bin_loop
 from .index import ColumnImprints
-from .masks import edge_bins, make_masks
+from .masks import cached_masks, edge_bins, make_masks
 from .multilevel import MultiLevelImprints
 from .parallel import build_imprints_parallel, partition_bounds
 from .query import (
     CachelineCandidates,
+    materialize_ranges,
+    query_batch,
     query_cachelines,
+    query_ranges,
     query_scalar,
     query_vectorized,
+)
+from .ranges import (
+    CandidateRanges,
+    coalesce_ranges,
+    difference_ranges,
+    expand_ranges,
+    intersect_ranges,
+    union_ranges,
 )
 from .render import render_compressed, render_imprints
 from .serialize import SerializationError, dump_imprints, load_imprints
@@ -60,11 +71,21 @@ __all__ = [
     "MAX_CNT",
     "CNT_BITS",
     "make_masks",
+    "cached_masks",
     "edge_bins",
     "query_scalar",
     "query_vectorized",
+    "query_ranges",
     "query_cachelines",
+    "query_batch",
+    "materialize_ranges",
     "CachelineCandidates",
+    "CandidateRanges",
+    "expand_ranges",
+    "coalesce_ranges",
+    "intersect_ranges",
+    "union_ranges",
+    "difference_ranges",
     "conjunctive_query",
     "conjunctive_query_eager",
     "disjunctive_query",

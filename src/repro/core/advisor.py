@@ -51,9 +51,9 @@ def plan_query(
     n = len(column)
     vpc = column.values_per_cacheline
 
-    candidates = index.candidates(predicate)
-    n_partial = int((~candidates.is_full).sum())
-    n_full = candidates.n_candidates - n_partial
+    candidates = index.candidate_ranges(predicate)
+    n_partial = candidates.n_partial_cachelines
+    n_full = candidates.n_full_cachelines
 
     predicted = QueryStats(
         index_probes=candidates.stats.index_probes,
@@ -67,7 +67,7 @@ def plan_query(
     scan_seconds = model.scan_time(n, column.ctype.itemsize, n)
 
     method = "imprints" if imprints_seconds <= scan_seconds else "scan"
-    fraction = candidates.n_candidates / max(1, index.data.n_cachelines)
+    fraction = candidates.n_cachelines / max(1, index.data.n_cachelines)
     return AccessPlan(
         method=method,
         imprints_seconds=imprints_seconds,

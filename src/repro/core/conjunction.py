@@ -25,6 +25,12 @@ import numpy as np
 from ..index_base import QueryResult, QueryStats
 from ..predicate import RangePredicate
 from .index import ColumnImprints
+from .ranges import (
+    difference_ranges,
+    expand_ranges,
+    intersect_ranges,
+    union_ranges,
+)
 
 __all__ = [
     "conjunctive_query",
@@ -48,17 +54,21 @@ def _intersect_id_ranges(
     intersected pairwise.
     """
     n_rows = len(indexes[0].column)
-    alive = None  # boolean mask over ids, lazily narrowed per column
+    alive: tuple[np.ndarray, np.ndarray] | None = None  # id ranges, narrowed per column
     for index, predicate in zip(indexes, predicates):
-        candidates = index.candidates(predicate)
-        stats.merge(candidates.stats)
-        member = np.zeros(n_rows, dtype=bool)
-        ids = index.column.geometry.expand_cachelines(candidates.cachelines, n_rows)
-        member[ids] = True
-        alive = member if alive is None else (alive & member)
-        if not alive.any():
+        ranges = index.candidate_ranges(predicate)
+        stats.merge(ranges.stats)
+        spans = ranges.id_spans(index.column.values_per_cacheline, n_rows)
+        if alive is None:
+            alive = spans
+        else:
+            starts, stops, _, _ = intersect_ranges(*alive, *spans)
+            alive = (starts, stops)
+        if alive[0].size == 0:
             break
-    return np.flatnonzero(alive) if alive is not None else np.empty(0, dtype=np.int64)
+    if alive is None:
+        return np.empty(0, dtype=np.int64)
+    return expand_ranges(*alive)
 
 
 def conjunctive_query(
@@ -161,24 +171,35 @@ def disjunctive_query(
         raise ValueError("disjunctive queries require equally long columns")
 
     stats = QueryStats()
-    accepted = np.zeros(n_rows, dtype=bool)
-    candidate = np.zeros(n_rows, dtype=bool)
+    accepted_starts: list[np.ndarray] = []
+    accepted_stops: list[np.ndarray] = []
+    pending_starts: list[np.ndarray] = []
+    pending_stops: list[np.ndarray] = []
     for index, predicate in zip(indexes, predicates):
-        candidates = index.candidates(predicate)
-        stats.merge(candidates.stats)
-        geometry = index.column.geometry
-        full_ids = geometry.expand_cachelines(
-            candidates.cachelines[candidates.is_full], n_rows
-        )
-        accepted[full_ids] = True
-        partial_ids = geometry.expand_cachelines(
-            candidates.cachelines[~candidates.is_full], n_rows
-        )
-        candidate[partial_ids] = True
+        ranges = index.candidate_ranges(predicate)
+        stats.merge(ranges.stats)
+        vpc = index.column.values_per_cacheline
+        full_s, full_e, part_s, part_e = ranges.split()
+        accepted_starts.append(full_s * vpc)
+        accepted_stops.append(np.minimum(full_e * vpc, n_rows))
+        pending_starts.append(part_s * vpc)
+        pending_stops.append(np.minimum(part_e * vpc, n_rows))
+
+    # Interval algebra over id space: union the full ranges (accepted
+    # wholesale), union the partial ranges, and only ids in the latter
+    # minus the former need value checks.
+    accepted = union_ranges(
+        np.concatenate(accepted_starts), np.concatenate(accepted_stops)
+    )
+    candidate = union_ranges(
+        np.concatenate(pending_starts), np.concatenate(pending_stops)
+    )
+    unresolved_s, unresolved_e, _ = difference_ranges(*candidate, *accepted)
+    pending = expand_ranges(unresolved_s, unresolved_e)
+    id_chunks: list[np.ndarray] = [expand_ranges(*accepted)]
 
     # Check unresolved candidates predicate by predicate, dropping ids
     # as soon as one side accepts them.
-    pending = np.flatnonzero(candidate & ~accepted)
     for index, predicate in zip(indexes, predicates):
         if pending.size == 0:
             break
@@ -186,9 +207,9 @@ def disjunctive_query(
         lines = np.unique(index.column.geometry.cachelines_of(pending))
         stats.cachelines_fetched += int(lines.shape[0])
         hit = predicate.matches(index.column.values[pending])
-        accepted[pending[hit]] = True
+        id_chunks.append(pending[hit])
         pending = pending[~hit]
 
-    ids = np.flatnonzero(accepted).astype(np.int64)
+    ids = np.sort(np.concatenate(id_chunks), kind="stable")
     stats.ids_materialized = int(ids.shape[0])
     return QueryResult(ids=ids, stats=stats)

@@ -31,7 +31,14 @@ from ..storage.column import Column
 from .binning import DEFAULT_SAMPLE_SIZE, MAX_BINS, Histogram, binning
 from .builder import ImprintsBuilder, ImprintsData
 from .dictionary import MAX_CNT
-from .query import CachelineCandidates, query_cachelines, query_vectorized
+from .query import (
+    CachelineCandidates,
+    query_batch,
+    query_cachelines,
+    query_ranges,
+    query_vectorized,
+)
+from .ranges import CandidateRanges
 
 __all__ = ["ColumnImprints"]
 
@@ -133,12 +140,32 @@ class ColumnImprints(SecondaryIndex):
             self.data, self.column.values, predicate, overlay=self._overlay or None
         )
 
-    def candidates(self, predicate: RangePredicate) -> CachelineCandidates:
-        """Late materialisation: qualifying cachelines only (Section 3).
+    def query_batch(self, predicates) -> list[QueryResult]:
+        """Answer many predicates with one shared stored-vector pass.
 
-        Use :func:`repro.core.conjunction.conjunctive_query` to
-        merge-join candidates of several predicates before fetching
-        values.
+        The traffic-serving shape: the mask tests for the whole batch
+        run as a single vectorised operation over the compressed index;
+        each answer is bit-identical to :meth:`query` on that predicate.
+        """
+        return query_batch(
+            self.data, self.column.values, predicates, overlay=self._overlay or None
+        )
+
+    def candidate_ranges(self, predicate: RangePredicate) -> CandidateRanges:
+        """Late materialisation in the compressed domain (Section 3).
+
+        Qualifying cachelines as contiguous ``[start, stop)`` ranges —
+        O(stored vectors) output, the form
+        :func:`repro.core.conjunction.conjunctive_query` merge-joins
+        before fetching any values.
+        """
+        return query_ranges(self.data, predicate, overlay=self._overlay or None)
+
+    def candidates(self, predicate: RangePredicate) -> CachelineCandidates:
+        """Exploded per-cacheline candidates (compatibility view).
+
+        Prefer :meth:`candidate_ranges` — this view materialises one
+        array element per candidate cacheline.
         """
         return query_cachelines(self.data, predicate, overlay=self._overlay or None)
 

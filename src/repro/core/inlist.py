@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..index_base import QueryResult, QueryStats
+from ..index_base import QueryResult
 from .builder import ImprintsData
 from .index import ColumnImprints
+from .query import fresh_query_stats, materialize_ranges, ranges_for_masks
 
 __all__ = ["in_list_masks", "query_in_list"]
 
@@ -60,58 +61,36 @@ def in_list_masks(data: ImprintsData, members) -> tuple[int, int]:
 
 
 def query_in_list(index: ColumnImprints, members) -> QueryResult:
-    """Answer ``column value IN members`` through the imprint index."""
+    """Answer ``column value IN members`` through the imprint index.
+
+    Compressed-domain kernel: one mask test per *stored* vector, hits
+    mapped to contiguous cacheline ranges via the dictionary's cached
+    run boundaries (never expanded), membership checks only on values
+    of partial ranges.  Saturation overlay bits from in-place updates
+    participate the same way as in the range-query path.
+    """
     data = index.data
     column = index.column
-    stats = QueryStats()
-    stats.index_probes = data.dictionary.n_imprint_rows
-    stats.index_bytes_read = data.nbytes
+    stats = fresh_query_stats(data)
 
     mask, innermask = in_list_masks(data, members)
     if mask == 0 or data.n_cachelines == 0:
         return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
 
-    mask64 = _U64(mask)
-    rows = data.dictionary.expand_rows()
-    vectors = data.imprints
-    hit = (vectors & mask64) != 0
-    hit_lines = np.flatnonzero(hit[rows]).astype(np.int64)
+    # Single-value inner bins: a stored vector fully inside the
+    # innermask proves its whole run qualifies wholesale.
+    ranges = ranges_for_masks(
+        data,
+        _U64(mask),
+        _U64(~innermask & ((1 << 64) - 1)),
+        stats,
+        overlay=index._overlay or None,
+    )
 
-    vpc = data.values_per_cacheline
-    n = data.n_values
-    offsets = np.arange(vpc, dtype=np.int64)
-
-    # Single-value inner bins: a cacheline whose imprint is fully inside
-    # the innermask qualifies wholesale.
-    full_lines = np.empty(0, dtype=np.int64)
-    if innermask:
-        not_inner = _U64(~innermask & ((1 << 64) - 1))
-        full = hit & ((vectors & not_inner) == 0)
-        full_per_line = full[rows]
-        full_lines = np.flatnonzero(full_per_line).astype(np.int64)
-        hit_lines = hit_lines[~full_per_line[hit_lines]]
-
-    stats.full_cachelines = int(full_lines.shape[0])
-    stats.partial_cachelines = int(hit_lines.shape[0])
-    stats.cachelines_fetched = int(hit_lines.shape[0])
-
-    id_chunks: list[np.ndarray] = []
-    if full_lines.size:
-        ids = (full_lines[:, None] * vpc + offsets[None, :]).ravel()
-        id_chunks.append(ids[ids < n])
-    if hit_lines.size:
-        candidates = (hit_lines[:, None] * vpc + offsets[None, :]).ravel()
-        candidates = candidates[candidates < n]
-        stats.value_comparisons = int(candidates.shape[0])
-        member_array = np.unique(
-            np.asarray(members, dtype=column.ctype.dtype)
-        )
-        keep = np.isin(column.values[candidates], member_array)
-        id_chunks.append(candidates[keep])
-
-    if not id_chunks:
-        ids = np.empty(0, dtype=np.int64)
-    else:
-        ids = np.sort(np.concatenate(id_chunks), kind="stable")
-    stats.ids_materialized = int(ids.shape[0])
-    return QueryResult(ids=ids, stats=stats)
+    member_array = np.unique(np.asarray(members, dtype=column.ctype.dtype))
+    return materialize_ranges(
+        data,
+        column.values,
+        lambda chunk: np.isin(chunk, member_array),
+        ranges,
+    )

@@ -18,11 +18,13 @@ implementation never does that.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 from ..predicate import RangePredicate
 from .binning import Histogram
 from .bitvec import low_bits_mask
 
-__all__ = ["make_masks", "edge_bins"]
+__all__ = ["make_masks", "cached_masks", "edge_bins"]
 
 
 def _prev_value(histogram: Histogram, bound):
@@ -96,6 +98,32 @@ def make_masks(histogram: Histogram, predicate: RangePredicate) -> tuple[int, in
     # A single-bin query with both edges partial leaves innermask 0.
     innermask &= low_bits_mask(histogram.bins)
     return mask, innermask
+
+
+# Per-histogram memo of (predicate -> masks).  Keyed weakly so dropping
+# an index releases its cache; predicates are tiny frozen dataclasses
+# and serve as dict keys directly.  Traffic-serving workloads repeat
+# predicates heavily (dashboards, templated queries), and mask
+# construction is pure Python bit fiddling — worth never redoing.
+_MASK_CACHES: WeakKeyDictionary = WeakKeyDictionary()
+_MASK_CACHE_LIMIT = 4096
+
+
+def cached_masks(
+    histogram: Histogram, predicate: RangePredicate
+) -> tuple[int, int]:
+    """Memoised :func:`make_masks` per ``(histogram, predicate)``."""
+    per_histogram = _MASK_CACHES.get(histogram)
+    if per_histogram is None:
+        per_histogram = {}
+        _MASK_CACHES[histogram] = per_histogram
+    masks = per_histogram.get(predicate)
+    if masks is None:
+        if len(per_histogram) >= _MASK_CACHE_LIMIT:
+            per_histogram.clear()
+        masks = make_masks(histogram, predicate)
+        per_histogram[predicate] = masks
+    return masks
 
 
 def describe_masks(histogram: Histogram, predicate: RangePredicate) -> str:

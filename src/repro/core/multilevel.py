@@ -27,7 +27,8 @@ from ..index_base import QueryResult, QueryStats, SecondaryIndex
 from ..predicate import RangePredicate
 from ..storage.column import Column
 from .index import ColumnImprints
-from .masks import make_masks
+from .masks import cached_masks
+from .ranges import coalesce_ranges, expand_ranges, intersect_ranges
 
 __all__ = ["MultiLevelImprints"]
 
@@ -82,7 +83,7 @@ class MultiLevelImprints(SecondaryIndex):
 
     # ------------------------------------------------------------------
     def query(self, predicate: RangePredicate) -> QueryResult:
-        mask, innermask = make_masks(self.base.histogram, predicate)
+        mask, innermask = cached_masks(self.base.histogram, predicate)
         stats = QueryStats()
         data = self.base.data
         n = len(self.column)
@@ -103,47 +104,54 @@ class MultiLevelImprints(SecondaryIndex):
 
         # Groups fully inside the range: whole id spans, no level 0.
         full_groups = np.flatnonzero(summary_full)
-        for group in full_groups:
-            start = int(group) * group_values
-            stop = min(start + group_values, n)
-            id_chunks.append(np.arange(start, stop, dtype=np.int64))
-            stats.full_cachelines += -(-(stop - start) // vpc)
+        if full_groups.size:
+            group_starts = full_groups * group_values
+            group_stops = np.minimum(group_starts + group_values, n)
+            id_chunks.append(expand_ranges(group_starts, group_stops))
+            stats.full_cachelines += int(
+                ((group_stops - group_starts + vpc - 1) // vpc).sum()
+            )
 
         # ---- level 0: only surviving, not-fully-inside groups -------
+        # Drill down in the compressed domain: intersect the survivor
+        # groups' cacheline intervals with the stored vectors' run
+        # intervals, test each overlapping stored vector once, and emit
+        # cacheline ranges — the dictionary is never expanded.
         survivors = np.flatnonzero(summary_hits & ~summary_full)
         if survivors.size:
-            rows = data.dictionary.expand_rows()
-            vectors = data.imprints
-            offsets = np.arange(vpc, dtype=np.int64)
             n_cachelines = data.n_cachelines
-            # Cachelines of the surviving groups, flattened.
-            lines = (
-                survivors[:, None] * self.fanout
-                + np.arange(self.fanout, dtype=np.int64)[None, :]
-            ).ravel()
-            lines = lines[lines < n_cachelines]
+            surv_starts = survivors * self.fanout
+            surv_stops = np.minimum(surv_starts + self.fanout, n_cachelines)
+            span_starts, span_stops = data.dictionary.row_cacheline_spans()
+            piece_starts, piece_stops, piece_rows, _ = intersect_ranges(
+                span_starts, span_stops, surv_starts, surv_stops
+            )
             # Probe accounting in the same currency as the base index:
             # distinct stored vectors examined (a repeat-compressed run
             # is one probe no matter how many cachelines it covers).
-            line_rows = rows[lines]
-            stats.index_probes += int(np.unique(line_rows).shape[0])
-            line_vectors = vectors[line_rows]
-            hit = (line_vectors & mask64) != 0
-            full = hit & ((line_vectors & not_inner64) == 0)
+            stats.index_probes += int(np.unique(piece_rows).shape[0])
+            piece_vectors = data.imprints[piece_rows]
+            hit = (piece_vectors & mask64) != 0
+            full = hit & ((piece_vectors & not_inner64) == 0)
 
-            full_lines = lines[full]
-            partial_lines = lines[hit & ~full]
-            stats.full_cachelines += int(full_lines.shape[0])
-            stats.partial_cachelines = int(partial_lines.shape[0])
-            stats.cachelines_fetched = int(partial_lines.shape[0])
-            if full_lines.size:
-                ids = (full_lines[:, None] * vpc + offsets[None, :]).ravel()
-                id_chunks.append(ids[ids < n])
-            if partial_lines.size:
-                candidates = (
-                    partial_lines[:, None] * vpc + offsets[None, :]
-                ).ravel()
-                candidates = candidates[candidates < n]
+            starts, stops, full = coalesce_ranges(
+                piece_starts[hit], piece_stops[hit], full[hit]
+            )
+            full_len = int((stops - starts)[full].sum())
+            partial_starts, partial_stops = starts[~full], stops[~full]
+            stats.full_cachelines += full_len
+            stats.partial_cachelines = int((partial_stops - partial_starts).sum())
+            stats.cachelines_fetched = stats.partial_cachelines
+            if full_len:
+                id_chunks.append(
+                    expand_ranges(
+                        starts[full] * vpc, np.minimum(stops[full] * vpc, n)
+                    )
+                )
+            if partial_starts.size:
+                candidates = expand_ranges(
+                    partial_starts * vpc, np.minimum(partial_stops * vpc, n)
+                )
                 stats.value_comparisons = int(candidates.shape[0])
                 keep = predicate.matches(self.column.values[candidates])
                 id_chunks.append(candidates[keep])

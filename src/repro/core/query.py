@@ -5,16 +5,26 @@ Two implementations again:
 * :func:`query_scalar` walks the cacheline dictionary exactly like the
   pseudocode — per entry, per imprint vector, per id — and is the
   differential-testing reference.
-* :func:`query_vectorized` computes the same answer with NumPy: the
-  mask/innermask tests run over the stored vectors once, the dictionary
-  expansion maps them onto cachelines, and only partial cachelines get
-  per-value false-positive checks.
+* the production path operates **in the compressed domain**: the
+  mask/innermask tests run once per *stored* vector (O(stored vectors),
+  not O(cachelines)); each qualifying vector maps onto a contiguous
+  ``[start, stop)`` cacheline interval through the dictionary's cached
+  run boundaries; and ids are materialised from those intervals with
+  bulk ``arange`` arithmetic only at the very end.  The dictionary is
+  never expanded — a run of a million identical cachelines costs one
+  mask test and one interval, exactly the saving the paper's cacheline
+  dictionary exists to provide.
 
-Both return the paper's materialised *sorted id list* plus the
-instrumentation counters of Figure 11.  The cacheline-candidate variant
-(:func:`query_cachelines`) implements the late-materialisation path of
-Section 3: it stops at the list of qualifying cachelines so a
-multi-predicate query can merge-join candidates before touching values.
+:func:`query_ranges` is the compressed-domain candidate kernel and
+returns :class:`~repro.core.ranges.CandidateRanges`.
+:func:`query_cachelines` survives as the exploded per-cacheline view of
+the same answer (Section 3's late-materialisation intermediate) for
+consumers that want id lists.  :func:`query_batch` shares the stored-
+vector pass across many predicates — the traffic-serving shape.
+
+All paths return the paper's materialised *sorted id list* plus the
+instrumentation counters of Figure 11, bit-identical to
+:func:`query_scalar`.
 """
 
 from __future__ import annotations
@@ -26,16 +36,25 @@ import numpy as np
 from ..index_base import QueryResult, QueryStats
 from ..predicate import RangePredicate
 from .builder import ImprintsData
-from .masks import make_masks
+from .masks import cached_masks, make_masks
+from .ranges import CandidateRanges, coalesce_ranges, difference_ranges, expand_ranges
 
 __all__ = [
     "query_scalar",
     "query_vectorized",
+    "query_ranges",
     "query_cachelines",
+    "query_batch",
+    "ranges_for_masks",
+    "materialize_ranges",
     "CachelineCandidates",
 ]
 
 _U64 = np.uint64
+_LOW64 = (1 << 64) - 1
+#: Predicates tested per shared pass in :func:`query_batch`; bounds the
+#: hit/full matrices at O(chunk x stored vectors) regardless of batch size.
+_BATCH_CHUNK = 64
 
 
 # ----------------------------------------------------------------------
@@ -109,11 +128,277 @@ def query_scalar(
 
 
 # ----------------------------------------------------------------------
-# vectorised production path
+# compressed-domain candidate kernel
+# ----------------------------------------------------------------------
+def _empty_ranges(stats: QueryStats) -> CandidateRanges:
+    empty = np.empty(0, dtype=np.int64)
+    return CandidateRanges(empty, empty, np.empty(0, dtype=bool), stats)
+
+
+def fresh_query_stats(data: ImprintsData) -> QueryStats:
+    """The counter preamble every compressed-domain kernel starts from."""
+    stats = QueryStats()
+    stats.index_probes = data.dictionary.n_imprint_rows
+    stats.index_bytes_read = data.nbytes
+    return stats
+
+
+def _overlay_state(
+    data: ImprintsData, overlay: dict[int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mask-independent overlay prework: sorted lines + overlaid vectors.
+
+    Computed once per batch — the sort, the stored-row lookup and the
+    bit OR do not depend on the query mask.
+    """
+    lines = np.fromiter(overlay.keys(), dtype=np.int64, count=len(overlay))
+    bits = np.fromiter(
+        (overlay[int(line)] for line in lines), dtype=_U64, count=lines.size
+    )
+    order = np.argsort(lines, kind="stable")
+    lines, bits = lines[order], bits[order]
+    keep = lines < data.n_cachelines
+    lines = lines[keep]
+    rows = data.dictionary.rows_of_cachelines(lines)
+    return lines, data.imprints[rows] | bits[keep]
+
+
+def _patch_overlay(
+    state: tuple[np.ndarray, np.ndarray],
+    mask64: np.uint64,
+    not_inner64: np.uint64,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    full: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Re-test overlaid cachelines and splice them into the ranges.
+
+    Saturation bits (Section 4.2) only ever *add* bits, so an overlaid
+    cacheline can newly hit or lose its full flag, never un-hit.  The
+    patch-up is vectorised: carve every overlaid cacheline out of the
+    base ranges (splitting its run), then merge back the overlaid lines
+    that pass the re-test as unit ranges with their own flags.
+    """
+    lines, vectors = state
+    if lines.size == 0:
+        return starts, stops, full
+    overlaid_hit = (vectors & mask64) != 0
+    overlaid_full = overlaid_hit & ((vectors & not_inner64) == 0)
+
+    base_starts, base_stops, source = difference_ranges(
+        starts, stops, lines, lines + 1
+    )
+    base_full = full[source]
+    add_starts = lines[overlaid_hit]
+    merged_starts = np.concatenate([base_starts, add_starts])
+    merged_stops = np.concatenate([base_stops, add_starts + 1])
+    merged_full = np.concatenate([base_full, overlaid_full[overlaid_hit]])
+    order = np.argsort(merged_starts, kind="stable")
+    return merged_starts[order], merged_stops[order], merged_full[order]
+
+
+def ranges_for_masks(
+    data: ImprintsData,
+    mask64: np.uint64,
+    not_inner64: np.uint64,
+    stats: QueryStats,
+    overlay: dict[int, int] | None = None,
+    hit_rows: np.ndarray | None = None,
+    full_rows: np.ndarray | None = None,
+    overlay_state: tuple[np.ndarray, np.ndarray] | None = None,
+) -> CandidateRanges:
+    """The run-level kernel shared by every compressed-domain path.
+
+    Tests each stored vector against the (already built) masks, maps
+    hits to their cacheline intervals via the dictionary's cached run
+    boundaries, applies the saturation overlay and coalesces.  Callers
+    that already computed the per-row hit/full flags or the overlay
+    prework (the batch path's shared pass) hand them in instead of
+    recomputing per predicate.
+    """
+    vectors = data.imprints
+    if hit_rows is None:
+        hit_rows = (vectors & mask64) != 0
+    if full_rows is None:
+        full_rows = hit_rows & ((vectors & not_inner64) == 0)
+
+    span_starts, span_stops = data.dictionary.row_cacheline_spans()
+    hits = np.flatnonzero(hit_rows)
+    starts = span_starts[hits]
+    stops = span_stops[hits]
+    full = full_rows[hits]
+
+    if overlay_state is None and overlay:
+        overlay_state = _overlay_state(data, overlay)
+    if overlay_state is not None:
+        starts, stops, full = _patch_overlay(
+            overlay_state, mask64, not_inner64, starts, stops, full
+        )
+    starts, stops, full = coalesce_ranges(starts, stops, full)
+    return CandidateRanges(starts, stops, full, stats)
+
+
+def query_ranges(
+    data: ImprintsData,
+    predicate: RangePredicate,
+    overlay: dict[int, int] | None = None,
+) -> CandidateRanges:
+    """Candidate cacheline *ranges* for a predicate (compressed domain).
+
+    One mask/innermask test per stored vector; qualifying vectors map to
+    their ``[start, stop)`` cacheline intervals via the dictionary's
+    cached run boundaries.  ``overlay`` optionally maps cacheline
+    numbers to extra imprint bits set by in-place updates (Section 4.2
+    saturation); overlaid cachelines are re-tested individually.
+    """
+    mask, innermask = cached_masks(data.histogram, predicate)
+    stats = fresh_query_stats(data)
+    if mask == 0 or data.n_cachelines == 0:
+        return _empty_ranges(stats)
+
+    # Complement within 64 bits: the stored vectors never set bits
+    # beyond the histogram width, so the high bits are immaterial.
+    return ranges_for_masks(
+        data, _U64(mask), _U64(~innermask & _LOW64), stats, overlay
+    )
+
+
+def materialize_ranges(
+    data: ImprintsData,
+    values: np.ndarray,
+    matches,
+    ranges: CandidateRanges,
+) -> QueryResult:
+    """Turn candidate ranges into the sorted id list (Algorithm 3's end).
+
+    Full ranges become ids wholesale; partial ranges get the per-value
+    false-positive check through ``matches`` (a boolean-array predicate
+    over values — the range test for range queries, set membership for
+    IN-lists).  Ids appear only here, as bulk ``arange`` spans.
+    """
+    stats = ranges.stats
+    if ranges.n_ranges == 0:
+        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+
+    vpc = data.values_per_cacheline
+    n = data.n_values
+    full_starts, full_stops, part_starts, part_stops = ranges.split()
+    stats.full_cachelines = int((full_stops - full_starts).sum())
+    stats.partial_cachelines = int((part_stops - part_starts).sum())
+    stats.cachelines_fetched = stats.partial_cachelines
+
+    id_chunks: list[np.ndarray] = []
+    if full_starts.size:
+        id_chunks.append(
+            expand_ranges(full_starts * vpc, np.minimum(full_stops * vpc, n))
+        )
+    if part_starts.size:
+        candidates = expand_ranges(
+            part_starts * vpc, np.minimum(part_stops * vpc, n)
+        )
+        stats.value_comparisons = int(candidates.shape[0])
+        keep = matches(values[candidates])
+        id_chunks.append(candidates[keep])
+
+    if not id_chunks:
+        ids = np.empty(0, dtype=np.int64)
+    elif len(id_chunks) == 1:
+        ids = id_chunks[0]
+    else:
+        ids = np.sort(np.concatenate(id_chunks), kind="stable")
+    stats.ids_materialized = int(ids.shape[0])
+    return QueryResult(ids=ids, stats=stats)
+
+
+def query_vectorized(
+    data: ImprintsData,
+    values: np.ndarray,
+    predicate: RangePredicate,
+    overlay: dict[int, int] | None = None,
+) -> QueryResult:
+    """Compressed-domain Algorithm 3: ranges, then false-positive weeding."""
+    ranges = query_ranges(data, predicate, overlay)
+    return materialize_ranges(data, values, predicate.matches, ranges)
+
+
+# ----------------------------------------------------------------------
+# batched evaluation — one stored-vector pass, many predicates
+# ----------------------------------------------------------------------
+def query_batch(
+    data: ImprintsData,
+    values: np.ndarray,
+    predicates,
+    overlay: dict[int, int] | None = None,
+) -> list[QueryResult]:
+    """Answer many range predicates sharing one pass over the vectors.
+
+    The mask tests for all predicates run as a single 2-D bitwise
+    operation over the stored vectors (O(predicates x stored vectors)),
+    instead of re-reading the vector array per query; range mapping and
+    materialisation then proceed per predicate.  Answers (ids *and*
+    stats) are identical to calling :func:`query_vectorized` per
+    predicate — this is purely the serving-loop optimisation.
+    """
+    predicates = list(predicates)
+    results: list[QueryResult | None] = [None] * len(predicates)
+    if not predicates:
+        return []
+
+    masks = np.empty(len(predicates), dtype=_U64)
+    inners = np.empty(len(predicates), dtype=_U64)
+    active: list[int] = []
+    for i, predicate in enumerate(predicates):
+        mask, innermask = cached_masks(data.histogram, predicate)
+        if mask == 0 or data.n_cachelines == 0:
+            # Mirror query_ranges' early return, counters included.
+            results[i] = QueryResult(
+                ids=np.empty(0, dtype=np.int64), stats=fresh_query_stats(data)
+            )
+            continue
+        masks[len(active)] = _U64(mask)
+        inners[len(active)] = _U64(~innermask & _LOW64)
+        active.append(i)
+
+    masks = masks[: len(active)]
+    inners = inners[: len(active)]
+    vectors = data.imprints
+    overlay_state = (
+        _overlay_state(data, overlay) if overlay and active else None
+    )
+    # The shared pass: one 2-D bitwise op per chunk of predicates.  The
+    # chunk bound keeps the hit/full matrices at O(chunk x stored rows)
+    # so batch memory stays flat no matter how many predicates arrive.
+    for chunk_start in range(0, len(active), _BATCH_CHUNK):
+        chunk = slice(chunk_start, chunk_start + _BATCH_CHUNK)
+        hit_rows = (vectors[None, :] & masks[chunk, None]) != 0
+        full_rows = hit_rows & ((vectors[None, :] & inners[chunk, None]) == 0)
+
+        for j, i in enumerate(active[chunk]):
+            ranges = ranges_for_masks(
+                data,
+                masks[chunk_start + j],
+                inners[chunk_start + j],
+                fresh_query_stats(data),
+                hit_rows=hit_rows[j],
+                full_rows=full_rows[j],
+                overlay_state=overlay_state,
+            )
+            results[i] = materialize_ranges(
+                data, values, predicates[i].matches, ranges
+            )
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# exploded per-cacheline view (compatibility / Section 3 intermediate)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CachelineCandidates:
     """The late-materialisation intermediate: qualifying cachelines.
+
+    The exploded (one element per cacheline) view of
+    :class:`~repro.core.ranges.CandidateRanges` — kept for consumers
+    that want flat id lists; the query engine itself stays in ranges.
 
     Attributes
     ----------
@@ -134,6 +419,11 @@ class CachelineCandidates:
     def n_candidates(self) -> int:
         return int(self.cachelines.shape[0])
 
+    @classmethod
+    def from_ranges(cls, ranges: CandidateRanges) -> "CachelineCandidates":
+        cachelines, is_full = ranges.explode()
+        return cls(cachelines=cachelines, is_full=is_full, stats=ranges.stats)
+
 
 def query_cachelines(
     data: ImprintsData,
@@ -142,79 +432,7 @@ def query_cachelines(
 ) -> CachelineCandidates:
     """Candidate cachelines for a predicate (no value access at all).
 
-    ``overlay`` optionally maps cacheline numbers to extra imprint bits
-    set by in-place updates (Section 4.2 saturation); the overlaid bits
-    participate in both the mask and the innermask tests.
+    The exploded view of :func:`query_ranges` — O(candidate cachelines)
+    output; prefer the range form for anything performance-sensitive.
     """
-    mask, innermask = make_masks(data.histogram, predicate)
-    stats = QueryStats()
-    stats.index_probes = data.dictionary.n_imprint_rows
-    stats.index_bytes_read = data.nbytes
-    if mask == 0 or data.n_cachelines == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return CachelineCandidates(empty, np.empty(0, dtype=bool), stats)
-
-    mask64 = _U64(mask)
-    # Complement within 64 bits: the stored vectors never set bits
-    # beyond the histogram width, so the high bits are immaterial.
-    not_inner64 = _U64(~innermask & ((1 << 64) - 1))
-
-    vectors = data.imprints
-    hit_rows = (vectors & mask64) != 0
-    full_rows = hit_rows & ((vectors & not_inner64) == 0)
-
-    rows = data.dictionary.expand_rows()
-    hit = hit_rows[rows]
-    full = full_rows[rows]
-
-    if overlay:
-        for cacheline, extra in overlay.items():
-            vector = int(vectors[rows[cacheline]]) | extra
-            hit[cacheline] = bool(vector & mask)
-            full[cacheline] = hit[cacheline] and (vector & ~innermask) == 0
-
-    candidates = np.flatnonzero(hit).astype(np.int64)
-    return CachelineCandidates(candidates, full[candidates], stats)
-
-
-def query_vectorized(
-    data: ImprintsData,
-    values: np.ndarray,
-    predicate: RangePredicate,
-    overlay: dict[int, int] | None = None,
-) -> QueryResult:
-    """Vectorised Algorithm 3: candidates, then false-positive weeding."""
-    candidates = query_cachelines(data, predicate, overlay)
-    stats = candidates.stats
-    if candidates.n_candidates == 0:
-        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
-
-    vpc = data.values_per_cacheline
-    n = data.n_values
-    offsets = np.arange(vpc, dtype=np.int64)
-
-    full_lines = candidates.cachelines[candidates.is_full]
-    partial_lines = candidates.cachelines[~candidates.is_full]
-    stats.full_cachelines = int(full_lines.shape[0])
-    stats.partial_cachelines = int(partial_lines.shape[0])
-    stats.cachelines_fetched = int(partial_lines.shape[0])
-
-    id_chunks: list[np.ndarray] = []
-    if full_lines.size:
-        full_ids = (full_lines[:, None] * vpc + offsets[None, :]).ravel()
-        id_chunks.append(full_ids[full_ids < n])
-    if partial_lines.size:
-        cand_ids = (partial_lines[:, None] * vpc + offsets[None, :]).ravel()
-        cand_ids = cand_ids[cand_ids < n]
-        stats.value_comparisons = int(cand_ids.shape[0])
-        keep = predicate.matches(values[cand_ids])
-        id_chunks.append(cand_ids[keep])
-
-    if not id_chunks:
-        ids = np.empty(0, dtype=np.int64)
-    elif len(id_chunks) == 1:
-        ids = id_chunks[0]
-    else:
-        ids = np.sort(np.concatenate(id_chunks), kind="stable")
-    stats.ids_materialized = int(ids.shape[0])
-    return QueryResult(ids=ids, stats=stats)
+    return CachelineCandidates.from_ranges(query_ranges(data, predicate, overlay))

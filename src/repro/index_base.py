@@ -156,6 +156,17 @@ class SecondaryIndex(ABC):
         """Point query ``v == value``."""
         return self.query(RangePredicate.point(value, self.column.ctype))
 
+    def query_batch(self, predicates) -> list[QueryResult]:
+        """Answer many predicates; one result per predicate, in order.
+
+        The base implementation just loops :meth:`query`.  Indexes that
+        can share work across a batch (column imprints share the
+        stored-vector pass) override this with a fused kernel, so
+        serving loops can always call ``query_batch`` and get whatever
+        batching the index supports.
+        """
+        return [self.query(predicate) for predicate in predicates]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(column={self.column.name or '<anonymous>'}, "

@@ -1,0 +1,1 @@
+"""Test package marker — makes ``from .conftest import ...`` resolve."""

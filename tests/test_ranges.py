@@ -1,0 +1,170 @@
+"""Interval algebra of :mod:`repro.core.ranges` — the query engine's currency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranges import (
+    CandidateRanges,
+    coalesce_ranges,
+    difference_ranges,
+    expand_ranges,
+    intersect_ranges,
+    union_ranges,
+)
+from repro.index_base import QueryStats
+
+I64 = np.int64
+
+
+def as_set(starts, stops):
+    """Ground-truth id set of a range list."""
+    out = set()
+    for s, e in zip(np.asarray(starts), np.asarray(stops)):
+        out.update(range(int(s), int(e)))
+    return out
+
+
+def assert_canonical(starts, stops):
+    """Sorted, disjoint, non-empty — the representation invariant."""
+    assert np.all(starts < stops)
+    if starts.size > 1:
+        assert np.all(starts[1:] >= stops[:-1])
+
+
+@st.composite
+def range_lists(draw, max_ranges=8, universe=40):
+    """Sorted disjoint half-open ranges inside [0, universe)."""
+    n = draw(st.integers(0, max_ranges))
+    bounds = draw(
+        st.lists(
+            st.integers(0, universe), min_size=2 * n, max_size=2 * n, unique=True
+        )
+    )
+    bounds = sorted(bounds)
+    starts = np.array(bounds[0::2], dtype=I64)
+    stops = np.array(bounds[1::2], dtype=I64)
+    return starts, stops
+
+
+class TestExpand:
+    def test_empty(self):
+        assert expand_ranges([], []).size == 0
+
+    def test_single(self):
+        assert expand_ranges([3], [7]).tolist() == [3, 4, 5, 6]
+
+    def test_multiple_disjoint(self):
+        out = expand_ranges([0, 10, 20], [2, 12, 21])
+        assert out.tolist() == [0, 1, 10, 11, 20]
+
+    def test_zero_length_ranges(self):
+        assert expand_ranges([5, 8], [5, 9]).tolist() == [8]
+
+
+class TestCoalesce:
+    def test_merges_abutting(self):
+        s, e = coalesce_ranges(np.array([0, 3, 7]), np.array([3, 5, 9]))
+        assert s.tolist() == [0, 7] and e.tolist() == [5, 9]
+
+    def test_flag_boundary_preserved(self):
+        s, e, f = coalesce_ranges(
+            np.array([0, 3]), np.array([3, 5]), np.array([True, False])
+        )
+        assert s.tolist() == [0, 3] and f.tolist() == [True, False]
+
+    def test_equal_flags_merge(self):
+        s, e, f = coalesce_ranges(
+            np.array([0, 3]), np.array([3, 5]), np.array([True, True])
+        )
+        assert s.tolist() == [0] and e.tolist() == [5] and f.tolist() == [True]
+
+    def test_drops_empty_ranges(self):
+        s, e = coalesce_ranges(np.array([0, 4, 6]), np.array([0, 6, 8]))
+        assert s.tolist() == [4] and e.tolist() == [8]
+
+
+class TestSetOps:
+    def test_intersect_basic(self):
+        s, e, ai, bi = intersect_ranges([0, 10], [5, 15], [3], [12])
+        assert s.tolist() == [3, 10] and e.tolist() == [5, 12]
+        assert ai.tolist() == [0, 1] and bi.tolist() == [0, 0]
+
+    def test_intersect_no_overlap_at_touch(self):
+        s, e, _, _ = intersect_ranges([0], [5], [5], [9])
+        assert s.size == 0
+
+    def test_union_overlapping(self):
+        s, e = union_ranges(np.array([5, 0, 8]), np.array([9, 6, 20]))
+        assert s.tolist() == [0] and e.tolist() == [20]
+
+    def test_difference_splits(self):
+        s, e, src = difference_ranges([0], [10], [3, 7], [4, 8])
+        assert s.tolist() == [0, 4, 8] and e.tolist() == [3, 7, 10]
+        assert src.tolist() == [0, 0, 0]
+
+    def test_difference_removes_all(self):
+        s, e, _ = difference_ranges([2], [5], [0], [9])
+        assert s.size == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=range_lists(), b=range_lists())
+def test_set_ops_match_python_sets(a, b):
+    sa, sb = as_set(*a), as_set(*b)
+
+    i_s, i_e, ai, bi = intersect_ranges(*a, *b)
+    assert_canonical(i_s, i_e)
+    assert as_set(i_s, i_e) == (sa & sb)
+    # index propagation: every piece lies inside both source ranges
+    for s, e, i, j in zip(i_s, i_e, ai, bi):
+        assert a[0][i] <= s and e <= a[1][i]
+        assert b[0][j] <= s and e <= b[1][j]
+
+    u_s, u_e = union_ranges(
+        np.concatenate([a[0], b[0]]), np.concatenate([a[1], b[1]])
+    )
+    assert_canonical(u_s, u_e)
+    assert as_set(u_s, u_e) == (sa | sb)
+
+    d_s, d_e, src = difference_ranges(*a, *b)
+    assert_canonical(d_s, d_e)
+    assert as_set(d_s, d_e) == (sa - sb)
+    for s, e, i in zip(d_s, d_e, src):
+        assert a[0][i] <= s and e <= a[1][i]
+
+    assert expand_ranges(i_s, i_e).tolist() == sorted(sa & sb)
+
+
+class TestCandidateRanges:
+    def make(self, starts, stops, full):
+        return CandidateRanges(
+            np.array(starts, dtype=I64),
+            np.array(stops, dtype=I64),
+            np.array(full, dtype=bool),
+            QueryStats(),
+        )
+
+    def test_counts(self):
+        ranges = self.make([0, 10], [4, 11], [True, False])
+        assert ranges.n_ranges == 2
+        assert ranges.n_cachelines == 5
+        assert ranges.n_full_cachelines == 4
+        assert ranges.n_partial_cachelines == 1
+
+    def test_explode_round_trip(self):
+        ranges = self.make([2, 8], [4, 10], [False, True])
+        lines, is_full = ranges.explode()
+        assert lines.tolist() == [2, 3, 8, 9]
+        assert is_full.tolist() == [False, False, True, True]
+
+    def test_id_spans_clamped(self):
+        ranges = self.make([0, 5], [2, 6], [True, True])
+        starts, stops = ranges.id_spans(16, 85)
+        assert starts.tolist() == [0, 80]
+        assert stops.tolist() == [32, 85]
+
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            self.make([0], [1, 2], [True, False])
