@@ -18,6 +18,8 @@ Quickstart::
 Packages:
 
 * :mod:`repro.core` — the imprints index (the paper's contribution);
+* :mod:`repro.engine` — the execution engine: sharded parallel kernels
+  plus the micro-batching/coalescing/caching query executor;
 * :mod:`repro.storage` — the column-store substrate;
 * :mod:`repro.indexes` — zonemap / WAH-bitmap / scan baselines;
 * :mod:`repro.sim` — the memory-traffic cost model;
@@ -37,6 +39,7 @@ from .core import (
     conjunctive_query,
     render_imprints,
 )
+from .engine import QueryExecutor, ShardedColumnImprints
 from .index_base import QueryResult, QueryStats, SecondaryIndex
 from .indexes import SequentialScan, WahBitmapIndex, ZoneMap
 from .predicate import RangePredicate
@@ -55,6 +58,8 @@ __all__ = [
     "column_entropy",
     "conjunctive_query",
     "render_imprints",
+    "QueryExecutor",
+    "ShardedColumnImprints",
     "QueryResult",
     "QueryStats",
     "SecondaryIndex",

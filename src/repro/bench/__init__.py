@@ -38,6 +38,12 @@ from .query_kernels import (
     query_expanded,
     render_kernel_study,
 )
+from .throughput import (
+    render_throughput_study,
+    run_throughput_study,
+    throughput_workload,
+    write_throughput_json,
+)
 from .runner import METHODS, BenchContext, BuiltColumn, get_context, time_call
 from .size_time import (
     fig5_rows,
@@ -84,6 +90,10 @@ __all__ = [
     "kernel_study_rows",
     "query_expanded",
     "query_compressed",
+    "render_throughput_study",
+    "run_throughput_study",
+    "throughput_workload",
+    "write_throughput_json",
     "format_table",
     "format_bytes",
     "format_seconds",

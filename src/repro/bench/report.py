@@ -25,6 +25,7 @@ from .queries_fig8_11 import (
 )
 from .runner import get_context
 from .size_time import render_fig5, render_fig6, render_fig7
+from .throughput import render_throughput_study, scaled_defaults
 from .updates_study import render_update_study
 
 __all__ = ["generate_report"]
@@ -80,6 +81,10 @@ def generate_report(
          lambda: render_update_study()),
         ("query_kernels", "Query kernels - expanded vs compressed-domain",
          lambda: render_kernel_study(n=max(10_000, int(400_000 * scale)))),
+        ("throughput", "Execution engine - serving throughput",
+         lambda: render_throughput_study(
+             seed=seed, **scaled_defaults(scale)
+         )),
         ("ablations", "Ablations - design-choice sweeps",
          lambda: render_ablations()),
     ]

@@ -16,6 +16,9 @@ Commands
     and per-method statistics.
 ``figure {3,4,5,6,7,8,9,10,11}``
     Regenerate one figure of the paper.
+``throughput``
+    Serving-throughput study: serial vs sharded vs coalesced executor
+    over a repetitive mixed-selectivity predicate stream.
 
 Global options: ``--scale`` (dataset scale factor, default from
 ``REPRO_SCALE`` or 1.0) and ``--seed``.
@@ -63,6 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("number", type=int, choices=[3, 4, 5, 6, 7, 8, 9, 10, 11])
+
+    throughput = commands.add_parser(
+        "throughput", help="execution-engine serving-throughput study"
+    )
+    throughput.add_argument("--rows", type=int, default=None,
+                            help="column length (default: 2M * scale)")
+    throughput.add_argument("--queries", type=int, default=None,
+                            help="stream length (default: 1536 * scale)")
+    throughput.add_argument("--shards", type=int, default=4)
+    throughput.add_argument("--workers", type=int, default=4)
+    throughput.add_argument("--smoke", action="store_true",
+                            help="shrunken CI-sized workload")
+    throughput.add_argument("--json", metavar="PATH", default=None,
+                            help="also write the machine-readable result")
     return parser
 
 
@@ -189,6 +206,28 @@ def _cmd_figure(args) -> str:
     return renderer(measurements)
 
 
+def _cmd_throughput(args) -> str:
+    from .bench.throughput import (
+        render_throughput_study,
+        run_throughput_study,
+        scaled_defaults,
+        write_throughput_json,
+    )
+
+    sizes = scaled_defaults(_scale(args))
+    result = run_throughput_study(
+        n_rows=args.rows if args.rows else sizes["n_rows"],
+        n_queries=args.queries if args.queries else sizes["n_queries"],
+        n_shards=args.shards,
+        n_workers=args.workers,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_throughput_json(result, args.json)
+    return render_throughput_study(result)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "summary": _cmd_summary,
@@ -196,6 +235,7 @@ _COMMANDS = {
     "entropy": _cmd_entropy,
     "query": _cmd_query,
     "figure": _cmd_figure,
+    "throughput": _cmd_throughput,
 }
 
 

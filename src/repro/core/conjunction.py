@@ -45,18 +45,27 @@ def _intersect_id_ranges(
     indexes: list[ColumnImprints],
     predicates: list[RangePredicate],
     stats: QueryStats,
+    candidates=None,
 ) -> np.ndarray:
     """Ids surviving the merge-join of per-column candidate cachelines.
 
     Candidate cachelines are converted to half-open id ranges (columns
     of different widths have different cacheline geometries, so the
     merge happens in id space, the common coordinate system) and
-    intersected pairwise.
+    intersected pairwise.  ``candidates`` optionally holds the
+    per-column :class:`CandidateRanges` computed elsewhere (the
+    execution engine gathers them concurrently); when omitted they are
+    produced lazily, which lets the serial path stop probing indexes
+    after the intersection empties.
     """
     n_rows = len(indexes[0].column)
     alive: tuple[np.ndarray, np.ndarray] | None = None  # id ranges, narrowed per column
-    for index, predicate in zip(indexes, predicates):
-        ranges = index.candidate_ranges(predicate)
+    for position, (index, predicate) in enumerate(zip(indexes, predicates)):
+        ranges = (
+            candidates[position]
+            if candidates is not None
+            else index.candidate_ranges(predicate)
+        )
         stats.merge(ranges.stats)
         spans = ranges.id_spans(index.column.values_per_cacheline, n_rows)
         if alive is None:
@@ -74,22 +83,28 @@ def _intersect_id_ranges(
 def conjunctive_query(
     indexes: list[ColumnImprints],
     predicates: list[RangePredicate],
+    candidates=None,
 ) -> QueryResult:
     """AND of range predicates via candidate merge-join.
 
     All indexes must cover columns of the same table (equal row counts).
     Value checks run only on ids whose cacheline qualified under *every*
     predicate — the "smaller set of qualifying ids" the paper expects
-    from combining selective predicates.
+    from combining selective predicates.  ``candidates`` optionally
+    supplies the per-column candidate ranges (one per predicate, in
+    order) when a serving layer already computed them — concurrently,
+    say — instead of the default lazy per-column passes.
     """
     if not indexes or len(indexes) != len(predicates):
         raise ValueError("need one predicate per index, at least one each")
+    if candidates is not None and len(candidates) != len(predicates):
+        raise ValueError("need one precomputed candidate set per predicate")
     n_rows = len(indexes[0].column)
     if any(len(ix.column) != n_rows for ix in indexes):
         raise ValueError("conjunctive queries require equally long columns")
 
     stats = QueryStats()
-    survivor_ids = _intersect_id_ranges(indexes, predicates, stats)
+    survivor_ids = _intersect_id_ranges(indexes, predicates, stats, candidates)
     if survivor_ids.size == 0:
         stats.ids_materialized = 0
         return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)

@@ -33,6 +33,7 @@ from .builder import ImprintsBuilder, ImprintsData
 from .dictionary import MAX_CNT
 from .query import (
     CachelineCandidates,
+    _overlay_state,
     query_batch,
     query_cachelines,
     query_ranges,
@@ -109,6 +110,14 @@ class ColumnImprints(SecondaryIndex):
         self._data: ImprintsData | None = None
         # Saturation overlay: cacheline -> extra bits set by updates.
         self._overlay: dict[int, int] = {}
+        # Cached overlay prework (sorted lines + overlaid vectors) and
+        # overlay popcount; rebuilt lazily after updates/appends instead
+        # of on every query.
+        self._overlay_state: tuple[np.ndarray, np.ndarray] | None = None
+        self._overlay_popcount = 0
+        #: Monotonic mutation counter — bumped by every append, update,
+        #: delete and rebuild.  Serving layers key result caches on it.
+        self.version = 0
         self._n_updates = 0
         self._n_appended = 0
         self._appended_overflow = 0
@@ -135,9 +144,26 @@ class ColumnImprints(SecondaryIndex):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def overlay_state(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """The saturation overlay as sorted lines + overlaid vectors.
+
+        The mask-independent prework every compressed-domain kernel
+        needs (sort, stored-row lookup, bit OR) — cached on the index
+        and rebuilt lazily after :meth:`note_update`, :meth:`append` or
+        :meth:`rebuild` instead of on every query.
+        """
+        if not self._overlay:
+            return None
+        if self._overlay_state is None:
+            self._overlay_state = _overlay_state(self.data, self._overlay)
+        return self._overlay_state
+
     def query(self, predicate: RangePredicate) -> QueryResult:
         return query_vectorized(
-            self.data, self.column.values, predicate, overlay=self._overlay or None
+            self.data,
+            self.column.values,
+            predicate,
+            overlay_state=self.overlay_state(),
         )
 
     def query_batch(self, predicates) -> list[QueryResult]:
@@ -148,7 +174,10 @@ class ColumnImprints(SecondaryIndex):
         each answer is bit-identical to :meth:`query` on that predicate.
         """
         return query_batch(
-            self.data, self.column.values, predicates, overlay=self._overlay or None
+            self.data,
+            self.column.values,
+            predicates,
+            overlay_state=self.overlay_state(),
         )
 
     def candidate_ranges(self, predicate: RangePredicate) -> CandidateRanges:
@@ -159,7 +188,9 @@ class ColumnImprints(SecondaryIndex):
         :func:`repro.core.conjunction.conjunctive_query` merge-joins
         before fetching any values.
         """
-        return query_ranges(self.data, predicate, overlay=self._overlay or None)
+        return query_ranges(
+            self.data, predicate, overlay_state=self.overlay_state()
+        )
 
     def candidates(self, predicate: RangePredicate) -> CachelineCandidates:
         """Exploded per-cacheline candidates (compatibility view).
@@ -167,7 +198,9 @@ class ColumnImprints(SecondaryIndex):
         Prefer :meth:`candidate_ranges` — this view materialises one
         array element per candidate cacheline.
         """
-        return query_cachelines(self.data, predicate, overlay=self._overlay or None)
+        return query_cachelines(
+            self.data, predicate, overlay_state=self.overlay_state()
+        )
 
     # ------------------------------------------------------------------
     # updates (Section 4)
@@ -180,6 +213,10 @@ class ColumnImprints(SecondaryIndex):
         self.column = self.column.appended(values)
         self._builder.feed(values)
         self._data = None
+        # The overlay prework binds cachelines to stored rows of the
+        # *current* snapshot; a new snapshot invalidates the mapping.
+        self._overlay_state = None
+        self.version += 1
         self._n_appended += int(values.size)
         appended_bins = self.histogram.get_bins(values)
         self._appended_overflow += int(
@@ -203,7 +240,15 @@ class ColumnImprints(SecondaryIndex):
         self.column = self.column.with_value(value_id, new_value)
         cacheline = self.column.geometry.cacheline_of(value_id)
         new_bit = 1 << self.histogram.get_bin(new_value)
-        self._overlay[cacheline] = self._overlay.get(cacheline, 0) | new_bit
+        old_bits = self._overlay.get(cacheline, 0)
+        new_bits = old_bits | new_bit
+        if new_bits != old_bits:
+            self._overlay[cacheline] = new_bits
+            self._overlay_popcount += (
+                new_bits.bit_count() - old_bits.bit_count()
+            )
+            self._overlay_state = None
+        self.version += 1
         self._n_updates += 1
 
     def note_delete(self, value_id: int) -> None:
@@ -213,6 +258,7 @@ class ColumnImprints(SecondaryIndex):
             raise IndexError(
                 f"value id {value_id} out of range [0, {len(self.column)})"
             )
+        self.version += 1
         self._n_updates += 1
 
     # ------------------------------------------------------------------
@@ -226,10 +272,9 @@ class ColumnImprints(SecondaryIndex):
             return 0.0
         fill = float(np.bitwise_count(data.imprints).mean())
         if self._overlay:
-            extra = sum(
-                int(bits).bit_count() for bits in self._overlay.values()
-            ) / data.dictionary.n_cachelines
-            fill += extra
+            # Incrementally maintained popcount — no per-query walk over
+            # the overlay dict.
+            fill += self._overlay_popcount / data.dictionary.n_cachelines
         return fill / self.histogram.bins
 
     @property
@@ -270,6 +315,9 @@ class ColumnImprints(SecondaryIndex):
         self._builder.feed(self.column.values)
         self._data = None
         self._overlay.clear()
+        self._overlay_state = None
+        self._overlay_popcount = 0
+        self.version += 1
         self._n_updates = 0
         self._n_appended = 0
         self._appended_overflow = 0

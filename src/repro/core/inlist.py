@@ -84,7 +84,7 @@ def query_in_list(index: ColumnImprints, members) -> QueryResult:
         _U64(mask),
         _U64(~innermask & ((1 << 64) - 1)),
         stats,
-        overlay=index._overlay or None,
+        overlay_state=index.overlay_state(),
     )
 
     member_array = np.unique(np.asarray(members, dtype=column.ctype.dtype))

@@ -21,6 +21,7 @@ parallelising the ~18-comparisons-per-value hot loop of Section 2.5.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -30,9 +31,19 @@ from .binning import Histogram
 from .builder import ImprintsData, _RunCompressor
 from .dictionary import MAX_CNT
 
-__all__ = ["build_imprints_parallel", "partition_bounds"]
+__all__ = ["build_imprints_parallel", "default_workers", "partition_bounds"]
 
 _U64 = np.uint64
+
+
+def default_workers(cap: int = 8) -> int:
+    """Worker count for cacheline-partitioned thread fan-out.
+
+    NumPy kernels release the GIL, so one thread per core pays off until
+    memory bandwidth saturates; the cap keeps thread start-up and result
+    stitching from dominating on very wide machines.
+    """
+    return max(1, min(os.cpu_count() or 1, cap))
 
 
 def partition_bounds(

@@ -37,7 +37,13 @@ from ..index_base import QueryResult, QueryStats
 from ..predicate import RangePredicate
 from .builder import ImprintsData
 from .masks import cached_masks, make_masks
-from .ranges import CandidateRanges, coalesce_ranges, difference_ranges, expand_ranges
+from .ranges import (
+    CandidateRanges,
+    coalesce_ranges,
+    difference_ranges,
+    expand_ranges,
+    merge_sorted_disjoint,
+)
 
 __all__ = [
     "query_scalar",
@@ -242,6 +248,7 @@ def query_ranges(
     data: ImprintsData,
     predicate: RangePredicate,
     overlay: dict[int, int] | None = None,
+    overlay_state: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> CandidateRanges:
     """Candidate cacheline *ranges* for a predicate (compressed domain).
 
@@ -250,6 +257,8 @@ def query_ranges(
     cached run boundaries.  ``overlay`` optionally maps cacheline
     numbers to extra imprint bits set by in-place updates (Section 4.2
     saturation); overlaid cachelines are re-tested individually.
+    Callers that keep the mask-independent overlay prework cached (the
+    index does, across queries) hand it in as ``overlay_state``.
     """
     mask, innermask = cached_masks(data.histogram, predicate)
     stats = fresh_query_stats(data)
@@ -259,7 +268,12 @@ def query_ranges(
     # Complement within 64 bits: the stored vectors never set bits
     # beyond the histogram width, so the high bits are immaterial.
     return ranges_for_masks(
-        data, _U64(mask), _U64(~innermask & _LOW64), stats, overlay
+        data,
+        _U64(mask),
+        _U64(~innermask & _LOW64),
+        stats,
+        overlay,
+        overlay_state=overlay_state,
     )
 
 
@@ -305,7 +319,9 @@ def materialize_ranges(
     elif len(id_chunks) == 1:
         ids = id_chunks[0]
     else:
-        ids = np.sort(np.concatenate(id_chunks), kind="stable")
+        # Both chunks are sorted and a cacheline is either full or
+        # partial, never both, so a linear merge suffices.
+        ids = merge_sorted_disjoint(id_chunks[0], id_chunks[1])
     stats.ids_materialized = int(ids.shape[0])
     return QueryResult(ids=ids, stats=stats)
 
@@ -315,9 +331,10 @@ def query_vectorized(
     values: np.ndarray,
     predicate: RangePredicate,
     overlay: dict[int, int] | None = None,
+    overlay_state: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> QueryResult:
     """Compressed-domain Algorithm 3: ranges, then false-positive weeding."""
-    ranges = query_ranges(data, predicate, overlay)
+    ranges = query_ranges(data, predicate, overlay, overlay_state=overlay_state)
     return materialize_ranges(data, values, predicate.matches, ranges)
 
 
@@ -329,6 +346,7 @@ def query_batch(
     values: np.ndarray,
     predicates,
     overlay: dict[int, int] | None = None,
+    overlay_state: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> list[QueryResult]:
     """Answer many range predicates sharing one pass over the vectors.
 
@@ -362,9 +380,8 @@ def query_batch(
     masks = masks[: len(active)]
     inners = inners[: len(active)]
     vectors = data.imprints
-    overlay_state = (
-        _overlay_state(data, overlay) if overlay and active else None
-    )
+    if overlay_state is None and overlay and active:
+        overlay_state = _overlay_state(data, overlay)
     # The shared pass: one 2-D bitwise op per chunk of predicates.  The
     # chunk bound keeps the hit/full matrices at O(chunk x stored rows)
     # so batch memory stays flat no matter how many predicates arrive.
@@ -429,10 +446,13 @@ def query_cachelines(
     data: ImprintsData,
     predicate: RangePredicate,
     overlay: dict[int, int] | None = None,
+    overlay_state: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> CachelineCandidates:
     """Candidate cachelines for a predicate (no value access at all).
 
     The exploded view of :func:`query_ranges` — O(candidate cachelines)
     output; prefer the range form for anything performance-sensitive.
     """
-    return CachelineCandidates.from_ranges(query_ranges(data, predicate, overlay))
+    return CachelineCandidates.from_ranges(
+        query_ranges(data, predicate, overlay, overlay_state=overlay_state)
+    )

@@ -33,6 +33,7 @@ __all__ = [
     "intersect_ranges",
     "union_ranges",
     "difference_ranges",
+    "merge_sorted_disjoint",
 ]
 
 _I64 = np.int64
@@ -63,6 +64,31 @@ def expand_ranges(starts, stops) -> np.ndarray:
     # Position p inside range i holds starts[i] + (p - cum[i-1]), and
     # starts[i] - cum[i-1] == stops[i] - cum[i].
     return np.repeat(stops - cum, lengths) + np.arange(total, dtype=_I64)
+
+
+def merge_sorted_disjoint(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Two-way merge of two sorted arrays with no common elements.
+
+    The materialisation tail of Algorithm 3 combines the id chunk of the
+    *full* ranges with the survivors of the *partial* ranges; both are
+    already sorted and a cacheline belongs to exactly one kind of range,
+    so a linear merge replaces the former ``sort(concatenate(...))``.
+    Each element's output slot is its rank in its own array plus its
+    rank in the other one — two ``searchsorted`` calls and two scatters,
+    no comparison sort.
+    """
+    a, b = _as_i64(a), _as_i64(b)
+    if a.size == 0:
+        return b
+    if b.size == 0:
+        return a
+    out = np.empty(a.size + b.size, dtype=_I64)
+    pos_b = np.searchsorted(a, b) + np.arange(b.size, dtype=_I64)
+    out[pos_b] = b
+    mask = np.ones(out.size, dtype=bool)
+    mask[pos_b] = False
+    out[mask] = a
+    return out
 
 
 def coalesce_ranges(

@@ -1,0 +1,29 @@
+"""The execution engine: sharded parallel serving of imprint queries.
+
+Layers, bottom up:
+
+* :mod:`repro.engine.sharded` — :class:`ShardedColumnImprints` splits
+  the compressed index into cacheline-aligned shard views and runs the
+  compressed-domain kernels per shard on a thread pool, stitching the
+  answers (and Figure 11 counters) back bit-identical to the unsharded
+  index;
+* :mod:`repro.engine.executor` — :class:`QueryExecutor` micro-batches
+  concurrent submissions per column into shared ``query_batch`` passes,
+  coalesces identical in-flight predicates, caches hot results in a
+  version-keyed LRU, and parallelises the per-column candidate passes
+  of conjunctive table queries;
+* :mod:`repro.engine.cache` — the bounded LRU and the serving counters.
+"""
+
+from .cache import ExecutorStats, LRUCache
+from .executor import QueryExecutor
+from .sharded import ImprintShard, ShardedColumnImprints, slice_imprints
+
+__all__ = [
+    "ExecutorStats",
+    "ImprintShard",
+    "LRUCache",
+    "QueryExecutor",
+    "ShardedColumnImprints",
+    "slice_imprints",
+]

@@ -1,0 +1,141 @@
+"""Serving-layer caches and counters for the execution engine.
+
+Production imprint traffic is heavily repetitive — dashboards and
+templated queries re-issue the same predicates against slowly changing
+columns — so the executor keeps a bounded LRU of whole query results
+keyed by ``(column, predicate, index version)``.  Versioned keys make
+invalidation free: every append/update/rebuild bumps the index's
+version counter, so stale entries simply become unreachable and age out
+of the LRU tail instead of requiring an eager sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["LRUCache", "ExecutorStats"]
+
+
+class LRUCache:
+    """A thread-safe bounded least-recently-used mapping.
+
+    ``get`` refreshes recency; ``put`` evicts the coldest entries once
+    ``capacity`` entries — or, when ``max_bytes`` is set, the summed
+    entry ``weight`` — is exceeded.  Weights matter for query results:
+    a low-selectivity answer over a big column is megabytes of ids, so
+    an entry-count bound alone could pin far more memory than intended.
+    A capacity of 0 disables caching (every ``get`` misses) so callers
+    need no special-casing.
+    """
+
+    def __init__(self, capacity: int, max_bytes: int | None = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict = OrderedDict()  # key -> (value, weight)
+        self._lock = threading.Lock()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key, default=None):
+        with self._lock:
+            try:
+                value, _ = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value, weight: int = 0) -> None:
+        if self.capacity == 0:
+            return
+        if self.max_bytes is not None and weight > self.max_bytes:
+            return  # would evict everything else and still not fit
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.bytes -= previous[1]
+            self._entries[key] = (value, weight)
+            self.bytes += weight
+            while len(self._entries) > self.capacity or (
+                self.max_bytes is not None and self.bytes > self.max_bytes
+            ):
+                _, (_, evicted_weight) = self._entries.popitem(last=False)
+                self.bytes -= evicted_weight
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(size={len(self)}/{self.capacity}, "
+            f"bytes={self.bytes}, hits={self.hits}, misses={self.misses})"
+        )
+
+
+@dataclass
+class ExecutorStats:
+    """Counters describing how the executor served its traffic.
+
+    Attributes
+    ----------
+    submitted:
+        Predicates handed to :meth:`QueryExecutor.submit`.
+    coalesced:
+        Submissions answered by sharing another in-flight submission's
+        result (identical predicate in the same micro-batch).
+    cache_hits / cache_misses:
+        Result-cache outcomes for the batch leaders (after coalescing).
+    batches:
+        Shared ``query_batch`` passes executed.
+    batched_queries:
+        Predicates evaluated inside those shared passes — the work that
+        actually reached an index kernel.
+    """
+
+    submitted: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add the given deltas to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def reset(self) -> None:
+        """Zero every counter (benchmark window bookkeeping)."""
+        with self._lock:
+            self.submitted = 0
+            self.coalesced = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.batches = 0
+            self.batched_queries = 0
+
+    @property
+    def kernel_share(self) -> float:
+        """Fraction of submissions that reached an index kernel."""
+        if self.submitted == 0:
+            return 0.0
+        return self.batched_queries / self.submitted

@@ -1,0 +1,414 @@
+"""The serving layer: micro-batched, coalescing query execution.
+
+Production traffic does not arrive as one predicate at a time per
+index; it arrives as a concurrent stream across many columns, with
+heavy repetition.  :class:`QueryExecutor` turns that stream into the
+shapes the kernels below are fastest at:
+
+* **micro-batching** — submissions against the same column are held for
+  a bounded window (or until the batch fills) and then answered by one
+  ``query_batch`` pass, which shares the stored-vector mask tests
+  across the whole batch (and, for a
+  :class:`~repro.engine.sharded.ShardedColumnImprints`, fans the pass
+  out over shards);
+* **request coalescing** — identical predicates inside a batch are
+  evaluated once and the result is shared by every waiter;
+* **result caching** — a bounded LRU keyed by
+  ``(column, predicate, index version)`` serves repeated hot queries
+  without touching the index at all; version-tagged keys mean any
+  append/update/rebuild invalidates implicitly;
+* **table-level parallelism** — :meth:`conjunctive` gathers the
+  per-column candidate passes of a multi-attribute query concurrently
+  before the merge-join.
+
+Answers are bit-identical to calling ``index.query(predicate)``
+directly — the executor only re-schedules work, it never changes it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from ..index_base import QueryResult, SecondaryIndex
+from ..predicate import RangePredicate
+from ..core.conjunction import conjunctive_query
+from ..core.parallel import default_workers
+from .cache import ExecutorStats, LRUCache
+
+__all__ = ["QueryExecutor"]
+
+
+class QueryExecutor:
+    """Serve imprint queries from concurrent clients at high throughput.
+
+    Parameters
+    ----------
+    indexes:
+        Optional initial ``name -> index`` registrations (any
+        :class:`SecondaryIndex`; column imprints get the fused batch
+        kernel, others fall back to per-query evaluation inside the
+        batch).
+    batch_window:
+        Seconds a batch leader waits for followers before dispatch.
+        ``0`` dispatches every submission immediately (no scheduler
+        latency, no cross-request sharing beyond what is already
+        pending).
+    max_batch:
+        Dispatch a column's batch as soon as it holds this many
+        submissions, regardless of the window.
+    cache_size:
+        Capacity of the whole-result LRU (0 disables result caching).
+    cache_bytes:
+        Byte budget for cached id arrays (low-selectivity answers are
+        megabytes each; the entry count alone is no memory bound).
+    n_workers:
+        Worker threads executing dispatched batches.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import ColumnImprints
+    >>> from repro.storage import Column
+    >>> column = Column(np.arange(10_000, dtype=np.int32), name="demo")
+    >>> with QueryExecutor({"demo": ColumnImprints(column)}) as executor:
+    ...     result = executor.query("demo", executor.predicate("demo", 10, 20))
+    >>> list(result.ids) == list(range(10, 20))
+    True
+    """
+
+    def __init__(
+        self,
+        indexes: dict[str, SecondaryIndex] | None = None,
+        *,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        cache_size: int = 1024,
+        cache_bytes: int = 256 << 20,
+        n_workers: int | None = None,
+    ) -> None:
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self._indexes: dict[str, SecondaryIndex] = {}
+        self._cache = LRUCache(cache_size, max_bytes=cache_bytes)
+        self.stats = ExecutorStats()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: dict[str, list[tuple[RangePredicate, Future]]] = {}
+        self._deadlines: dict[str, float] = {}
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=n_workers if n_workers is not None else default_workers(),
+            thread_name_prefix="imprint-exec",
+        )
+        self._scheduler = threading.Thread(
+            target=self._run_scheduler, name="imprint-batcher", daemon=True
+        )
+        self._scheduler.start()
+        for name, index in (indexes or {}).items():
+            self.register(name, index)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, index: SecondaryIndex) -> None:
+        """Attach an index under ``name`` (replaces any previous one)."""
+        with self._lock:
+            self._indexes[name] = index
+
+    @classmethod
+    def for_table(cls, table, index_factory=None, **kwargs) -> "QueryExecutor":
+        """An executor serving every column of a
+        :class:`~repro.storage.table.Table`.
+
+        ``index_factory`` builds the per-column index (default:
+        :class:`~repro.core.index.ColumnImprints`); remaining keyword
+        arguments configure the executor.  This is the natural entry
+        point for the table-level :meth:`conjunctive` path.
+        """
+        if index_factory is None:
+            from ..core.index import ColumnImprints as index_factory
+        return cls(
+            {name: index_factory(column) for name, column in table},
+            **kwargs,
+        )
+
+    def index(self, name: str) -> SecondaryIndex:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise KeyError(
+                f"no index registered under {name!r}; "
+                f"registered: {sorted(self._indexes)}"
+            ) from None
+
+    @property
+    def column_names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def predicate(
+        self, name: str, low, high, **kwargs
+    ) -> RangePredicate:
+        """Canonical range predicate for the named column's type."""
+        return RangePredicate.range(
+            low, high, self.index(name).column.ctype, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, name: str, predicate: RangePredicate) -> Future:
+        """Enqueue one predicate; returns a future of its QueryResult.
+
+        The future resolves once the predicate's micro-batch executed
+        (or instantly on a result-cache hit shared with the batch).
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        index = self.index(name)  # fail fast on unknown names
+        fut: Future = Future()
+        # Fast path: a fresh cached result needs no scheduling at all.
+        cached = self._cached_result(name, index, predicate)
+        if cached is not None:
+            self.stats.bump(submitted=1, cache_hits=1)
+            fut.set_result(cached)
+            return fut
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            queue = self._pending.setdefault(name, [])
+            fresh_deadline = not queue
+            if fresh_deadline:
+                self._deadlines[name] = time.monotonic() + self.batch_window
+            queue.append((predicate, fut))
+            self.stats.bump(submitted=1)
+            if len(queue) >= self.max_batch or self.batch_window == 0:
+                self._dispatch_locked(name)
+            elif fresh_deadline:
+                # Followers piggyback on the leader's deadline; only a
+                # new deadline needs to wake the scheduler.
+                self._wakeup.notify()
+        return fut
+
+    def submit_many(self, name: str, predicates) -> list[Future]:
+        """Enqueue a burst of predicates under one lock acquisition.
+
+        The bulk entry point for clients that already hold a request
+        list: cache hits resolve immediately, the rest join the batcher
+        in ``max_batch``-sized chunks without per-call locking.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        index = self.index(name)
+        futures: list[Future] = []
+        misses: list[tuple[RangePredicate, Future]] = []
+        hits = 0
+        for predicate in predicates:
+            fut: Future = Future()
+            futures.append(fut)
+            cached = self._cached_result(name, index, predicate)
+            if cached is not None:
+                hits += 1
+                fut.set_result(cached)
+            else:
+                misses.append((predicate, fut))
+        self.stats.bump(submitted=len(futures), cache_hits=hits)
+        if not misses:
+            return futures
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            queue = self._pending.setdefault(name, [])
+            fresh_deadline = not queue
+            queue.extend(misses)
+            if self.batch_window == 0:
+                self._dispatch_locked(name)
+            elif len(queue) >= self.max_batch:
+                while len(queue) >= self.max_batch:
+                    self._pool.submit(
+                        self._run_batch, name, queue[: self.max_batch]
+                    )
+                    del queue[: self.max_batch]
+                if queue:
+                    self._deadlines[name] = (
+                        time.monotonic() + self.batch_window
+                    )
+                    self._wakeup.notify()
+                else:
+                    self._pending.pop(name, None)
+                    self._deadlines.pop(name, None)
+            elif fresh_deadline:
+                self._deadlines[name] = time.monotonic() + self.batch_window
+                self._wakeup.notify()
+        return futures
+
+    def query(self, name: str, predicate: RangePredicate) -> QueryResult:
+        """Blocking convenience: submit and wait."""
+        return self.submit(name, predicate).result()
+
+    def map(self, name: str, predicates) -> list[QueryResult]:
+        """Submit many predicates against one column; gather in order."""
+        futures = self.submit_many(name, predicates)
+        return [future.result() for future in futures]
+
+    def flush(self) -> None:
+        """Dispatch every pending batch immediately and wait for them."""
+        with self._lock:
+            futures = [
+                fut
+                for queue in self._pending.values()
+                for _, fut in queue
+            ]
+            for name in list(self._pending):
+                self._dispatch_locked(name)
+        for future in futures:
+            future.exception()  # wait without raising here
+
+    # ------------------------------------------------------------------
+    # the table-level path
+    # ------------------------------------------------------------------
+    def conjunctive(self, names, predicates) -> QueryResult:
+        """AND of predicates across columns, candidate passes parallel.
+
+        Each column's compressed-domain candidate pass runs as its own
+        worker task; the merge-join and the false-positive weeding then
+        proceed exactly like
+        :func:`repro.core.conjunction.conjunctive_query`, consuming the
+        pre-gathered passes in the same column order — ids and stats are
+        identical to the serial call, only the scheduling differs.
+        """
+        names = list(names)
+        predicates = list(predicates)
+        indexes = [self.index(name) for name in names]
+        futures = [
+            self._pool.submit(index.candidate_ranges, predicate)
+            for index, predicate in zip(indexes, predicates)
+        ]
+        gathered = [future.result() for future in futures]
+        return conjunctive_query(indexes, predicates, candidates=gathered)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cached_result(self, name, index, predicate) -> QueryResult | None:
+        version = getattr(index, "version", None)
+        if version is None:
+            return None
+        return self._cache.get((name, predicate, version))
+
+    def _dispatch_locked(self, name: str) -> None:
+        """Move a pending batch onto the worker pool (lock held)."""
+        entries = self._pending.pop(name, [])
+        self._deadlines.pop(name, None)
+        if entries:
+            self._pool.submit(self._run_batch, name, entries)
+
+    def _run_scheduler(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed and not self._pending:
+                    return
+                now = time.monotonic()
+                due = [
+                    name
+                    for name, deadline in self._deadlines.items()
+                    if deadline <= now
+                ]
+                for name in due:
+                    self._dispatch_locked(name)
+                if self._deadlines:
+                    timeout = max(
+                        0.0, min(self._deadlines.values()) - time.monotonic()
+                    )
+                    self._wakeup.wait(timeout)
+                else:
+                    self._wakeup.wait(0.05 if self._closed else None)
+
+    def _run_batch(
+        self, name: str, entries: list[tuple[RangePredicate, Future]]
+    ) -> None:
+        try:
+            index = self._indexes[name]
+            version = getattr(index, "version", None)
+            # Coalesce: one evaluation per distinct predicate.
+            groups: dict[RangePredicate, list[Future]] = {}
+            for predicate, fut in entries:
+                groups.setdefault(predicate, []).append(fut)
+            self.stats.bump(coalesced=len(entries) - len(groups))
+
+            results: dict[RangePredicate, QueryResult] = {}
+            to_run: list[RangePredicate] = []
+            for predicate in groups:
+                cached = (
+                    self._cache.get((name, predicate, version))
+                    if version is not None
+                    else None
+                )
+                if cached is not None:
+                    results[predicate] = cached
+                    self.stats.bump(cache_hits=1)
+                else:
+                    to_run.append(predicate)
+                    self.stats.bump(cache_misses=1)
+
+            if to_run:
+                answers = index.query_batch(to_run)
+                self.stats.bump(batches=1, batched_queries=len(to_run))
+                for predicate, result in zip(to_run, answers):
+                    # Shared results must not be mutated by callers.
+                    result.ids.setflags(write=False)
+                    results[predicate] = result
+                    if version is not None:
+                        self._cache.put(
+                            (name, predicate, version),
+                            result,
+                            weight=int(result.ids.nbytes),
+                        )
+
+            for predicate, futures in groups.items():
+                for fut in futures:
+                    fut.set_result(results[predicate])
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            for _, fut in entries:
+                if not fut.done():
+                    fut.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # cache control / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> LRUCache:
+        return self._cache
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def close(self) -> None:
+        """Flush pending work and stop the scheduler and workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for name in list(self._pending):
+                self._dispatch_locked(name)
+            self._wakeup.notify_all()
+        self._scheduler.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryExecutor(columns={len(self._indexes)}, "
+            f"window={self.batch_window * 1e3:.1f}ms, "
+            f"max_batch={self.max_batch}, cache={self._cache!r})"
+        )

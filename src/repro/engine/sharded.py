@@ -1,0 +1,470 @@
+"""Sharded parallel evaluation of imprint queries.
+
+The paper's Section 7 observes that imprints parallelise cleanly over
+cacheline-aligned partitions; ``core/parallel.py`` already exploits
+that for *construction*.  This module does the same for *queries*:
+:class:`ShardedColumnImprints` splits the compressed index into
+cacheline-aligned shards, evaluates the compressed-domain kernel per
+shard on a thread pool (NumPy releases the GIL inside the bitwise and
+gather kernels), and stitches the per-shard answers back together.
+
+Correctness is the whole design: the shards are *views sliced out of
+the one global compressed index* (built exactly like the unsharded
+:class:`~repro.core.index.ColumnImprints`), not independently built
+indexes.  Independently compressed shards would cut vector runs at
+shard boundaries and change the Figure 11 probe counts; slicing the
+global dictionary preserves the stored vectors bit-for-bit, and the
+stitch step re-merges boundary-split runs, so ids *and* counters are
+identical to the unsharded index — differential-tested property.
+
+Shard geometry invariants:
+
+* every shard boundary is a cacheline boundary (a cacheline split
+  across shards would need its imprint vector in two places);
+* interior shards cover whole cachelines; only the last shard may end
+  on a ragged tail, exactly like the unsharded column;
+* per-shard answers are locally sorted and shards are disjoint and
+  ordered, so the global id list is a plain concatenation — no final
+  sort.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..index_base import QueryResult, QueryStats, SecondaryIndex
+from ..predicate import RangePredicate
+from ..storage.column import Column
+from ..core.builder import ImprintsData
+from ..core.dictionary import CachelineDictionary
+from ..core.index import ColumnImprints
+from ..core.masks import cached_masks
+from ..core.parallel import default_workers, partition_bounds
+from ..core.query import (
+    _overlay_state,
+    fresh_query_stats,
+    materialize_ranges,
+    query_batch,
+    ranges_for_masks,
+)
+from ..core.ranges import CandidateRanges, coalesce_ranges
+
+__all__ = ["ImprintShard", "ShardedColumnImprints", "slice_imprints"]
+
+_U64 = np.uint64
+_LOW64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True, eq=False)
+class ImprintShard:
+    """One cacheline-aligned slice of a compressed imprint index.
+
+    Attributes
+    ----------
+    cl_start, cl_stop:
+        Global half-open cacheline interval the shard covers.
+    value_start, value_stop:
+        The same interval in value-id space (``value_stop`` is clamped
+        to the column length on the last shard).
+    data:
+        Shard-local :class:`ImprintsData`: the global stored vectors of
+        the interval (a zero-copy slice) with a re-based dictionary, so
+        every compressed-domain kernel runs on it unchanged.
+    """
+
+    cl_start: int
+    cl_stop: int
+    value_start: int
+    value_stop: int
+    data: ImprintsData
+
+    @property
+    def n_cachelines(self) -> int:
+        return self.cl_stop - self.cl_start
+
+
+def slice_imprints(data: ImprintsData, n_shards: int) -> list[ImprintShard]:
+    """Cut one compressed index into cacheline-aligned shard views.
+
+    Stored rows are never copied or re-compressed — each shard
+    references a contiguous slice of the global vector array, and a run
+    crossing a shard boundary contributes a clipped dictionary entry to
+    both sides (the query stitch re-merges the pieces).  Cost is
+    O(stored rows), independent of the number of cachelines.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    vpc = data.values_per_cacheline
+    bounds = partition_bounds(data.n_values, vpc, n_shards)
+    span_starts, span_stops = data.dictionary.row_cacheline_spans()
+    shards: list[ImprintShard] = []
+    for value_start, value_stop in bounds:
+        cl_start = value_start // vpc
+        cl_stop = -(-value_stop // vpc)
+        first = int(np.searchsorted(span_stops, cl_start, side="right"))
+        last = int(np.searchsorted(span_starts, cl_stop, side="left"))
+        starts = np.maximum(span_starts[first:last], cl_start)
+        stops = np.minimum(span_stops[first:last], cl_stop)
+        lengths = stops - starts
+        dictionary = CachelineDictionary(
+            counts=lengths.astype(np.uint32), repeats=lengths > 1
+        )
+        shard_data = ImprintsData(
+            imprints=data.imprints[first:last],
+            dictionary=dictionary,
+            histogram=data.histogram,
+            n_values=value_stop - value_start,
+            values_per_cacheline=vpc,
+        )
+        shards.append(
+            ImprintShard(
+                cl_start=cl_start,
+                cl_stop=cl_stop,
+                value_start=value_start,
+                value_stop=value_stop,
+                data=shard_data,
+            )
+        )
+    return shards
+
+
+class ShardedColumnImprints(SecondaryIndex):
+    """A column imprints index that evaluates queries shard-parallel.
+
+    Wraps a regular :class:`ColumnImprints` (construction, appends,
+    saturation overlay and the rebuild policy are all delegated, so the
+    compressed structure is byte-identical to the unsharded index) and
+    adds a sharded query path: per-shard compressed-domain kernels on a
+    thread pool, per-shard materialisation, and an O(shards) stitch.
+
+    Parameters
+    ----------
+    column:
+        The column to index.
+    n_shards:
+        Number of cacheline-aligned shards (default: one per worker).
+    n_workers:
+        Thread-pool width (default: :func:`default_workers`).
+    **imprint_kwargs:
+        Forwarded to :class:`ColumnImprints` (``max_bins``,
+        ``sample_size``, ``rng``, ...), so a sharded and an unsharded
+        index built with the same arguments share the same binning.
+    """
+
+    kind = "imprints-sharded"
+
+    def __init__(
+        self,
+        column: Column,
+        n_shards: int | None = None,
+        n_workers: int | None = None,
+        **imprint_kwargs,
+    ) -> None:
+        self._n_workers = n_workers if n_workers is not None else default_workers()
+        self._n_shards = n_shards if n_shards is not None else self._n_workers
+        if self._n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self._n_shards}")
+        self._inner = ColumnImprints(column, **imprint_kwargs)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # Shard views are sliced out of the inner index's snapshot and
+        # rebuilt only when that snapshot changes (append/rebuild);
+        # per-shard overlay prework additionally tracks the version
+        # counter (updates mutate the overlay without a new snapshot).
+        self._shards: list[ImprintShard] | None = None
+        self._shards_data: ImprintsData | None = None
+        self._overlay_states: list | None = None
+        self._states_version = -1
+
+    # ------------------------------------------------------------------
+    # delegation to the inner (unsharded) index
+    # ------------------------------------------------------------------
+    @property
+    def column(self) -> Column:
+        return self._inner.column
+
+    @column.setter
+    def column(self, value: Column) -> None:  # SecondaryIndex protocol
+        self._inner.column = value
+
+    @property
+    def inner(self) -> ColumnImprints:
+        """The wrapped unsharded index (the differential-test oracle)."""
+        return self._inner
+
+    @property
+    def data(self) -> ImprintsData:
+        return self._inner.data
+
+    @property
+    def histogram(self):
+        return self._inner.histogram
+
+    @property
+    def bins(self) -> int:
+        return self._inner.bins
+
+    @property
+    def nbytes(self) -> int:
+        return self._inner.nbytes
+
+    @property
+    def version(self) -> int:
+        return self._inner.version
+
+    def overlay_state(self):
+        """The inner index's cached overlay prework (whole-index form).
+
+        Kernels that are not shard-parallelised yet (e.g.
+        :func:`repro.core.inlist.query_in_list`) consume the sharded
+        index through the plain :class:`ColumnImprints` query surface.
+        """
+        return self._inner.overlay_state()
+
+    @property
+    def saturation(self) -> float:
+        return self._inner.saturation
+
+    @property
+    def needs_rebuild(self) -> bool:
+        return self._inner.needs_rebuild
+
+    def append(self, values) -> None:
+        self._inner.append(values)
+
+    def note_update(self, value_id: int, new_value) -> None:
+        self._inner.note_update(value_id, new_value)
+
+    def note_delete(self, value_id: int) -> None:
+        self._inner.note_delete(value_id)
+
+    def rebuild(self, rng=None) -> None:
+        self._inner.rebuild(rng=rng)
+
+    # ------------------------------------------------------------------
+    # shard management
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> list[ImprintShard]:
+        """Current shard views (re-sliced after every new snapshot)."""
+        data = self._inner.data
+        if self._shards is None or self._shards_data is not data:
+            self._shards = slice_imprints(data, self._n_shards)
+            self._shards_data = data
+            self._overlay_states = None
+        return self._shards
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def _shard_overlay_states(self) -> list:
+        """Per-shard overlay prework, cached until the index mutates.
+
+        The version is read *before* the overlay snapshot and the
+        states are stamped with it, so a ``note_update`` racing this
+        rebuild can only leave a stamp that is already stale — the next
+        query sees the mismatch and rebuilds, never serving prework
+        that silently misses an update.  (Full mutate-while-serving
+        synchronisation is the caller's job, as everywhere else in the
+        library.)
+        """
+        shards = self.shards  # may invalidate _overlay_states
+        if (
+            self._overlay_states is None
+            or self._states_version != self._inner.version
+        ):
+            version = self._inner.version
+            overlay = dict(self._inner._overlay)
+            states = []
+            for shard in shards:
+                local = {
+                    line - shard.cl_start: bits
+                    for line, bits in overlay.items()
+                    if shard.cl_start <= line < shard.cl_stop
+                }
+                states.append(
+                    _overlay_state(shard.data, local) if local else None
+                )
+            self._overlay_states = states
+            self._states_version = version
+        return self._overlay_states
+
+    def _map(self, task, n_shards: int):
+        """Run ``task`` over shard indices, on the pool when it pays off."""
+        if n_shards == 1 or self._n_workers == 1:
+            return [task(i) for i in range(n_shards)]
+        if self._pool is None:
+            # Concurrent first queries (an executor dispatching several
+            # batches) must not each spawn a pool.
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._n_workers,
+                        thread_name_prefix="imprint-shard",
+                    )
+        return list(self._pool.map(task, range(n_shards)))
+
+    def close(self) -> None:
+        """Shut down the shard thread pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedColumnImprints":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # sharded query paths
+    # ------------------------------------------------------------------
+    def _stitch(
+        self, locals_: list[QueryResult], stats: QueryStats
+    ) -> QueryResult:
+        """Concatenate per-shard answers; sum the materialisation
+        counters onto the (global) probe counters."""
+        shards = self.shards
+        chunks = []
+        for shard, local in zip(shards, locals_):
+            stats.value_comparisons += local.stats.value_comparisons
+            stats.cachelines_fetched += local.stats.cachelines_fetched
+            stats.full_cachelines += local.stats.full_cachelines
+            stats.partial_cachelines += local.stats.partial_cachelines
+            stats.ids_materialized += local.stats.ids_materialized
+            if local.ids.size:
+                chunks.append(
+                    local.ids + shard.value_start
+                    if shard.value_start
+                    else local.ids
+                )
+        if not chunks:
+            ids = np.empty(0, dtype=np.int64)
+        elif len(chunks) == 1:
+            ids = chunks[0]
+        else:
+            # Shards are ordered and disjoint: concatenation is sorted.
+            ids = np.concatenate(chunks)
+        return QueryResult(ids=ids, stats=stats)
+
+    def query(self, predicate: RangePredicate) -> QueryResult:
+        data = self._inner.data
+        mask, innermask = cached_masks(data.histogram, predicate)
+        stats = fresh_query_stats(data)
+        if mask == 0 or data.n_cachelines == 0:
+            return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+        mask64 = _U64(mask)
+        inner64 = _U64(~innermask & _LOW64)
+        states = self._shard_overlay_states()
+        shards = self.shards
+        values = self.column.values
+
+        def run(i: int) -> QueryResult:
+            shard = shards[i]
+            ranges = ranges_for_masks(
+                shard.data,
+                mask64,
+                inner64,
+                QueryStats(),
+                overlay_state=states[i],
+            )
+            return materialize_ranges(
+                shard.data,
+                values[shard.value_start : shard.value_stop],
+                predicate.matches,
+                ranges,
+            )
+
+        return self._stitch(self._map(run, len(shards)), stats)
+
+    def query_batch(self, predicates) -> list[QueryResult]:
+        """Shard-parallel shared-pass evaluation of many predicates.
+
+        Each shard runs the chunked 2-D mask pass of
+        :func:`repro.core.query.query_batch` over *all* predicates, so
+        the work per stored vector is shared across the batch exactly
+        like the unsharded path — and the shards run concurrently.
+        """
+        predicates = list(predicates)
+        if not predicates:
+            return []
+        data = self._inner.data
+        states = self._shard_overlay_states()
+        shards = self.shards
+        values = self.column.values
+
+        def run(i: int) -> list[QueryResult]:
+            shard = shards[i]
+            return query_batch(
+                shard.data,
+                values[shard.value_start : shard.value_stop],
+                predicates,
+                overlay_state=states[i],
+            )
+
+        per_shard = self._map(run, len(shards))
+        results = []
+        for i, predicate in enumerate(predicates):
+            mask, _ = cached_masks(data.histogram, predicate)
+            stats = fresh_query_stats(data)
+            if mask == 0 or data.n_cachelines == 0:
+                results.append(
+                    QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+                )
+                continue
+            results.append(
+                self._stitch([shard_res[i] for shard_res in per_shard], stats)
+            )
+        return results
+
+    def candidate_ranges(self, predicate: RangePredicate) -> CandidateRanges:
+        """Global candidate ranges assembled from per-shard kernels.
+
+        The per-shard ranges are shifted to global cacheline numbers and
+        coalesced, which re-merges runs the shard boundaries split —
+        output identical to the unsharded
+        :meth:`ColumnImprints.candidate_ranges`.
+        """
+        data = self._inner.data
+        mask, innermask = cached_masks(data.histogram, predicate)
+        stats = fresh_query_stats(data)
+        if mask == 0 or data.n_cachelines == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return CandidateRanges(empty, empty, np.empty(0, dtype=bool), stats)
+        mask64 = _U64(mask)
+        inner64 = _U64(~innermask & _LOW64)
+        states = self._shard_overlay_states()
+        shards = self.shards
+
+        def run(i: int) -> CandidateRanges:
+            return ranges_for_masks(
+                shards[i].data,
+                mask64,
+                inner64,
+                QueryStats(),
+                overlay_state=states[i],
+            )
+
+        locals_ = self._map(run, len(shards))
+        starts = np.concatenate(
+            [r.starts + s.cl_start for r, s in zip(locals_, shards)]
+        )
+        stops = np.concatenate(
+            [r.stops + s.cl_start for r, s in zip(locals_, shards)]
+        )
+        full = np.concatenate([r.full for r in locals_])
+        starts, stops, full = coalesce_ranges(starts, stops, full)
+        return CandidateRanges(starts, stops, full, stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedColumnImprints(column={self.column.name or '<anonymous>'}, "
+            f"rows={len(self.column)}, shards={self._n_shards}, "
+            f"workers={self._n_workers})"
+        )

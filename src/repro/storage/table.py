@@ -48,6 +48,22 @@ class Table:
             table.add_column(col_name, column)
         return table
 
+    @classmethod
+    def from_arrays(cls, name: str, arrays: dict[str, object]) -> "Table":
+        """Build a table directly from name → array data.
+
+        Convenience for workload generators and the execution-engine
+        serving path: each array is wrapped in a :class:`Column` named
+        ``table.column``.
+        """
+        return cls.from_columns(
+            name,
+            {
+                col_name: Column(values, name=f"{name}.{col_name}")
+                for col_name, values in arrays.items()
+            },
+        )
+
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------

@@ -44,6 +44,11 @@ def ground_truth(column, predicate):
 
 def assert_same_result(a, b):
     assert np.array_equal(a.ids, b.ids)
+    # The O(n) two-way merge in materialize_ranges depends on the full
+    # and partial id chunks each arriving sorted; the final id list
+    # being strictly increasing is the observable invariant.
+    if b.ids.size > 1:
+        assert np.all(np.diff(b.ids) > 0)
     assert a.stats.index_probes == b.stats.index_probes
     assert a.stats.value_comparisons == b.stats.value_comparisons
     assert a.stats.full_cachelines == b.stats.full_cachelines

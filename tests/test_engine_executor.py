@@ -1,0 +1,219 @@
+"""The serving layer: coalescing, caching, invalidation, parallel AND.
+
+The executor's contract is scheduling-only: every answer must be
+bit-identical to calling the index directly, no matter how requests
+were batched, coalesced or cached — including immediately after the
+index mutates (appends/updates bump the version, so stale cache
+entries must never be served).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ColumnImprints, conjunctive_query
+from repro.engine import LRUCache, QueryExecutor, ShardedColumnImprints
+from repro.predicate import RangePredicate
+from repro.storage import INT, Column, Table
+
+from .conftest import make_clustered, make_random
+
+
+@pytest.fixture
+def column():
+    return Column(make_clustered(12_000, np.int32, seed=9), name="t.c")
+
+
+def predicates_for(column, rng, count=12):
+    lo = int(column.values.min()) - 10
+    hi = int(column.values.max()) + 10
+    return [
+        RangePredicate.range(*sorted(int(v) for v in rng.integers(lo, hi, 2)), INT)
+        for _ in range(count)
+    ]
+
+
+def assert_identical(expected, got):
+    assert np.array_equal(expected.ids, got.ids)
+    assert expected.stats == got.stats
+
+
+# ----------------------------------------------------------------------
+# LRU cache unit behaviour
+# ----------------------------------------------------------------------
+class TestLRUCache:
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_counters_and_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(-1)
+
+    def test_byte_budget_evicts_and_rejects_oversize(self):
+        cache = LRUCache(100, max_bytes=10)
+        cache.put("a", 1, weight=4)
+        cache.put("b", 2, weight=4)
+        cache.put("c", 3, weight=4)  # 12 bytes -> evicts "a"
+        assert cache.get("a") is None
+        assert cache.bytes == 8
+        cache.put("huge", 4, weight=11)  # larger than the whole budget
+        assert cache.get("huge") is None
+        assert cache.bytes == 8
+        cache.put("b", 2, weight=6)  # re-put updates the accounting
+        assert cache.bytes == 10
+
+
+# ----------------------------------------------------------------------
+# differential: the executor only reschedules, never changes answers
+# ----------------------------------------------------------------------
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("window", [0.0, 0.002])
+    def test_answers_match_direct_queries(self, column, window):
+        oracle = ColumnImprints(column)
+        rng = np.random.default_rng(1)
+        predicates = predicates_for(column, rng)
+        stream = predicates * 3  # repetition: coalescing + cache paths
+        with QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=window, max_batch=8
+        ) as executor:
+            for predicate, result in zip(stream, executor.map("c", stream)):
+                assert_identical(oracle.query(predicate), result)
+            assert executor.stats.submitted == len(stream)
+            # repetition must not reach the kernels in full
+            assert executor.stats.batched_queries < len(stream)
+            assert executor.stats.coalesced + executor.stats.cache_hits > 0
+
+    def test_sharded_backend_and_single_submits(self, column):
+        oracle = ColumnImprints(column)
+        rng = np.random.default_rng(2)
+        predicates = predicates_for(column, rng, count=6)
+        with QueryExecutor(
+            {"c": ShardedColumnImprints(column, n_shards=3, n_workers=2)},
+            batch_window=0.001,
+        ) as executor:
+            futures = [executor.submit("c", p) for p in predicates]
+            for predicate, future in zip(predicates, futures):
+                assert_identical(oracle.query(predicate), future.result())
+
+    def test_cached_results_are_shared_and_readonly(self, column):
+        predicate = RangePredicate.range(9_000, 12_000, INT)
+        with QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=0.0
+        ) as executor:
+            first = executor.query("c", predicate)
+            second = executor.query("c", predicate)
+            assert second is first  # cache hit shares the result object
+            assert not first.ids.flags.writeable
+            assert executor.stats.cache_hits >= 1
+
+    def test_mutation_invalidates_cached_results(self, column):
+        predicate = RangePredicate.range(8_000, 20_000, INT)
+        index = ColumnImprints(column)
+        with QueryExecutor({"c": index}, batch_window=0.0) as executor:
+            before = executor.query("c", predicate)
+            # append values inside the predicate's range
+            index.append(np.full(64, 9_500, dtype=np.int32))
+            after = executor.query("c", predicate)
+            assert after.n_ids == before.n_ids + 64
+            # same answer the mutated index gives directly (a fresh
+            # rebuild would differ structurally, not logically)
+            assert_identical(index.query(predicate), after)
+            assert np.array_equal(
+                ColumnImprints(index.column).query(predicate).ids, after.ids
+            )
+            # in-place update: saturated overlay must be re-consulted
+            index.note_update(0, 9_999)
+            updated = executor.query("c", predicate)
+            assert 0 in updated.ids
+            # rebuild: version bumps again, cache entry unreachable
+            index.rebuild()
+            rebuilt = executor.query("c", predicate)
+            assert np.array_equal(updated.ids, rebuilt.ids)
+
+    def test_flush_resolves_pending(self, column):
+        with QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=60.0, max_batch=10_000
+        ) as executor:
+            futures = [
+                executor.submit("c", RangePredicate.range(0, 5_000 + k, INT))
+                for k in range(5)
+            ]
+            assert not any(f.done() for f in futures)
+            executor.flush()
+            assert all(f.done() for f in futures)
+
+    def test_unknown_column_and_closed_executor(self, column):
+        executor = QueryExecutor({"c": ColumnImprints(column)})
+        with pytest.raises(KeyError, match="no index registered"):
+            executor.submit("nope", RangePredicate.everything())
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit("c", RangePredicate.range(0, 10, INT))
+        executor.close()  # idempotent
+
+    def test_submit_many_matches_submit(self, column):
+        oracle = ColumnImprints(column)
+        rng = np.random.default_rng(5)
+        predicates = predicates_for(column, rng, count=30)
+        with QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=0.001, max_batch=7
+        ) as executor:
+            futures = executor.submit_many("c", predicates)
+            for predicate, future in zip(predicates, futures):
+                assert_identical(oracle.query(predicate), future.result())
+
+
+# ----------------------------------------------------------------------
+# the table-level conjunctive path
+# ----------------------------------------------------------------------
+class TestParallelConjunctive:
+    def test_matches_serial_conjunctive_query(self):
+        rng = np.random.default_rng(3)
+        table = Table.from_arrays(
+            "t",
+            {
+                "a": make_random(6_000, np.int32, seed=31),
+                "b": make_clustered(6_000, np.int32, seed=32),
+                "c": make_random(6_000, np.int32, seed=33),
+            },
+        )
+        with QueryExecutor.for_table(table) as executor:
+            names = table.column_names
+            for _ in range(8):
+                predicates = [
+                    predicates_for(table.column(name), rng, count=1)[0]
+                    for name in names
+                ]
+                expected = conjunctive_query(
+                    [executor.index(n) for n in names], predicates
+                )
+                got = executor.conjunctive(names, predicates)
+                assert_identical(expected, got)
+
+    def test_precomputed_candidates_validated(self):
+        column = Column(make_random(2_000, np.int32, seed=40))
+        index = ColumnImprints(column)
+        predicate = RangePredicate.range(0, 50_000, INT)
+        with pytest.raises(ValueError, match="one precomputed candidate"):
+            conjunctive_query([index], [predicate], candidates=[])

@@ -11,6 +11,7 @@ from repro.core.ranges import (
     difference_ranges,
     expand_ranges,
     intersect_ranges,
+    merge_sorted_disjoint,
     union_ranges,
 )
 from repro.index_base import QueryStats
@@ -168,3 +169,35 @@ class TestCandidateRanges:
     def test_parallel_validation(self):
         with pytest.raises(ValueError):
             self.make([0], [1, 2], [True, False])
+
+
+class TestMergeSortedDisjoint:
+    def test_interleaved(self):
+        a = np.array([1, 4, 9], dtype=np.int64)
+        b = np.array([2, 3, 7, 12], dtype=np.int64)
+        assert merge_sorted_disjoint(a, b).tolist() == [1, 2, 3, 4, 7, 9, 12]
+
+    def test_empty_sides(self):
+        a = np.array([5, 6], dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        assert merge_sorted_disjoint(a, empty).tolist() == [5, 6]
+        assert merge_sorted_disjoint(empty, a).tolist() == [5, 6]
+        assert merge_sorted_disjoint(empty, empty).size == 0
+
+    def test_blocks(self):
+        # one side entirely before / after the other
+        a = np.arange(0, 5, dtype=np.int64)
+        b = np.arange(10, 15, dtype=np.int64)
+        assert merge_sorted_disjoint(a, b).tolist() == list(range(5)) + list(range(10, 15))
+        assert merge_sorted_disjoint(b, a).tolist() == list(range(5)) + list(range(10, 15))
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.lists(st.integers(0, 10_000), unique=True, max_size=200),
+           st.integers(0, 100))
+    def test_property_equals_sort_of_concat(self, values, split_seed):
+        values = np.array(sorted(values), dtype=np.int64)
+        rng = np.random.default_rng(split_seed)
+        take = rng.random(values.size) < 0.5
+        a, b = values[take], values[~take]
+        merged = merge_sorted_disjoint(a, b)
+        assert np.array_equal(merged, values)
