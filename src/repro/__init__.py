@@ -34,6 +34,7 @@ from .core import (
     Histogram,
     ImprintsBuilder,
     ImprintsData,
+    RowSet,
     binning,
     column_entropy,
     conjunctive_query,
@@ -54,6 +55,7 @@ __all__ = [
     "Histogram",
     "ImprintsBuilder",
     "ImprintsData",
+    "RowSet",
     "binning",
     "column_entropy",
     "conjunctive_query",

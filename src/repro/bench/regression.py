@@ -1,0 +1,159 @@
+"""Throughput regression gate — compare a fresh bench run to a baseline.
+
+The ROADMAP asks for a regression gate over the per-commit
+``BENCH_throughput.json`` artifact.  Wall-clock queries/sec are not
+comparable across machines (CI runners differ from the reference
+container), so the gate checks the *machine-portable* invariants:
+
+* the fresh run verified every mode bit-identical to the serial
+  baseline (a hard failure otherwise);
+* sharded mode is not slower than serial beyond the tolerance — the
+  specific regression the inline-dispatch fix addresses.  Applied to
+  full-size runs only: smoke workloads finish in tens of milliseconds
+  per mode, where thread-pool jitter alone exceeds any tolerance;
+* mode speedups (``speedup_vs_serial``, a within-run ratio) have not
+  dropped more than ``tolerance`` below the baseline's — checked when
+  the two runs used the same workload shape (rows/queries/shards and
+  smoke-ness).  Core counts may differ between the reference container
+  and a CI runner; the check is one-sided (more cores must not make
+  the engine *slower* relative to serial) and the tolerance absorbs
+  scheduler variance.
+
+Usage (what CI runs after the full-size bench)::
+
+    python -m repro.bench.regression FRESH.json --baseline BASELINE.json
+
+Exit status 0 means no regression; 1 lists the failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "load_result",
+    "comparable_configs",
+    "check_throughput_regression",
+    "main",
+]
+
+#: Allowed relative drop before the gate fires (±25%).
+DEFAULT_TOLERANCE = 0.25
+
+#: Config keys that must agree for cross-run speedups to be comparable.
+#: ``cpu_count`` deliberately absent: the committed baseline comes from
+#: the reference container and CI runners differ; within-run speedup
+#: ratios are the machine-portable part, and the gate is one-sided.
+_COMPARABLE_KEYS = ("n_rows", "n_queries", "n_shards", "smoke")
+
+
+def load_result(path) -> dict:
+    """Read one ``BENCH_throughput.json`` result."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def comparable_configs(fresh: dict, baseline: dict) -> bool:
+    """Whether two runs' speedup ratios can be compared meaningfully."""
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _COMPARABLE_KEYS
+    )
+
+
+def check_throughput_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh throughput result; returns the list of failures.
+
+    An empty list means the gate passes.  ``baseline`` may be ``None``
+    (first run ever): only the self-contained invariants are checked.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+
+    if not fresh.get("verified_bit_identical"):
+        failures.append("fresh run did not verify answers bit-identical")
+
+    modes = fresh.get("modes", {})
+    sharded = modes.get("sharded", {})
+    sharded_speedup = sharded.get("speedup_vs_serial", 0.0)
+    # Smoke workloads run tens of milliseconds per mode — pure noise for
+    # a wall-clock invariant — so the not-slower-than-serial check only
+    # gates full-size runs.
+    if not fresh.get("config", {}).get("smoke") and (
+        sharded_speedup < 1.0 - tolerance
+    ):
+        failures.append(
+            f"sharded mode is slower than serial: "
+            f"{sharded_speedup:.2f}x < {1.0 - tolerance:.2f}x "
+            f"(dispatch={sharded.get('dispatch_mode', '?')})"
+        )
+
+    if baseline is not None and comparable_configs(fresh, baseline):
+        for name, numbers in baseline.get("modes", {}).items():
+            if name == "serial" or name not in modes:
+                continue
+            floor = numbers.get("speedup_vs_serial", 0.0) * (1.0 - tolerance)
+            got = modes[name].get("speedup_vs_serial", 0.0)
+            if got < floor:
+                failures.append(
+                    f"{name} speedup regressed: {got:.2f}x < "
+                    f"{floor:.2f}x (baseline "
+                    f"{numbers.get('speedup_vs_serial', 0.0):.2f}x - "
+                    f"{tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.regression", description=__doc__
+    )
+    parser.add_argument("fresh", help="fresh BENCH_throughput.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline BENCH_throughput.json (optional)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed relative drop (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_result(args.fresh)
+    baseline = load_result(args.baseline) if args.baseline else None
+    if baseline is not None and not comparable_configs(fresh, baseline):
+        print(
+            "note: baseline config differs (workload size / cores); "
+            "cross-run speedup comparison skipped, invariants still gate"
+        )
+    failures = check_throughput_regression(
+        fresh, baseline, tolerance=args.tolerance
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print(
+        "throughput gate passed: "
+        + ", ".join(
+            f"{name}={numbers.get('speedup_vs_serial', 0.0):.2f}x"
+            for name, numbers in fresh.get("modes", {}).items()
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ from .queries_fig8_11 import (
     render_fig11,
     run_query_sweep,
 )
+from .materialization import render_materialization_study
 from .runner import get_context
 from .size_time import render_fig5, render_fig6, render_fig7
 from .throughput import render_throughput_study, scaled_defaults
@@ -84,6 +85,10 @@ def generate_report(
         ("throughput", "Execution engine - serving throughput",
          lambda: render_throughput_study(
              seed=seed, **scaled_defaults(scale)
+         )),
+        ("materialization", "Result sets - lazy RowSet vs eager id arrays",
+         lambda: render_materialization_study(
+             seed=seed, n_rows=max(50_000, int(2_000_000 * scale))
          )),
         ("ablations", "Ablations - design-choice sweeps",
          lambda: render_ablations()),

@@ -147,12 +147,17 @@ def run_throughput_study(
         n_queries = min(n_queries, 240)
     column, stream = throughput_workload(n_rows, n_queries=n_queries, seed=seed)
 
+    # Thread fan-out beyond the physical cores only adds scheduling
+    # overhead to the shard kernels (the sharded-slower-than-serial
+    # regression this bench once recorded); clamp, and let the index
+    # fall back to inline (delegated) dispatch when one worker remains.
+    shard_workers = max(1, min(n_workers, os.cpu_count() or 1))
     serial_index = ColumnImprints(column)
     sharded_index = ShardedColumnImprints(
-        column, n_shards=n_shards, n_workers=n_workers
+        column, n_shards=n_shards, n_workers=shard_workers
     )
     engine_index = ShardedColumnImprints(
-        column, n_shards=n_shards, n_workers=n_workers
+        column, n_shards=n_shards, n_workers=shard_workers
     )
     executor = QueryExecutor(
         {"c": engine_index},
@@ -207,6 +212,7 @@ def run_throughput_study(
             "n_queries": n_queries,
             "n_shards": n_shards,
             "n_workers": n_workers,
+            "shard_workers": shard_workers,
             "seed": seed,
             "smoke": smoke,
             "cpu_count": os.cpu_count(),
@@ -214,9 +220,13 @@ def run_throughput_study(
         },
         "modes": {
             "serial": mode(serial_seconds),
-            "sharded": mode(sharded_seconds),
+            "sharded": {
+                **mode(sharded_seconds),
+                "dispatch_mode": sharded_index.dispatch_mode,
+            },
             "executor": {
                 **mode(executor_seconds),
+                "dispatch_mode": engine_index.dispatch_mode,
                 "coalesced": coalesced,
                 "cache_hits": cache_hits,
                 "kernel_queries": kernel_queries,
@@ -241,10 +251,11 @@ def render_throughput_study(result: dict | None = None, **kwargs) -> str:
                 numbers["seconds"],
                 numbers["qps"],
                 f"{numbers['speedup_vs_serial']:.2f}x",
+                numbers.get("dispatch_mode", "-"),
             ]
         )
     table = format_table(
-        headers=["mode", "seconds", "queries/s", "vs serial"],
+        headers=["mode", "seconds", "queries/s", "vs serial", "dispatch"],
         rows=rows,
         title=(
             f"serving throughput: {config['n_rows']:,} rows, "

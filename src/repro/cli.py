@@ -19,6 +19,10 @@ Commands
 ``throughput``
     Serving-throughput study: serial vs sharded vs coalesced executor
     over a repetitive mixed-selectivity predicate stream.
+``materialization``
+    Materialisation-cost study: lazy compressed ``RowSet`` answers
+    (count-only / cache-hit consumption) vs eager id arrays across a
+    selectivity sweep.
 
 Global options: ``--scale`` (dataset scale factor, default from
 ``REPRO_SCALE`` or 1.0) and ``--seed``.
@@ -80,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shrunken CI-sized workload")
     throughput.add_argument("--json", metavar="PATH", default=None,
                             help="also write the machine-readable result")
+
+    materialization = commands.add_parser(
+        "materialization",
+        help="lazy RowSet vs eager id-array materialisation sweep",
+    )
+    materialization.add_argument("--rows", type=int, default=None,
+                                 help="column length (default: 2M * scale)")
+    materialization.add_argument("--smoke", action="store_true",
+                                 help="shrunken CI-sized workload")
+    materialization.add_argument("--json", metavar="PATH", default=None,
+                                 help="also write the machine-readable result")
     return parser
 
 
@@ -228,6 +243,26 @@ def _cmd_throughput(args) -> str:
     return render_throughput_study(result)
 
 
+def _cmd_materialization(args) -> str:
+    from .bench.materialization import (
+        DEFAULT_ROWS,
+        render_materialization_study,
+        run_materialization_study,
+        write_materialization_json,
+    )
+
+    result = run_materialization_study(
+        n_rows=args.rows
+        if args.rows
+        else max(50_000, int(DEFAULT_ROWS * _scale(args))),
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_materialization_json(result, args.json)
+    return render_materialization_study(result)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "summary": _cmd_summary,
@@ -236,6 +271,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "figure": _cmd_figure,
     "throughput": _cmd_throughput,
+    "materialization": _cmd_materialization,
 }
 
 

@@ -51,10 +51,12 @@ from .ranges import (
     coalesce_ranges,
     difference_ranges,
     expand_ranges,
+    ids_to_ranges,
     intersect_ranges,
     union_ranges,
 )
 from .render import render_compressed, render_imprints
+from .rowset import RowSet
 from .serialize import SerializationError, dump_imprints, load_imprints
 
 __all__ = [
@@ -81,7 +83,9 @@ __all__ = [
     "materialize_ranges",
     "CachelineCandidates",
     "CandidateRanges",
+    "RowSet",
     "expand_ranges",
+    "ids_to_ranges",
     "coalesce_ranges",
     "intersect_ranges",
     "union_ranges",

@@ -14,7 +14,11 @@ This module implements both strategies so the benefit is measurable:
 * :func:`conjunctive_query_eager` — the naive per-column materialise +
   intersect baseline.
 
-Both return the same sorted id list; the accompanying stats expose the
+Both produce the same sorted id set.  The late paths return lazy
+:class:`~repro.core.rowset.RowSet`-backed results: id ranges that were
+*full* under every predicate stay ranges (no value checks, no
+expansion), and only the remaining candidates are expanded, checked and
+kept as the sparse exception chunk.  The accompanying stats expose the
 saved value comparisons.
 """
 
@@ -26,11 +30,13 @@ from ..index_base import QueryResult, QueryStats
 from ..predicate import RangePredicate
 from .index import ColumnImprints
 from .ranges import (
+    CandidateRanges,
     difference_ranges,
     expand_ranges,
     intersect_ranges,
     union_ranges,
 )
+from .rowset import RowSet
 
 __all__ = [
     "conjunctive_query",
@@ -46,20 +52,23 @@ def _intersect_id_ranges(
     predicates: list[RangePredicate],
     stats: QueryStats,
     candidates=None,
-) -> np.ndarray:
-    """Ids surviving the merge-join of per-column candidate cachelines.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Id ranges surviving the merge-join of per-column candidates.
 
     Candidate cachelines are converted to half-open id ranges (columns
     of different widths have different cacheline geometries, so the
     merge happens in id space, the common coordinate system) and
-    intersected pairwise.  ``candidates`` optionally holds the
-    per-column :class:`CandidateRanges` computed elsewhere (the
-    execution engine gathers them concurrently); when omitted they are
-    produced lazily, which lets the serial path stop probing indexes
-    after the intersection empties.
+    intersected pairwise, propagating the *full* flags: a surviving
+    piece is flagged full only if every predicate's innermask proved
+    its whole span — those ids need no value check at all.
+    ``candidates`` optionally holds the per-column
+    :class:`CandidateRanges` computed elsewhere (the execution engine
+    gathers them concurrently); when omitted they are produced lazily,
+    which lets the serial path stop probing indexes after the
+    intersection empties.  Returns ``(starts, stops, all_full)``.
     """
     n_rows = len(indexes[0].column)
-    alive: tuple[np.ndarray, np.ndarray] | None = None  # id ranges, narrowed per column
+    alive: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
     for position, (index, predicate) in enumerate(zip(indexes, predicates)):
         ranges = (
             candidates[position]
@@ -69,15 +78,18 @@ def _intersect_id_ranges(
         stats.merge(ranges.stats)
         spans = ranges.id_spans(index.column.values_per_cacheline, n_rows)
         if alive is None:
-            alive = spans
+            alive = (spans[0], spans[1], ranges.full.copy())
         else:
-            starts, stops, _, _ = intersect_ranges(*alive, *spans)
-            alive = (starts, stops)
+            starts, stops, a_idx, b_idx = intersect_ranges(
+                alive[0], alive[1], *spans
+            )
+            alive = (starts, stops, alive[2][a_idx] & ranges.full[b_idx])
         if alive[0].size == 0:
             break
     if alive is None:
-        return np.empty(0, dtype=np.int64)
-    return expand_ranges(*alive)
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=bool)
+    return alive
 
 
 def conjunctive_query(
@@ -88,12 +100,14 @@ def conjunctive_query(
     """AND of range predicates via candidate merge-join.
 
     All indexes must cover columns of the same table (equal row counts).
-    Value checks run only on ids whose cacheline qualified under *every*
-    predicate — the "smaller set of qualifying ids" the paper expects
-    from combining selective predicates.  ``candidates`` optionally
-    supplies the per-column candidate ranges (one per predicate, in
-    order) when a serving layer already computed them — concurrently,
-    say — instead of the default lazy per-column passes.
+    Id spans full under *every* predicate go straight into the result's
+    :class:`RowSet` as ranges — unexpanded and uncheckable by
+    construction.  Value checks run only on ids of the remaining
+    survivor spans — the "smaller set of qualifying ids" the paper
+    expects from combining selective predicates.  ``candidates``
+    optionally supplies the per-column candidate ranges (one per
+    predicate, in order) when a serving layer already computed them —
+    concurrently, say — instead of the default lazy per-column passes.
     """
     if not indexes or len(indexes) != len(predicates):
         raise ValueError("need one predicate per index, at least one each")
@@ -104,24 +118,28 @@ def conjunctive_query(
         raise ValueError("conjunctive queries require equally long columns")
 
     stats = QueryStats()
-    survivor_ids = _intersect_id_ranges(indexes, predicates, stats, candidates)
-    if survivor_ids.size == 0:
+    starts, stops, all_full = _intersect_id_ranges(
+        indexes, predicates, stats, candidates
+    )
+    if starts.size == 0:
         stats.ids_materialized = 0
-        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+        return QueryResult(rowset=RowSet.empty(), stats=stats)
 
-    # False-positive weeding over the survivors only, per predicate.
-    keep = np.ones(survivor_ids.shape[0], dtype=bool)
+    # False-positive weeding over the not-fully-proven survivors only.
+    pending = expand_ranges(starts[~all_full], stops[~all_full])
+    keep = np.ones(pending.shape[0], dtype=bool)
     for index, predicate in zip(indexes, predicates):
-        checked = survivor_ids[keep]
+        if not keep.any():
+            break
+        checked = pending[keep]
         stats.value_comparisons += int(checked.shape[0])
         lines = np.unique(index.column.geometry.cachelines_of(checked))
         stats.cachelines_fetched += int(lines.shape[0])
         keep[keep] = predicate.matches(index.column.values[checked])
-        if not keep.any():
-            break
-    ids = survivor_ids[keep]
-    stats.ids_materialized = int(ids.shape[0])
-    return QueryResult(ids=ids, stats=stats)
+
+    rowset = RowSet(starts[all_full], stops[all_full], pending[keep])
+    stats.ids_materialized = rowset.count()
+    return QueryResult(rowset=rowset, stats=stats)
 
 
 def conjunctive_query_eager(
@@ -153,18 +171,57 @@ def conjunctive_query_eager(
 # dictionaries, such that a candidate list of qualifying cachelines is
 # created for both operands")
 # ----------------------------------------------------------------------
-def candidate_union(lines_a: np.ndarray, lines_b: np.ndarray) -> np.ndarray:
-    """Union of two sorted candidate cacheline lists."""
-    return np.union1d(np.asarray(lines_a), np.asarray(lines_b))
+def _merged_stats(a: CandidateRanges, b: CandidateRanges) -> QueryStats:
+    stats = QueryStats()
+    stats.merge(a.stats)
+    stats.merge(b.stats)
+    return stats
 
 
-def candidate_difference(lines_a: np.ndarray, lines_b: np.ndarray) -> np.ndarray:
-    """Candidates of ``a`` with ``b``'s cachelines removed.
+def candidate_union(a: CandidateRanges, b: CandidateRanges) -> CandidateRanges:
+    """Union of two candidate range sets — pure interval algebra.
+
+    A cacheline covered by a *full* range of either operand is full in
+    the union (every one of its values qualifies under that operand's
+    predicate); all other covered cachelines stay check-required.
+    O(ranges) in and out — no per-cacheline list is ever built.
+    """
+    full_starts, full_stops = union_ranges(
+        np.concatenate([a.starts[a.full], b.starts[b.full]]),
+        np.concatenate([a.stops[a.full], b.stops[b.full]]),
+    )
+    any_starts, any_stops = union_ranges(
+        np.concatenate([a.starts, b.starts]),
+        np.concatenate([a.stops, b.stops]),
+    )
+    part_starts, part_stops, _ = difference_ranges(
+        any_starts, any_stops, full_starts, full_stops
+    )
+    starts = np.concatenate([full_starts, part_starts])
+    stops = np.concatenate([full_stops, part_stops])
+    full = np.zeros(starts.shape[0], dtype=bool)
+    full[: full_starts.shape[0]] = True
+    order = np.argsort(starts, kind="stable")
+    return CandidateRanges(
+        starts[order], stops[order], full[order], _merged_stats(a, b)
+    )
+
+
+def candidate_difference(
+    a: CandidateRanges, b: CandidateRanges
+) -> CandidateRanges:
+    """Candidates of ``a`` with ``b``'s cachelines carved out.
 
     Used for delta-style difference operands: a cacheline that only the
-    deletion side touches cannot contribute results.
+    deletion side touches cannot contribute results.  ``a``'s full
+    flags survive on the remaining pieces.  O(ranges), never exploded.
     """
-    return np.setdiff1d(np.asarray(lines_a), np.asarray(lines_b))
+    starts, stops, source = difference_ranges(
+        a.starts, a.stops, b.starts, b.stops
+    )
+    return CandidateRanges(
+        starts, stops, a.full[source], _merged_stats(a, b)
+    )
 
 
 def disjunctive_query(
@@ -174,10 +231,11 @@ def disjunctive_query(
     """OR of range predicates over aligned columns (late materialised).
 
     An id qualifies if *any* predicate accepts its value.  Candidate
-    cacheline lists are unioned (cheap, index-only); value checks run
-    once per surviving id per predicate, stopping at the first
-    acceptance.  Ids inside a predicate's *full* cachelines skip checks
-    entirely.
+    ranges are combined with interval algebra (cheap, index-only): the
+    union of everyone's *full* spans is accepted wholesale and stays a
+    range in the result's :class:`RowSet`; value checks run once per
+    remaining candidate id per predicate, stopping at the first
+    acceptance, and the survivors form the sparse exception chunk.
     """
     if not indexes or len(indexes) != len(predicates):
         raise ValueError("need one predicate per index, at least one each")
@@ -211,7 +269,7 @@ def disjunctive_query(
     )
     unresolved_s, unresolved_e, _ = difference_ranges(*candidate, *accepted)
     pending = expand_ranges(unresolved_s, unresolved_e)
-    id_chunks: list[np.ndarray] = [expand_ranges(*accepted)]
+    extra_chunks: list[np.ndarray] = []
 
     # Check unresolved candidates predicate by predicate, dropping ids
     # as soon as one side accepts them.
@@ -222,9 +280,16 @@ def disjunctive_query(
         lines = np.unique(index.column.geometry.cachelines_of(pending))
         stats.cachelines_fetched += int(lines.shape[0])
         hit = predicate.matches(index.column.values[pending])
-        id_chunks.append(pending[hit])
+        extra_chunks.append(pending[hit])
         pending = pending[~hit]
 
-    ids = np.sort(np.concatenate(id_chunks), kind="stable")
-    stats.ids_materialized = int(ids.shape[0])
-    return QueryResult(ids=ids, stats=stats)
+    # The chunks are disjoint (an id leaves ``pending`` on first
+    # acceptance) and each is sorted; their union is one sort away and
+    # proportional to the *checked* survivors, not the answer.
+    if extra_chunks:
+        extras = np.sort(np.concatenate(extra_chunks), kind="stable")
+    else:
+        extras = np.empty(0, dtype=np.int64)
+    rowset = RowSet(accepted[0], accepted[1], extras)
+    stats.ids_materialized = rowset.count()
+    return QueryResult(rowset=rowset, stats=stats)

@@ -159,6 +159,14 @@ class ColumnImprints(SecondaryIndex):
         return self._overlay_state
 
     def query(self, predicate: RangePredicate) -> QueryResult:
+        """Answer a range predicate (lazy compressed result).
+
+        The result is :class:`~repro.core.rowset.RowSet`-backed: full
+        cacheline runs stay id ranges and only checked survivors are
+        stored sparsely, so ``result.count()`` / ``contains`` /
+        ``intersect`` / ``union`` are O(ranges); ``result.ids`` forces
+        (and memoises) the paper's sorted id list.
+        """
         return query_vectorized(
             self.data,
             self.column.values,

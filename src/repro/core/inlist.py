@@ -67,7 +67,10 @@ def query_in_list(index: ColumnImprints, members) -> QueryResult:
     mapped to contiguous cacheline ranges via the dictionary's cached
     run boundaries (never expanded), membership checks only on values
     of partial ranges.  Saturation overlay bits from in-place updates
-    participate the same way as in the range-query path.
+    participate the same way as in the range-query path.  Like every
+    compressed-domain path the answer is a lazy
+    :class:`~repro.core.rowset.RowSet`-backed result — single-value
+    inner-bin runs stay id ranges until a caller forces ``.ids``.
     """
     data = index.data
     column = index.column

@@ -29,6 +29,7 @@ from ..storage.column import Column
 from .index import ColumnImprints
 from .masks import cached_masks
 from .ranges import coalesce_ranges, expand_ranges, intersect_ranges
+from .rowset import RowSet
 
 __all__ = ["MultiLevelImprints"]
 
@@ -100,14 +101,18 @@ class MultiLevelImprints(SecondaryIndex):
 
         vpc = data.values_per_cacheline
         group_values = self.fanout * vpc
-        id_chunks: list[np.ndarray] = []
+        range_starts: list[np.ndarray] = []
+        range_stops: list[np.ndarray] = []
+        extras = np.empty(0, dtype=np.int64)
 
-        # Groups fully inside the range: whole id spans, no level 0.
+        # Groups fully inside the range: whole id spans, no level 0 —
+        # and the spans stay ranges in the answer's RowSet.
         full_groups = np.flatnonzero(summary_full)
         if full_groups.size:
             group_starts = full_groups * group_values
             group_stops = np.minimum(group_starts + group_values, n)
-            id_chunks.append(expand_ranges(group_starts, group_stops))
+            range_starts.append(group_starts)
+            range_stops.append(group_stops)
             stats.full_cachelines += int(
                 ((group_stops - group_starts + vpc - 1) // vpc).sum()
             )
@@ -143,26 +148,30 @@ class MultiLevelImprints(SecondaryIndex):
             stats.partial_cachelines = int((partial_stops - partial_starts).sum())
             stats.cachelines_fetched = stats.partial_cachelines
             if full_len:
-                id_chunks.append(
-                    expand_ranges(
-                        starts[full] * vpc, np.minimum(stops[full] * vpc, n)
-                    )
-                )
+                range_starts.append(starts[full] * vpc)
+                range_stops.append(np.minimum(stops[full] * vpc, n))
             if partial_starts.size:
                 candidates = expand_ranges(
                     partial_starts * vpc, np.minimum(partial_stops * vpc, n)
                 )
                 stats.value_comparisons = int(candidates.shape[0])
-                keep = predicate.matches(self.column.values[candidates])
-                id_chunks.append(candidates[keep])
+                extras = candidates[predicate.matches(self.column.values[candidates])]
 
         stats.index_bytes_read = self.nbytes
-        if not id_chunks:
-            ids = np.empty(0, dtype=np.int64)
+        # Full-group spans and level-0 full spans are disjoint (a full
+        # group never reaches level 0) but interleave in id order; one
+        # O(ranges) sort of the endpoints restores the invariant.
+        if range_starts:
+            starts = np.concatenate(range_starts)
+            stops = np.concatenate(range_stops)
+            order = np.argsort(starts, kind="stable")
+            rowset = RowSet(starts[order], stops[order], extras)
         else:
-            ids = np.sort(np.concatenate(id_chunks), kind="stable")
-        stats.ids_materialized = int(ids.shape[0])
-        return QueryResult(ids=ids, stats=stats)
+            rowset = RowSet.from_ranges(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), extras
+            )
+        stats.ids_materialized = rowset.count()
+        return QueryResult(rowset=rowset, stats=stats)
 
     # ------------------------------------------------------------------
     def append(self, values) -> None:

@@ -22,8 +22,11 @@ the same answer (Section 3's late-materialisation intermediate) for
 consumers that want id lists.  :func:`query_batch` shares the stored-
 vector pass across many predicates — the traffic-serving shape.
 
-All paths return the paper's materialised *sorted id list* plus the
-instrumentation counters of Figure 11, bit-identical to
+All production paths return their answer as a lazy compressed
+:class:`~repro.core.rowset.RowSet`-backed result — full cacheline runs
+stay id *ranges*, only checked survivors are stored as sparse ids —
+plus the instrumentation counters of Figure 11.  Forcing
+``result.ids`` yields the paper's sorted id list, bit-identical to
 :func:`query_scalar`.
 """
 
@@ -42,8 +45,8 @@ from .ranges import (
     coalesce_ranges,
     difference_ranges,
     expand_ranges,
-    merge_sorted_disjoint,
 )
+from .rowset import RowSet
 
 __all__ = [
     "query_scalar",
@@ -283,16 +286,19 @@ def materialize_ranges(
     matches,
     ranges: CandidateRanges,
 ) -> QueryResult:
-    """Turn candidate ranges into the sorted id list (Algorithm 3's end).
+    """Turn candidate ranges into the answer set (Algorithm 3's end).
 
-    Full ranges become ids wholesale; partial ranges get the per-value
-    false-positive check through ``matches`` (a boolean-array predicate
-    over values — the range test for range queries, set membership for
-    IN-lists).  Ids appear only here, as bulk ``arange`` spans.
+    Full ranges stay ranges — they become the :class:`RowSet`'s id
+    intervals *without any expansion*.  Partial ranges still get the
+    per-value false-positive check through ``matches`` (a boolean-array
+    predicate over values — the range test for range queries, set
+    membership for IN-lists), and the survivors form the row set's
+    sparse exception chunk.  Flat id arrays appear only if a consumer
+    later forces ``result.ids``.
     """
     stats = ranges.stats
     if ranges.n_ranges == 0:
-        return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+        return QueryResult(rowset=RowSet.empty(), stats=stats)
 
     vpc = data.values_per_cacheline
     n = data.n_values
@@ -301,29 +307,20 @@ def materialize_ranges(
     stats.partial_cachelines = int((part_stops - part_starts).sum())
     stats.cachelines_fetched = stats.partial_cachelines
 
-    id_chunks: list[np.ndarray] = []
-    if full_starts.size:
-        id_chunks.append(
-            expand_ranges(full_starts * vpc, np.minimum(full_stops * vpc, n))
-        )
+    full_starts = full_starts * vpc
+    full_stops = np.minimum(full_stops * vpc, n)
     if part_starts.size:
         candidates = expand_ranges(
             part_starts * vpc, np.minimum(part_stops * vpc, n)
         )
         stats.value_comparisons = int(candidates.shape[0])
-        keep = matches(values[candidates])
-        id_chunks.append(candidates[keep])
-
-    if not id_chunks:
-        ids = np.empty(0, dtype=np.int64)
-    elif len(id_chunks) == 1:
-        ids = id_chunks[0]
+        extras = candidates[matches(values[candidates])]
     else:
-        # Both chunks are sorted and a cacheline is either full or
-        # partial, never both, so a linear merge suffices.
-        ids = merge_sorted_disjoint(id_chunks[0], id_chunks[1])
-    stats.ids_materialized = int(ids.shape[0])
-    return QueryResult(ids=ids, stats=stats)
+        extras = np.empty(0, dtype=np.int64)
+
+    rowset = RowSet(full_starts, full_stops, extras)
+    stats.ids_materialized = rowset.count()
+    return QueryResult(rowset=rowset, stats=stats)
 
 
 def query_vectorized(

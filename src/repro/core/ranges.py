@@ -29,6 +29,7 @@ from ..index_base import QueryStats
 __all__ = [
     "CandidateRanges",
     "expand_ranges",
+    "ids_to_ranges",
     "coalesce_ranges",
     "intersect_ranges",
     "union_ranges",
@@ -64,6 +65,25 @@ def expand_ranges(starts, stops) -> np.ndarray:
     # Position p inside range i holds starts[i] + (p - cum[i-1]), and
     # starts[i] - cum[i-1] == stops[i] - cum[i].
     return np.repeat(stops - cum, lengths) + np.arange(total, dtype=_I64)
+
+
+def ids_to_ranges(ids) -> tuple[np.ndarray, np.ndarray]:
+    """Compress sorted distinct ids into maximal ``[start, stop)`` runs.
+
+    The inverse of :func:`expand_ranges`: every maximal run of
+    consecutive ids becomes one half-open range.  O(ids) once, after
+    which all set algebra is O(runs).
+    """
+    ids = _as_i64(ids)
+    if ids.size == 0:
+        empty = np.empty(0, dtype=_I64)
+        return empty, empty.copy()
+    new = np.ones(ids.size, dtype=bool)
+    new[1:] = np.diff(ids) != 1
+    firsts = np.flatnonzero(new)
+    starts = ids[firsts]
+    stops = np.append(ids[firsts[1:] - 1], ids[-1]) + 1
+    return starts, stops
 
 
 def merge_sorted_disjoint(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -24,8 +24,11 @@ class LRUCache:
     ``get`` refreshes recency; ``put`` evicts the coldest entries once
     ``capacity`` entries — or, when ``max_bytes`` is set, the summed
     entry ``weight`` — is exceeded.  Weights matter for query results:
-    a low-selectivity answer over a big column is megabytes of ids, so
-    an entry-count bound alone could pin far more memory than intended.
+    the executor charges each entry its *compact*
+    :class:`~repro.core.rowset.RowSet` footprint (range endpoints plus
+    exception ids), so even answers that would expand to megabytes of
+    ids cost a few hundred bytes of budget; an entry-count bound alone
+    could still pin far more memory than intended once ids are forced.
     A capacity of 0 disables caching (every ``get`` misses) so callers
     need no special-casing.
     """

@@ -61,8 +61,11 @@ class QueryExecutor:
     cache_size:
         Capacity of the whole-result LRU (0 disables result caching).
     cache_bytes:
-        Byte budget for cached id arrays (low-selectivity answers are
-        megabytes each; the entry count alone is no memory bound).
+        Byte budget for cached answers, accounted at their *compact*
+        :class:`~repro.core.rowset.RowSet` size (range endpoints plus
+        exception ids) — a high-selectivity answer that would be
+        megabytes of expanded ids usually costs a few hundred bytes
+        here, so the budget holds orders of magnitude more entries.
     n_workers:
         Worker threads executing dispatched batches.
 
@@ -360,14 +363,26 @@ class QueryExecutor:
                 answers = index.query_batch(to_run)
                 self.stats.bump(batches=1, batched_queries=len(to_run))
                 for predicate, result in zip(to_run, answers):
-                    # Shared results must not be mutated by callers.
-                    result.ids.setflags(write=False)
+                    # Shared results must not be mutated by callers —
+                    # freeze() marks the compact arrays read-only
+                    # without forcing materialisation.
+                    result.freeze()
                     results[predicate] = result
                     if version is not None:
+                        # Weight = the compact RowSet footprint (range
+                        # endpoints + exceptions), not the expanded id
+                        # array: a byte budget holds orders of
+                        # magnitude more high-selectivity answers.
+                        # Known trade-off: a consumer forcing ``.ids``
+                        # later memoises the expansion on the shared
+                        # entry beyond this weight — bounded by
+                        # ``cache_size`` entries, and never more pinned
+                        # memory than the pre-RowSet cache (which held
+                        # the expanded array for *every* entry).
                         self._cache.put(
                             (name, predicate, version),
                             result,
-                            weight=int(result.ids.nbytes),
+                            weight=int(result.nbytes),
                         )
 
             for predicate, futures in groups.items():

@@ -52,6 +52,7 @@ from ..core.query import (
     ranges_for_masks,
 )
 from ..core.ranges import CandidateRanges, coalesce_ranges
+from ..core.rowset import RowSet
 
 __all__ = ["ImprintShard", "ShardedColumnImprints", "slice_imprints"]
 
@@ -262,6 +263,22 @@ class ShardedColumnImprints(SecondaryIndex):
     def n_shards(self) -> int:
         return len(self.shards)
 
+    @property
+    def dispatch_mode(self) -> str:
+        """How queries are evaluated: ``"pool"`` (shard fan-out on the
+        thread pool) or ``"inline"`` (delegated to the inner unsharded
+        index, bit-identical by construction).
+
+        Inline is chosen when ``n_workers == 1`` or there is a single
+        shard — the configurations where the fan-out can only add
+        overhead, the regression the throughput bench once measured as
+        sharded-slower-than-serial.  The serving bench records this
+        mode in ``BENCH_throughput.json``.
+        """
+        return (
+            "inline" if self._n_shards == 1 or self._n_workers == 1 else "pool"
+        )
+
     def _shard_overlay_states(self) -> list:
         """Per-shard overlay prework, cached until the index mutates.
 
@@ -328,32 +345,37 @@ class ShardedColumnImprints(SecondaryIndex):
     def _stitch(
         self, locals_: list[QueryResult], stats: QueryStats
     ) -> QueryResult:
-        """Concatenate per-shard answers; sum the materialisation
-        counters onto the (global) probe counters."""
+        """Stitch per-shard answers in the compressed domain.
+
+        Per-shard answers are :class:`RowSet`-backed; the global answer
+        is the concatenation of their range endpoints and exception
+        chunks shifted by each shard's id offset — O(shards + ranges),
+        never O(ids).  The materialisation counters are summed onto the
+        (global) probe counters.
+        """
         shards = self.shards
-        chunks = []
+        parts: list = []
+        offsets: list[int] = []
         for shard, local in zip(shards, locals_):
             stats.value_comparisons += local.stats.value_comparisons
             stats.cachelines_fetched += local.stats.cachelines_fetched
             stats.full_cachelines += local.stats.full_cachelines
             stats.partial_cachelines += local.stats.partial_cachelines
             stats.ids_materialized += local.stats.ids_materialized
-            if local.ids.size:
-                chunks.append(
-                    local.ids + shard.value_start
-                    if shard.value_start
-                    else local.ids
-                )
-        if not chunks:
-            ids = np.empty(0, dtype=np.int64)
-        elif len(chunks) == 1:
-            ids = chunks[0]
-        else:
-            # Shards are ordered and disjoint: concatenation is sorted.
-            ids = np.concatenate(chunks)
-        return QueryResult(ids=ids, stats=stats)
+            rowset = local.row_set
+            if rowset:
+                parts.append(rowset)
+                offsets.append(shard.value_start)
+        return QueryResult(
+            rowset=RowSet.concatenate(parts, offsets), stats=stats
+        )
 
     def query(self, predicate: RangePredicate) -> QueryResult:
+        if self.dispatch_mode == "inline":
+            # One worker (or one shard) cannot win anything from the
+            # shard fan-out; the inner index is bit-identical by
+            # construction and skips the per-shard overhead entirely.
+            return self._inner.query(predicate)
         data = self._inner.data
         mask, innermask = cached_masks(data.histogram, predicate)
         stats = fresh_query_stats(data)
@@ -394,6 +416,8 @@ class ShardedColumnImprints(SecondaryIndex):
         predicates = list(predicates)
         if not predicates:
             return []
+        if self.dispatch_mode == "inline":
+            return self._inner.query_batch(predicates)
         data = self._inner.data
         states = self._shard_overlay_states()
         shards = self.shards
@@ -431,6 +455,8 @@ class ShardedColumnImprints(SecondaryIndex):
         output identical to the unsharded
         :meth:`ColumnImprints.candidate_ranges`.
         """
+        if self.dispatch_mode == "inline":
+            return self._inner.candidate_ranges(predicate)
         data = self._inner.data
         mask, innermask = cached_masks(data.histogram, predicate)
         stats = fresh_query_stats(data)

@@ -5,8 +5,11 @@ sequential-scan baseline — implements :class:`SecondaryIndex`, so the
 benchmark harness can sweep them interchangeably.  The contract mirrors
 the paper's experimental framing:
 
-* :meth:`SecondaryIndex.query` returns a *sorted materialised id list*
-  (positions, not values — late materialisation);
+* :meth:`SecondaryIndex.query` returns a result whose ``.ids`` is a
+  *sorted id list* (positions, not values — late materialisation);
+  imprint paths keep the answer in compressed
+  :class:`~repro.core.rowset.RowSet` form (id ranges + exception chunk)
+  and only expand when ``.ids`` is forced;
 * every query also produces a :class:`QueryStats` record with the
   implementation-independent counters of Figure 11 (index probes, value
   comparisons) plus the memory-traffic counters the cost model converts
@@ -18,7 +21,7 @@ the paper's experimental framing:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -85,22 +88,157 @@ class QueryStats:
         return self
 
 
-@dataclass
 class QueryResult:
-    """A materialised query answer plus its instrumentation."""
+    """A query answer (lazily materialised) plus its instrumentation.
 
-    ids: np.ndarray
-    stats: QueryStats = field(default_factory=QueryStats)
+    Two construction forms:
+
+    * ``QueryResult(ids=array)`` — the classic eager form, used by the
+      scalar references and the baseline indexes (zonemap, WAH, scan);
+    * ``QueryResult(rowset=RowSet)`` — the compact form every imprint
+      path produces: the answer as sorted disjoint id ranges plus a
+      sparse exception chunk (:class:`repro.core.rowset.RowSet`).
+
+    ``.ids`` always returns the sorted flat ``int64`` array — computed
+    once from the row set and memoised, bit-identical to what the eager
+    paths used to build.  Everything that does *not* need flat ids
+    (:meth:`count`, :meth:`contains`, :meth:`intersect`, :meth:`union`,
+    cache accounting via :attr:`nbytes`) runs on the compressed form in
+    O(ranges), so count-only and cached high-selectivity traffic never
+    pays the O(ids) expansion.
+    """
+
+    __slots__ = ("stats", "_ids", "_rowset")
+
+    def __init__(
+        self,
+        ids: np.ndarray | None = None,
+        stats: QueryStats | None = None,
+        rowset=None,
+    ) -> None:
+        if (ids is None) == (rowset is None):
+            raise ValueError("provide exactly one of ids= or rowset=")
+        self._ids = ids
+        self._rowset = rowset
+        self.stats = stats if stats is not None else QueryStats()
+
+    # ------------------------------------------------------------------
+    # materialisation (lazy, memoised)
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> np.ndarray:
+        """The sorted id array; first access materialises and memoises."""
+        if self._ids is None:
+            ids = self._rowset.to_ids()
+            # Lazy results may be shared through serving caches; the
+            # memoised array is shared with every consumer, so it must
+            # never be written through.
+            ids.setflags(write=False)
+            self._ids = ids
+        return self._ids
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the flat id array has been forced yet."""
+        return self._ids is not None
+
+    @property
+    def row_set(self):
+        """The answer as a compressed :class:`~repro.core.rowset.RowSet`.
+
+        Eagerly-constructed results are compressed on first access
+        (sorted distinct ids always round-trip losslessly).
+        """
+        if self._rowset is None:
+            from .core.rowset import RowSet
+
+            self._rowset = RowSet.from_ids(self._ids)
+        return self._rowset
+
+    # ------------------------------------------------------------------
+    # O(ranges) observers — no id expansion
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Answer size without materialising ids."""
+        if self._ids is not None:
+            return int(self._ids.shape[0])
+        return self._rowset.count()
 
     @property
     def n_ids(self) -> int:
-        return int(self.ids.shape[0])
+        return self.count()
+
+    def contains(self, value_id: int) -> bool:
+        """Membership test in O(log(ranges)) — no id expansion."""
+        if self._ids is not None and self._rowset is None:
+            position = int(np.searchsorted(self._ids, value_id))
+            return position < self._ids.shape[0] and bool(
+                self._ids[position] == value_id
+            )
+        return self._rowset.contains(value_id)
+
+    @property
+    def nbytes(self) -> int:
+        """Compact footprint: range endpoints + exceptions when lazy,
+        the id array only when the result was built eagerly.  This is
+        the weight serving caches account with, so a byte budget holds
+        orders of magnitude more high-selectivity answers."""
+        if self._rowset is not None:
+            return self._rowset.nbytes
+        return int(self._ids.nbytes)
 
     def selectivity(self, n_rows: int) -> float:
         """Fraction of the column the answer covers."""
         if n_rows <= 0:
             return 0.0
         return self.n_ids / n_rows
+
+    # ------------------------------------------------------------------
+    # compressed-domain combination
+    # ------------------------------------------------------------------
+    def intersect(self, other: "QueryResult") -> "QueryResult":
+        """AND of two answers via interval algebra (no id expansion)."""
+        stats = QueryStats()
+        stats.merge(self.stats)
+        stats.merge(other.stats)
+        combined = self.row_set.intersect(other.row_set)
+        stats.ids_materialized = combined.count()
+        return QueryResult(rowset=combined, stats=stats)
+
+    def union(self, other: "QueryResult") -> "QueryResult":
+        """OR of two answers via interval algebra (no id expansion)."""
+        stats = QueryStats()
+        stats.merge(self.stats)
+        stats.merge(other.stats)
+        combined = self.row_set.union(other.row_set)
+        stats.ids_materialized = combined.count()
+        return QueryResult(rowset=combined, stats=stats)
+
+    # ------------------------------------------------------------------
+    # sharing
+    # ------------------------------------------------------------------
+    def freeze(self) -> "QueryResult":
+        """Mark the underlying arrays read-only (shared-cache hygiene).
+
+        Does *not* force materialisation: the compact arrays are frozen
+        now; a later memoised ``.ids`` array is frozen when built.
+        """
+        if self._rowset is not None:
+            for array in (
+                self._rowset.starts,
+                self._rowset.stops,
+                self._rowset.extras,
+            ):
+                array.setflags(write=False)
+        if self._ids is not None:
+            self._ids.setflags(write=False)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        form = "ids" if self._rowset is None else (
+            "lazy+ids" if self._ids is not None else "lazy"
+        )
+        return f"QueryResult(n_ids={self.count()}, form={form})"
 
 
 class SecondaryIndex(ABC):
@@ -155,6 +293,15 @@ class SecondaryIndex(ABC):
     def query_point(self, value) -> QueryResult:
         """Point query ``v == value``."""
         return self.query(RangePredicate.point(value, self.column.ctype))
+
+    def count(self, predicate: RangePredicate) -> int:
+        """``COUNT(*)`` of a predicate — never materialises id arrays.
+
+        For imprint indexes the answer comes straight off the compact
+        :class:`~repro.core.rowset.RowSet` in O(ranges); eager baseline
+        indexes simply measure their id list.
+        """
+        return self.query(predicate).count()
 
     def query_batch(self, predicates) -> list[QueryResult]:
         """Answer many predicates; one result per predicate, in order.

@@ -112,10 +112,20 @@ class Table:
     def reconstruct(self, ids, columns: list[str] | None = None) -> dict[str, np.ndarray]:
         """Materialise tuples for the given ids (late materialisation).
 
-        ``ids`` is the position list a query produced; the result maps
+        ``ids`` is the position list a query produced — a flat array, a
+        :class:`~repro.index_base.QueryResult`, or a compressed
+        :class:`~repro.core.rowset.RowSet` (the lazy result forms are
+        accepted directly; this is the boundary where ids genuinely
+        must exist, since tuple gather is positional).  The result maps
         each requested column name to the array of its values at those
         positions, in id order.
         """
+        # Class-level checks: probing the instance would evaluate the
+        # lazy properties (an O(ids) compression for eager results).
+        if hasattr(type(ids), "row_set"):  # QueryResult — force its ids
+            ids = ids.ids
+        elif hasattr(type(ids), "to_ids"):  # bare RowSet
+            ids = ids.to_ids()
         positions = np.asarray(ids, dtype=np.int64)
         if positions.size and (positions.min() < 0 or positions.max() >= self.n_rows):
             raise IndexError(

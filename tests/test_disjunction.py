@@ -6,11 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    CandidateRanges,
     ColumnImprints,
     candidate_difference,
     candidate_union,
     disjunctive_query,
+    ids_to_ranges,
 )
+from repro.index_base import QueryStats
 from repro.predicate import RangePredicate
 from repro.storage import Column
 
@@ -24,23 +27,72 @@ def truth_or(columns, predicates):
     return np.flatnonzero(keep).astype(np.int64)
 
 
+def _candidates(lines, full=None):
+    """CandidateRanges from an exploded cacheline list (test helper)."""
+    lines = np.asarray(lines, dtype=np.int64)
+    starts, stops = ids_to_ranges(lines)
+    if full is None:
+        flags = np.zeros(starts.shape[0], dtype=bool)
+    else:
+        full = np.asarray(full, dtype=bool)
+        starts, stops = lines, lines + 1
+        flags = full
+    return CandidateRanges(starts, stops, flags, QueryStats())
+
+
 class TestCandidateSetOps:
+    """The range-algebra candidate combinators never explode cachelines."""
+
     def test_union(self):
-        a = np.array([1, 3, 5], dtype=np.int64)
-        b = np.array([3, 4], dtype=np.int64)
-        assert list(candidate_union(a, b)) == [1, 3, 4, 5]
+        a = _candidates([1, 3, 5])
+        b = _candidates([3, 4])
+        lines, _ = candidate_union(a, b).explode()
+        assert list(lines) == [1, 3, 4, 5]
+
+    def test_union_full_flags_survive(self):
+        a = _candidates([1, 3, 5], full=[True, False, False])
+        b = _candidates([3, 4], full=[True, False])
+        merged = candidate_union(a, b)
+        lines, is_full = merged.explode()
+        assert list(lines) == [1, 3, 4, 5]
+        # Full under either operand => full in the union.
+        assert list(is_full) == [True, True, False, False]
 
     def test_difference(self):
-        a = np.array([1, 3, 5], dtype=np.int64)
-        b = np.array([3, 4], dtype=np.int64)
-        assert list(candidate_difference(a, b)) == [1, 5]
+        a = _candidates([1, 3, 5])
+        b = _candidates([3, 4])
+        lines, _ = candidate_difference(a, b).explode()
+        assert list(lines) == [1, 5]
+
+    def test_difference_preserves_flags(self):
+        a = _candidates([1, 3, 5], full=[True, False, True])
+        b = _candidates([3], full=[False])
+        lines, is_full = candidate_difference(a, b).explode()
+        assert list(lines) == [1, 5]
+        assert list(is_full) == [True, True]
 
     def test_empty_operands(self):
-        empty = np.array([], dtype=np.int64)
-        a = np.array([2], dtype=np.int64)
-        assert list(candidate_union(empty, a)) == [2]
-        assert list(candidate_difference(a, empty)) == [2]
-        assert list(candidate_difference(empty, a)) == []
+        empty = _candidates([])
+        a = _candidates([2])
+        assert list(candidate_union(empty, a).explode()[0]) == [2]
+        assert list(candidate_difference(a, empty).explode()[0]) == [2]
+        assert list(candidate_difference(empty, a).explode()[0]) == []
+
+    def test_output_stays_ranges(self):
+        # A million-cacheline run in, O(1) ranges out — the whole point.
+        a = CandidateRanges(
+            np.array([0], dtype=np.int64),
+            np.array([1_000_000], dtype=np.int64),
+            np.array([True]),
+            QueryStats(),
+        )
+        b = _candidates([5])
+        merged = candidate_union(a, b)
+        assert merged.n_ranges <= 3
+        assert merged.n_cachelines == 1_000_000
+        carved = candidate_difference(a, b)
+        assert carved.n_ranges == 2
+        assert carved.n_cachelines == 999_999
 
 
 class TestDisjunctiveQuery:
