@@ -1,9 +1,11 @@
-"""Throughput regression gate — compare a fresh bench run to a baseline.
+"""Benchmark regression gates — compare fresh bench runs to baselines.
 
-The ROADMAP asks for a regression gate over the per-commit
-``BENCH_throughput.json`` artifact.  Wall-clock queries/sec are not
-comparable across machines (CI runners differ from the reference
-container), so the gate checks the *machine-portable* invariants:
+The ROADMAP asks for a regression gate over the per-commit benchmark
+artifacts: ``BENCH_throughput.json`` (always) and, as history
+accumulated, ``BENCH_materialization.json`` (via ``--materialization``).
+Wall-clock numbers are not comparable across machines (CI runners
+differ from the reference container), so the gates check the
+*machine-portable* invariants:
 
 * the fresh run verified every mode bit-identical to the serial
   baseline (a hard failure otherwise);
@@ -19,9 +21,15 @@ container), so the gate checks the *machine-portable* invariants:
   the engine *slower* relative to serial) and the tolerance absorbs
   scheduler variance.
 
+For the materialisation study the same shape applies: the fresh run
+must have verified its forced ids bit-identical, and the headline
+count-vs-eager / cached-vs-eager speedup ratios must not drop more than
+the tolerance below a baseline of the same workload shape.
+
 Usage (what CI runs after the full-size bench)::
 
-    python -m repro.bench.regression FRESH.json --baseline BASELINE.json
+    python -m repro.bench.regression FRESH.json --baseline BASELINE.json \
+        --materialization MAT.json --materialization-baseline MAT_BASE.json
 
 Exit status 0 means no regression; 1 lists the failures.
 """
@@ -37,6 +45,7 @@ __all__ = [
     "load_result",
     "comparable_configs",
     "check_throughput_regression",
+    "check_materialization_regression",
     "main",
 ]
 
@@ -113,6 +122,57 @@ def check_throughput_regression(
     return failures
 
 
+#: Config keys that must agree for materialisation speedups to compare.
+_MAT_COMPARABLE_KEYS = ("n_rows", "smoke")
+
+#: Headline ratios the materialisation gate tracks.
+_MAT_HEADLINE_KEYS = ("speedup_count_vs_eager", "speedup_cached_vs_eager")
+
+
+def _materialization_comparable(fresh: dict, baseline: dict) -> bool:
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _MAT_COMPARABLE_KEYS
+    )
+
+
+def check_materialization_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh ``BENCH_materialization.json``; returns failures.
+
+    Mirrors :func:`check_throughput_regression`: the bit-identical
+    verification is a hard invariant; the headline speedup ratios
+    (count-only and cache-hit consumption vs eager materialisation) are
+    compared against a baseline of the same workload shape with the
+    usual one-sided tolerance.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+    if not fresh.get("verified_bit_identical"):
+        failures.append(
+            "materialisation run did not verify forced ids bit-identical"
+        )
+    if baseline is not None and _materialization_comparable(fresh, baseline):
+        fresh_headline = fresh.get("headline", {})
+        baseline_headline = baseline.get("headline", {})
+        for key in _MAT_HEADLINE_KEYS:
+            floor = baseline_headline.get(key, 0.0) * (1.0 - tolerance)
+            got = fresh_headline.get(key, 0.0)
+            if got < floor:
+                failures.append(
+                    f"materialisation {key} regressed: {got:.2f}x < "
+                    f"{floor:.2f}x (baseline "
+                    f"{baseline_headline.get(key, 0.0):.2f}x - {tolerance:.0%})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.regression", description=__doc__
@@ -122,6 +182,16 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline",
         default=None,
         help="committed baseline BENCH_throughput.json (optional)",
+    )
+    parser.add_argument(
+        "--materialization",
+        default=None,
+        help="fresh BENCH_materialization.json to gate as well (optional)",
+    )
+    parser.add_argument(
+        "--materialization-baseline",
+        default=None,
+        help="committed baseline BENCH_materialization.json (optional)",
     )
     parser.add_argument(
         "--tolerance",
@@ -141,6 +211,27 @@ def main(argv: list[str] | None = None) -> int:
     failures = check_throughput_regression(
         fresh, baseline, tolerance=args.tolerance
     )
+
+    if args.materialization:
+        mat_fresh = load_result(args.materialization)
+        mat_baseline = (
+            load_result(args.materialization_baseline)
+            if args.materialization_baseline
+            else None
+        )
+        if mat_baseline is not None and not _materialization_comparable(
+            mat_fresh, mat_baseline
+        ):
+            print(
+                "note: materialisation baseline config differs; cross-run "
+                "speedup comparison skipped, invariants still gate"
+            )
+        failures.extend(
+            check_materialization_regression(
+                mat_fresh, mat_baseline, tolerance=args.tolerance
+            )
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -151,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}={numbers.get('speedup_vs_serial', 0.0):.2f}x"
             for name, numbers in fresh.get("modes", {}).items()
         )
+        + ("; materialisation gate passed" if args.materialization else "")
     )
     return 0
 

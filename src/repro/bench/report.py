@@ -12,6 +12,7 @@ import pathlib
 import time
 
 from .ablations import render_ablations
+from .aggregates import render_aggregate_study
 from .datasets_table import render_table1
 from .entropy_fig4 import render_fig4
 from .prints_fig3 import render_fig3
@@ -88,6 +89,10 @@ def generate_report(
          )),
         ("materialization", "Result sets - lazy RowSet vs eager id arrays",
          lambda: render_materialization_study(
+             seed=seed, n_rows=max(50_000, int(2_000_000 * scale))
+         )),
+        ("aggregates", "Aggregate pushdown - pre-aggregates vs reduce",
+         lambda: render_aggregate_study(
              seed=seed, n_rows=max(50_000, int(2_000_000 * scale))
          )),
         ("ablations", "Ablations - design-choice sweeps",

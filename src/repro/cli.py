@@ -23,6 +23,10 @@ Commands
     Materialisation-cost study: lazy compressed ``RowSet`` answers
     (count-only / cache-hit consumption) vs eager id arrays across a
     selectivity sweep.
+``aggregates``
+    Aggregate-pushdown study: ``SUM``/``MIN``/``MAX``/``COUNT`` from
+    per-cacheline pre-aggregates vs materialise-then-reduce across a
+    selectivity sweep.
 
 Global options: ``--scale`` (dataset scale factor, default from
 ``REPRO_SCALE`` or 1.0) and ``--seed``.
@@ -95,6 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="shrunken CI-sized workload")
     materialization.add_argument("--json", metavar="PATH", default=None,
                                  help="also write the machine-readable result")
+
+    aggregates = commands.add_parser(
+        "aggregates",
+        help="aggregate pushdown vs materialise-then-reduce sweep",
+    )
+    aggregates.add_argument("--rows", type=int, default=None,
+                            help="column length (default: 2M * scale)")
+    aggregates.add_argument("--smoke", action="store_true",
+                            help="shrunken CI-sized workload")
+    aggregates.add_argument("--json", metavar="PATH", default=None,
+                            help="also write the machine-readable result")
     return parser
 
 
@@ -263,6 +278,26 @@ def _cmd_materialization(args) -> str:
     return render_materialization_study(result)
 
 
+def _cmd_aggregates(args) -> str:
+    from .bench.aggregates import (
+        DEFAULT_ROWS,
+        render_aggregate_study,
+        run_aggregate_study,
+        write_aggregates_json,
+    )
+
+    result = run_aggregate_study(
+        n_rows=args.rows
+        if args.rows
+        else max(50_000, int(DEFAULT_ROWS * _scale(args))),
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_aggregates_json(result, args.json)
+    return render_aggregate_study(result)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "summary": _cmd_summary,
@@ -272,6 +307,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "throughput": _cmd_throughput,
     "materialization": _cmd_materialization,
+    "aggregates": _cmd_aggregates,
 }
 
 

@@ -18,12 +18,21 @@ Public surface:
 """
 
 from .advisor import AccessPlan, execute_with_plan, plan_query
+from .aggregates import (
+    AGGREGATE_OPS,
+    CachelineAggregates,
+    aggregate_candidates,
+    aggregate_rowset,
+    combine_partials,
+    reduce_gathered,
+)
 from .binning import DEFAULT_SAMPLE_SIZE, MAX_BINS, Histogram, binning, sample_column
 from .bitvec import bits_to_str, hamming, popcount, str_to_bits
 from .builder import ImprintsBuilder, ImprintsData, build_imprints_scalar
 from .conjunction import (
     candidate_difference,
     candidate_union,
+    conjunctive_aggregate,
     conjunctive_query,
     conjunctive_query_eager,
     disjunctive_query,
@@ -84,6 +93,12 @@ __all__ = [
     "CachelineCandidates",
     "CandidateRanges",
     "RowSet",
+    "AGGREGATE_OPS",
+    "CachelineAggregates",
+    "aggregate_candidates",
+    "aggregate_rowset",
+    "combine_partials",
+    "reduce_gathered",
     "expand_ranges",
     "ids_to_ranges",
     "coalesce_ranges",
@@ -92,6 +107,7 @@ __all__ = [
     "difference_ranges",
     "conjunctive_query",
     "conjunctive_query_eager",
+    "conjunctive_aggregate",
     "disjunctive_query",
     "candidate_union",
     "candidate_difference",

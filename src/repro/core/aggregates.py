@@ -1,0 +1,505 @@
+"""Aggregate pushdown — per-cacheline pre-aggregates for COUNT/SUM/MIN/MAX.
+
+The paper answers *which ids qualify* at cacheline granularity from the
+imprint alone; PR 3's :class:`~repro.core.rowset.RowSet` made ``COUNT``
+O(ranges) by keeping the answer in range form.  This module extends the
+same discipline to the other dashboard aggregates: a tiny sidecar of
+per-cacheline ``count``/``sum``/``min``/``max`` (plus a prefix-sum
+array) lets ``SUM``/``MIN``/``MAX`` over a query answer consume full
+cacheline ranges *without touching a single value* —
+
+* range ``SUM`` is two prefix-sum lookups per range (O(1) per range);
+* range ``MIN``/``MAX`` reduce the per-cacheline extrema arrays
+  (O(covered cachelines), a ``values_per_cacheline``-fold saving over
+  the values, with no gather);
+* only the sparse exception chunk (the checked survivors of partial
+  cachelines) and the unaligned heads/tails of ranges are answered from
+  the column values.
+
+The sidecar is built in one vectorised pass (``ufunc.reduceat`` per
+cacheline) and maintained incrementally through Section 4 updates:
+appends recompute only the trailing partial cacheline and extend, and
+an in-place update recomputes its one cacheline.
+
+Exactness
+---------
+``COUNT``/``MIN``/``MAX`` are bit-identical to NumPy reference
+aggregation over the materialised ids for every dtype.  ``SUM`` is
+accumulated at 64-bit width (``int64``/``uint64`` for integer columns,
+``float64`` for float columns).  Integer sums are bit-identical to
+``np.sum`` over the gathered values because modular 64-bit addition is
+associative — regrouping per cacheline cannot change the wrapped
+result.  Float sums are deterministic (fixed blocked order) but float
+addition is not associative, so they agree with
+``np.sum(values[ids], dtype=np.float64)`` only to rounding (~1 ulp per
+reassociation); the property tests pin integer sums exactly and float
+sums to a tight relative tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ranges import expand_ranges
+from .rowset import RowSet
+
+__all__ = [
+    "AGGREGATE_OPS",
+    "CachelineAggregates",
+    "aggregate_rowset",
+    "aggregate_candidates",
+    "aggregate_identity",
+    "combine_partials",
+    "reduce_gathered",
+]
+
+#: The supported pushdown operations.
+AGGREGATE_OPS = ("count", "sum", "min", "max")
+
+_I64 = np.int64
+
+
+def _sum_dtype(dtype: np.dtype) -> np.dtype:
+    """The 64-bit accumulator NumPy itself would use for ``np.sum``
+    (floats are widened to ``float64`` for deterministic precision)."""
+    if dtype.kind == "f":
+        return np.dtype(np.float64)
+    if dtype.kind == "u":
+        return np.dtype(np.uint64)
+    return np.dtype(np.int64)
+
+
+def _check_op(op: str) -> None:
+    if op not in AGGREGATE_OPS:
+        raise ValueError(f"unknown aggregate {op!r}; supported: {AGGREGATE_OPS}")
+
+
+class CachelineAggregates:
+    """Per-cacheline ``count``/``sum``/``min``/``max`` of one column.
+
+    The aggregate-pushdown sidecar of a
+    :class:`~repro.core.index.ColumnImprints`: one entry per cacheline
+    (two extrema at value width plus one 64-bit prefix-sum slot — about
+    a quarter of an ``int32`` column), trading bounded memory for
+    ``SUM``/``MIN``/``MAX`` over full cacheline ranges that never touch
+    values.
+
+    Parameters
+    ----------
+    values:
+        The column's backing array (any supported dtype).
+    values_per_cacheline:
+        The column's cacheline geometry constant.
+
+    Attributes
+    ----------
+    mins, maxs:
+        Per-cacheline extrema in the column dtype.
+    prefix_sums:
+        ``prefix_sums[k]`` = sum of cachelines ``[0, k)`` — the O(1)
+        range-SUM lookup table (one element longer than the column has
+        cachelines).  Per-cacheline sums and counts are *derived*
+        (``diff(prefix_sums)``; every line holds ``vpc`` values except
+        a ragged tail) rather than stored, keeping the sidecar at two
+        value-width arrays plus one ``int64``/``float64`` table.
+    """
+
+    def __init__(self, values, values_per_cacheline: int) -> None:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {values.shape}")
+        if values_per_cacheline <= 0:
+            raise ValueError(
+                f"values_per_cacheline must be positive, got {values_per_cacheline}"
+            )
+        self.vpc = int(values_per_cacheline)
+        self.value_dtype = values.dtype
+        self.sum_dtype = _sum_dtype(values.dtype)
+        self.n_values = 0
+        self.mins = np.empty(0, dtype=values.dtype)
+        self.maxs = np.empty(0, dtype=values.dtype)
+        self.prefix_sums = np.zeros(1, dtype=self.sum_dtype)
+        if values.shape[0]:
+            self._recompute_from(values, 0)
+
+    @classmethod
+    def from_column(cls, column) -> "CachelineAggregates":
+        """The sidecar for a :class:`~repro.storage.column.Column`."""
+        return cls(column.values, column.values_per_cacheline)
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_cachelines(self) -> int:
+        return int(self.mins.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Sidecar footprint (extrema + prefix-sum table)."""
+        return int(
+            self.mins.nbytes + self.maxs.nbytes + self.prefix_sums.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # construction / maintenance
+    # ------------------------------------------------------------------
+    def _recompute_from(self, values: np.ndarray, first_line: int) -> None:
+        """(Re)build every aggregate from cacheline ``first_line`` on.
+
+        One ``reduceat`` per aggregate over the affected suffix; the
+        prefix-sum table is extended from the last clean entry, so an
+        append costs O(appended values), never O(column).
+        """
+        block = values[first_line * self.vpc :]
+        starts = np.arange(0, block.shape[0], self.vpc, dtype=np.intp)
+        sums = np.add.reduceat(block.astype(self.sum_dtype, copy=False), starts)
+        self.mins = np.concatenate(
+            [self.mins[:first_line], np.minimum.reduceat(block, starts)]
+        )
+        self.maxs = np.concatenate(
+            [self.maxs[:first_line], np.maximum.reduceat(block, starts)]
+        )
+        self.prefix_sums = np.concatenate(
+            [
+                self.prefix_sums[: first_line + 1],
+                self.prefix_sums[first_line] + np.cumsum(sums, dtype=self.sum_dtype),
+            ]
+        )
+        self.n_values = int(values.shape[0])
+
+    def append(self, values) -> None:
+        """Maintain the sidecar through a Section 4.1 append.
+
+        ``values`` is the column's *full* post-append backing array (the
+        index already swapped its column).  Only the trailing partial
+        cacheline is recomputed; everything before it is untouched —
+        exactly the imprint builder's append discipline.
+        """
+        values = np.asarray(values)
+        if values.shape[0] < self.n_values:
+            raise ValueError(
+                f"append cannot shrink the column: {values.shape[0]} < {self.n_values}"
+            )
+        if values.shape[0] == self.n_values:
+            return
+        self._recompute_from(values, self.n_values // self.vpc)
+
+    def update_line(self, cacheline: int, values) -> None:
+        """Maintain the sidecar through a Section 4.2 in-place update.
+
+        Recomputes the one affected cacheline from the (already
+        updated) backing array and patches the prefix-sum table by the
+        sum delta — O(vpc + cachelines after the line).
+        """
+        if not 0 <= cacheline < self.n_cachelines:
+            raise IndexError(
+                f"cacheline {cacheline} out of range [0, {self.n_cachelines})"
+            )
+        values = np.asarray(values)
+        start = cacheline * self.vpc
+        block = values[start : min(start + self.vpc, self.n_values)]
+        new_sum = np.add.reduce(block.astype(self.sum_dtype, copy=False))
+        old_sum = self.prefix_sums[cacheline + 1] - self.prefix_sums[cacheline]
+        self.prefix_sums[cacheline + 1 :] += new_sum - old_sum
+        self.mins[cacheline] = block.min()
+        self.maxs[cacheline] = block.max()
+
+    # ------------------------------------------------------------------
+    # range reductions (the pushdown kernels)
+    # ------------------------------------------------------------------
+    def range_sums(self, cl_lo: np.ndarray, cl_hi: np.ndarray) -> np.ndarray:
+        """Sum of cachelines ``[cl_lo_k, cl_hi_k)`` per range — O(1) each."""
+        return self.prefix_sums[cl_hi] - self.prefix_sums[cl_lo]
+
+    def _range_reduce(self, per_line, ufunc, cl_lo, cl_hi) -> np.ndarray:
+        """``ufunc``-reduction of ``per_line[lo_k:hi_k)`` per range.
+
+        All ranges must be non-empty (``lo < hi``), sorted and disjoint.
+        The covered entries are gathered compactly first and reduced
+        with one ``reduceat`` over their offsets — work proportional to
+        the cachelines *covered*, never to the gaps between ranges (an
+        interleaved-boundary ``reduceat`` would scan those too).
+        """
+        lengths = cl_hi - cl_lo
+        offsets = np.cumsum(lengths) - lengths
+        gathered = per_line[expand_ranges(cl_lo, cl_hi)]
+        return ufunc.reduceat(gathered, offsets)
+
+    def range_mins(self, cl_lo, cl_hi) -> np.ndarray:
+        return self._range_reduce(self.mins, np.minimum, cl_lo, cl_hi)
+
+    def range_maxs(self, cl_lo, cl_hi) -> np.ndarray:
+        return self._range_reduce(self.maxs, np.maximum, cl_lo, cl_hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CachelineAggregates(cachelines={self.n_cachelines}, "
+            f"vpc={self.vpc}, {self.nbytes} B)"
+        )
+
+
+# ----------------------------------------------------------------------
+# aggregation over compressed answers
+# ----------------------------------------------------------------------
+def aggregate_identity(op: str, sum_dtype=None):
+    """The aggregate of an empty answer: 0 for count/sum, None for
+    min/max (SQL's NULL on empty input)."""
+    _check_op(op)
+    if op == "count":
+        return 0
+    if op == "sum":
+        dtype = np.dtype(sum_dtype) if sum_dtype is not None else np.dtype(_I64)
+        return dtype.type(0).item()
+    return None
+
+
+def reduce_gathered(gathered: np.ndarray, op: str):
+    """Aggregate a flat gathered value array.
+
+    The no-sidecar fallback shared by baseline indexes and delta-aware
+    answers: ``sum`` accumulates at the 64-bit width matching the
+    sidecar semantics, ``min``/``max`` return ``None`` on empty input.
+    """
+    _check_op(op)
+    if op == "count":
+        return int(gathered.shape[0])
+    if op == "sum":
+        return np.add.reduce(
+            gathered.astype(_sum_dtype(gathered.dtype), copy=False)
+        ).item() if gathered.shape[0] else aggregate_identity(
+            "sum", _sum_dtype(gathered.dtype)
+        )
+    if gathered.shape[0] == 0:
+        return None
+    return gathered.min().item() if op == "min" else gathered.max().item()
+
+
+def aggregate_rowset(
+    rowset: RowSet,
+    values: np.ndarray,
+    op: str,
+    aggregates: CachelineAggregates | None = None,
+):
+    """Aggregate the ids of a :class:`RowSet` over ``values``.
+
+    The pushdown kernel shared by every layer: with a sidecar, each id
+    range decomposes into an unaligned head, a run of whole cachelines
+    and an unaligned tail — the whole-cacheline middle is answered from
+    the pre-aggregates (prefix sums for ``SUM``, per-cacheline extrema
+    for ``MIN``/``MAX``) and only heads, tails and the sparse exception
+    chunk gather column values.  Imprint answers have their ranges on
+    cacheline boundaries by construction, so typically *no* range
+    contributes a head or tail at all.  Without a sidecar the ids are
+    gathered and reduced directly (the baseline-index path).
+
+    Returns a Python scalar: ``int`` for ``count`` and integer sums,
+    ``float`` for float sums, the column's value kind for ``min`` /
+    ``max``, and ``None`` for ``min``/``max`` of an empty answer.
+    """
+    _check_op(op)
+    if op == "count":
+        return rowset.count()
+    values = np.asarray(values)
+    if aggregates is None:
+        return reduce_gathered(values[rowset.to_ids()], op)
+
+    vpc = aggregates.vpc
+    n = aggregates.n_values
+    starts, stops, extras = rowset.starts, rowset.stops, rowset.extras
+
+    # Per-range decomposition.  A cacheline c is wholly covered by
+    # [start, stop) iff start <= c*vpc and min((c+1)*vpc, n) <= stop —
+    # the ragged tail cacheline counts as whole when stop reaches n.
+    cl_lo = -(-starts // vpc)  # ceil division
+    cl_hi = np.where(stops >= n, aggregates.n_cachelines, stops // vpc)
+    cl_hi = np.maximum(cl_hi, cl_lo)
+    head_stops = np.minimum(cl_lo * vpc, stops)
+    tail_starts = np.minimum(
+        np.maximum(np.where(stops >= n, stops, cl_hi * vpc), head_stops), stops
+    )
+
+    scanned = values[
+        np.concatenate(
+            [
+                expand_ranges(starts, head_stops),
+                expand_ranges(tail_starts, stops),
+                extras,
+            ]
+        )
+    ]
+
+    if op == "sum":
+        total = np.add.reduce(
+            aggregates.range_sums(cl_lo, cl_hi).astype(
+                aggregates.sum_dtype, copy=False
+            )
+        )
+        if scanned.shape[0]:
+            total = total + np.add.reduce(
+                scanned.astype(aggregates.sum_dtype, copy=False)
+            )
+        return aggregates.sum_dtype.type(total).item()
+
+    pieces = []
+    covered = cl_lo < cl_hi
+    if covered.any():
+        reducer = (
+            aggregates.range_mins if op == "min" else aggregates.range_maxs
+        )
+        per_range = reducer(cl_lo[covered], cl_hi[covered])
+        pieces.append(per_range.min() if op == "min" else per_range.max())
+    if scanned.shape[0]:
+        pieces.append(scanned.min() if op == "min" else scanned.max())
+    if not pieces:
+        return None
+    combined = pieces[0] if len(pieces) == 1 else (
+        np.minimum(*pieces) if op == "min" else np.maximum(*pieces)
+    )
+    return combined.item()
+
+
+def aggregate_candidates(ranges, values, predicate, aggregates, op: str):
+    """Fused aggregate straight off candidate cacheline ranges.
+
+    The hot path of :meth:`ColumnImprints.aggregate
+    <repro.core.index.ColumnImprints.aggregate>`: consumes a
+    :class:`~repro.core.ranges.CandidateRanges` (the compressed-domain
+    kernel's output) *without ever producing an id list*.  Full ranges
+    are answered entirely from the pre-aggregates — their cacheline
+    spans index the prefix-sum table and extrema arrays directly.
+
+    Partial candidate cachelines are first **refined through the
+    sidecar's exact per-cacheline bounds**, which are strictly sharper
+    than the imprint's bin-resolution innermask: a line whose
+    ``[min, max]`` lies inside the predicate is promoted to fully
+    qualifying (answered from the pre-aggregates), one whose bounds
+    miss the predicate is dropped outright, and only lines genuinely
+    straddling a predicate bound gather their values for the
+    false-positive check — typically a small constant per answer run
+    instead of every bin-level false positive.
+
+    Answers are identical to aggregating the equivalent
+    :class:`RowSet` (and therefore to NumPy reference aggregation over
+    the forced ids, with the float-``SUM`` rounding caveat in the
+    module docstring).
+    """
+    _check_op(op)
+    vpc = aggregates.vpc
+    n = aggregates.n_values
+    full_starts, full_stops, part_starts, part_stops = ranges.split()
+
+    # --- refine partial candidate lines through the exact bounds.
+    promoted = mixed_values = mixed_mask = None
+    if part_starts.shape[0]:
+        lines = expand_ranges(part_starts, part_stops)
+        line_mins = aggregates.mins[lines]
+        line_maxs = aggregates.maxs[lines]
+        inside = np.ones(lines.shape[0], dtype=bool)
+        outside = np.zeros(lines.shape[0], dtype=bool)
+        if not predicate.low_unbounded:
+            inside &= line_mins >= predicate.low
+            outside |= line_maxs < predicate.low
+        if not predicate.high_unbounded:
+            inside &= line_maxs < predicate.high
+            outside |= line_mins >= predicate.high
+        promoted = lines[inside]
+        mixed = lines[~(inside | outside)]
+        if mixed.shape[0]:
+            mixed_ids = mixed * vpc
+            mixed_values = values[
+                expand_ranges(mixed_ids, np.minimum(mixed_ids + vpc, n))
+            ]
+            # Inline low <= v < high; the where= reductions below then
+            # skip the survivor compress entirely.  (Both bounds
+            # unbounded cannot reach here: every line would have been
+            # promoted.)
+            if predicate.low_unbounded:
+                mixed_mask = mixed_values < predicate.high
+            elif predicate.high_unbounded:
+                mixed_mask = mixed_values >= predicate.low
+            else:
+                mixed_mask = (mixed_values >= predicate.low) & (
+                    mixed_values < predicate.high
+                )
+
+    if op == "count":
+        total = int(
+            (np.minimum(full_stops * vpc, n) - full_starts * vpc).sum()
+        )
+        if promoted is not None and promoted.shape[0]:
+            total += int(
+                (
+                    np.minimum(promoted * vpc + vpc, n) - promoted * vpc
+                ).sum()
+            )
+        if mixed_mask is not None:
+            total += int(np.count_nonzero(mixed_mask))
+        return total
+
+    if op == "sum":
+        total = np.add.reduce(
+            aggregates.range_sums(full_starts, full_stops).astype(
+                aggregates.sum_dtype, copy=False
+            )
+        )
+        if promoted is not None and promoted.shape[0]:
+            total = total + np.add.reduce(
+                aggregates.prefix_sums[promoted + 1]
+                - aggregates.prefix_sums[promoted]
+            )
+        if mixed_values is not None:
+            kept = mixed_values[mixed_mask]
+            if kept.shape[0]:
+                total = total + np.add.reduce(
+                    kept.astype(aggregates.sum_dtype, copy=False)
+                )
+        return aggregates.sum_dtype.type(total).item()
+
+    reducer = np.minimum if op == "min" else np.maximum
+    pieces = []
+    if full_starts.shape[0]:
+        ranged = (
+            aggregates.range_mins(full_starts, full_stops) if op == "min"
+            else aggregates.range_maxs(full_starts, full_stops)
+        )
+        pieces.append(reducer.reduce(ranged))
+    if promoted is not None and promoted.shape[0]:
+        per_line = (
+            aggregates.mins[promoted] if op == "min"
+            else aggregates.maxs[promoted]
+        )
+        pieces.append(reducer.reduce(per_line))
+    if mixed_values is not None:
+        kept = mixed_values[mixed_mask]
+        if kept.shape[0]:
+            pieces.append(reducer.reduce(kept))
+    if not pieces:
+        return None
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = reducer(result, piece)
+    return result.item()
+
+
+def combine_partials(op: str, partials, sum_dtype=None):
+    """Combine per-shard partial aggregates into the global answer.
+
+    ``count`` adds, ``sum`` adds *in the 64-bit accumulator dtype* (so
+    integer wraparound recombines bit-identically to the unsharded
+    answer), ``min``/``max`` take the extremum over the non-``None``
+    partials (``None`` marks an empty shard answer).
+    """
+    _check_op(op)
+    partials = list(partials)
+    if op == "count":
+        return int(sum(partials))
+    if op == "sum":
+        dtype = np.dtype(sum_dtype) if sum_dtype is not None else np.dtype(_I64)
+        return np.add.reduce(np.array(partials, dtype=dtype)).item() if partials else (
+            aggregate_identity("sum", dtype)
+        )
+    present = [value for value in partials if value is not None]
+    if not present:
+        return None
+    return min(present) if op == "min" else max(present)

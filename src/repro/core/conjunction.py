@@ -41,6 +41,7 @@ from .rowset import RowSet
 __all__ = [
     "conjunctive_query",
     "conjunctive_query_eager",
+    "conjunctive_aggregate",
     "disjunctive_query",
     "candidate_union",
     "candidate_difference",
@@ -140,6 +141,33 @@ def conjunctive_query(
     rowset = RowSet(starts[all_full], stops[all_full], pending[keep])
     stats.ids_materialized = rowset.count()
     return QueryResult(rowset=rowset, stats=stats)
+
+
+def conjunctive_aggregate(
+    indexes: list[ColumnImprints],
+    predicates: list[RangePredicate],
+    op: str,
+    target: int = 0,
+    candidates=None,
+):
+    """Aggregate one column over a multi-attribute conjunction.
+
+    ``SUM``/``MIN``/``MAX``/``COUNT`` of ``indexes[target]``'s column
+    over the ids satisfying *every* predicate.  The merge-join's
+    all-full survivor spans land in the answer's :class:`RowSet` as
+    unexpanded id ranges, which feed ``indexes[target]``'s per-cacheline
+    pre-aggregates directly — only the checked-survivor exception chunk
+    scans the target column's values.  ``candidates`` passes through to
+    :func:`conjunctive_query` (the execution engine gathers the
+    per-column candidate passes concurrently).
+    """
+    result = conjunctive_query(indexes, predicates, candidates=candidates)
+    if op == "count":
+        return result.count()
+    index = indexes[target]
+    return result.aggregate(
+        op, index.column.values, getattr(index, "cacheline_aggregates", None)
+    )
 
 
 def conjunctive_query_eager(

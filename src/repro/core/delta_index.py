@@ -26,6 +26,7 @@ from ..index_base import QueryResult, SecondaryIndex
 from ..predicate import RangePredicate
 from ..storage.column import Column
 from ..storage.delta import DeltaColumn
+from .aggregates import reduce_gathered
 from .index import ColumnImprints
 
 __all__ = ["DeltaAwareImprints"]
@@ -107,6 +108,23 @@ class DeltaAwareImprints(SecondaryIndex):
         stats = base.stats
         stats.ids_materialized = int(merged.shape[0])
         return QueryResult(ids=merged, stats=stats)
+
+    def aggregate(self, predicate: RangePredicate, op: str):
+        """``COUNT``/``SUM``/``MIN``/``MAX`` over the *logical* column.
+
+        While the delta is empty this delegates to the base imprint's
+        pushdown (pre-aggregate sidecar and all).  With pending
+        appends/updates/deletes the base sidecar summarises stale
+        values, so the merged answer ids are gathered through
+        :meth:`values_at` — correctness over speed until the next
+        consolidation restores the fast path.
+        """
+        if self.delta.n_pending == 0:
+            return self.base_index.aggregate(predicate, op)
+        result = self.query(predicate)
+        if op == "count":
+            return result.count()
+        return reduce_gathered(self.values_at(result.ids), op)
 
     def values_at(self, ids: np.ndarray) -> np.ndarray:
         """Current (delta-applied) values for an id list — what a tuple

@@ -28,6 +28,7 @@ import numpy as np
 from ..index_base import QueryResult, SecondaryIndex
 from ..predicate import RangePredicate
 from ..storage.column import Column
+from .aggregates import CachelineAggregates, aggregate_candidates
 from .binning import DEFAULT_SAMPLE_SIZE, MAX_BINS, Histogram, binning
 from .builder import ImprintsBuilder, ImprintsData
 from .dictionary import MAX_CNT
@@ -108,6 +109,10 @@ class ColumnImprints(SecondaryIndex):
         )
         self._builder.feed(column.values)
         self._data: ImprintsData | None = None
+        # Aggregate-pushdown sidecar (per-cacheline count/sum/min/max);
+        # built on first aggregate and then maintained incrementally
+        # through appends and updates.
+        self._aggregates: CachelineAggregates | None = None
         # Saturation overlay: cacheline -> extra bits set by updates.
         self._overlay: dict[int, int] = {}
         # Cached overlay prework (sorted lines + overlaid vectors) and
@@ -140,6 +145,24 @@ class ColumnImprints(SecondaryIndex):
     @property
     def bins(self) -> int:
         return self.histogram.bins
+
+    @property
+    def cacheline_aggregates(self) -> CachelineAggregates:
+        """The aggregate-pushdown sidecar (built lazily, then maintained).
+
+        Per-cacheline ``count``/``sum``/``min``/``max`` plus a
+        prefix-sum table, so :meth:`~repro.index_base.SecondaryIndex.
+        aggregate` answers ``SUM``/``MIN``/``MAX`` over the full
+        cacheline ranges of a query answer without touching values.
+        Once built, :meth:`append` and :meth:`note_update` keep it
+        current alongside the imprint (the values it summarises do not
+        depend on the binning, so :meth:`rebuild` leaves it intact).
+        """
+        if self._aggregates is None:
+            self._aggregates = CachelineAggregates(
+                self.column.values, self.column.values_per_cacheline
+            )
+        return self._aggregates
 
     # ------------------------------------------------------------------
     # queries
@@ -188,6 +211,26 @@ class ColumnImprints(SecondaryIndex):
             overlay_state=self.overlay_state(),
         )
 
+    def aggregate(self, predicate: RangePredicate, op: str):
+        """``COUNT``/``SUM``/``MIN``/``MAX`` pushdown (fused kernel).
+
+        Overrides the generic query-then-aggregate sequence with
+        :func:`~repro.core.aggregates.aggregate_candidates`: the
+        compressed-domain candidate ranges feed the per-cacheline
+        pre-aggregates directly (prefix-sum O(1) range ``SUM``),
+        partial candidates are refined through the sidecar's exact
+        per-cacheline bounds (sharper than the bin-resolution
+        innermask), and only lines straddling a predicate bound touch
+        values — no id list, no :class:`RowSet`, no re-gather.
+        """
+        return aggregate_candidates(
+            self.candidate_ranges(predicate),
+            self.column.values,
+            predicate,
+            self.cacheline_aggregates,
+            op,
+        )
+
     def candidate_ranges(self, predicate: RangePredicate) -> CandidateRanges:
         """Late materialisation in the compressed domain (Section 3).
 
@@ -221,6 +264,10 @@ class ColumnImprints(SecondaryIndex):
         self.column = self.column.appended(values)
         self._builder.feed(values)
         self._data = None
+        if self._aggregates is not None:
+            # Same discipline as the imprint builder: only the trailing
+            # partial cacheline is recomputed, new lines are appended.
+            self._aggregates.append(self.column.values)
         # The overlay prework binds cachelines to stored rows of the
         # *current* snapshot; a new snapshot invalidates the mapping.
         self._overlay_state = None
@@ -247,6 +294,8 @@ class ColumnImprints(SecondaryIndex):
             )
         self.column = self.column.with_value(value_id, new_value)
         cacheline = self.column.geometry.cacheline_of(value_id)
+        if self._aggregates is not None:
+            self._aggregates.update_line(cacheline, self.column.values)
         new_bit = 1 << self.histogram.get_bin(new_value)
         old_bits = self._overlay.get(cacheline, 0)
         new_bits = old_bits | new_bit
@@ -322,6 +371,8 @@ class ColumnImprints(SecondaryIndex):
         )
         self._builder.feed(self.column.values)
         self._data = None
+        # The aggregate sidecar summarises values, not bins — a re-bin
+        # leaves it valid, so it deliberately survives the rebuild.
         self._overlay.clear()
         self._overlay_state = None
         self._overlay_popcount = 0

@@ -16,9 +16,12 @@ by orders of magnitude for high-selectivity answers (a 10% answer over
 and costs a bulk ``arange`` per query.  ``RowSet`` keeps the compact
 form and supports the operations consumers actually need — counting,
 membership, intersection, union, shard stitching — directly on the
-endpoints, in O(ranges + exceptions) instead of O(ids).  Materialised
-ids appear only when :meth:`to_ids` is forced (and
-:class:`~repro.index_base.QueryResult` memoises that).
+endpoints, in O(ranges + exceptions) instead of O(ids).  The range
+form is also what aggregate pushdown consumes: ``SUM``/``MIN``/``MAX``
+over a row set's ranges come from per-cacheline pre-aggregates
+(:func:`repro.core.aggregates.aggregate_rowset`) without expanding
+anything.  Materialised ids appear only when :meth:`to_ids` is forced
+(and :class:`~repro.index_base.QueryResult` memoises that).
 
 Invariants (constructor-checked cheaply, property-tested thoroughly):
 

@@ -78,6 +78,43 @@ class LRUCache:
                 _, (_, evicted_weight) = self._entries.popitem(last=False)
                 self.bytes -= evicted_weight
 
+    def reweight(self, key, weight: int) -> bool:
+        """Re-charge an existing entry's byte weight (recency untouched).
+
+        Called when a cached value's real footprint changes after
+        insertion — the canonical case being a lazy
+        :class:`~repro.index_base.QueryResult` whose ``.ids`` a consumer
+        forces: the memoised id array is pinned alongside the compact
+        row set, so the entry now costs ``RowSet.nbytes + ids.nbytes``.
+        Evicts from the cold end until the byte budget holds again.  An
+        entry whose new weight alone exceeds the budget is simply
+        dropped — mirroring :meth:`put`'s refusal — instead of flushing
+        every other entry first.  Returns ``False`` when the key is no
+        longer cached afterwards.
+        """
+        if weight < 0:
+            raise ValueError(f"weight must be >= 0, got {weight}")
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if self.max_bytes is not None and weight > self.max_bytes:
+                # Like put(): it would evict everything else and still
+                # not fit, so drop just this entry.
+                del self._entries[key]
+                self.bytes -= entry[1]
+                return False
+            self._entries[key] = (entry[0], weight)
+            self.bytes += weight - entry[1]
+            while (
+                self.max_bytes is not None
+                and self.bytes > self.max_bytes
+                and self._entries
+            ):
+                _, (_, evicted_weight) = self._entries.popitem(last=False)
+                self.bytes -= evicted_weight
+            return True
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

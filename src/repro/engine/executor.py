@@ -16,10 +16,19 @@ shapes the kernels below are fastest at:
 * **result caching** — a bounded LRU keyed by
   ``(column, predicate, index version)`` serves repeated hot queries
   without touching the index at all; version-tagged keys mean any
-  append/update/rebuild invalidates implicitly;
+  append/update/rebuild invalidates implicitly, and entries are
+  re-weighted (:meth:`~repro.engine.cache.LRUCache.reweight`) when a
+  consumer forces a cached answer's id array, so the byte budget keeps
+  tracking the memory actually pinned;
+* **aggregate pushdown** — :meth:`aggregate` answers
+  ``COUNT``/``SUM``/``MIN``/``MAX`` of a predicate through the index's
+  per-cacheline pre-aggregates and caches the *scalar* in the same
+  versioned LRU, so repeated dashboard aggregations cost a dictionary
+  lookup;
 * **table-level parallelism** — :meth:`conjunctive` gathers the
   per-column candidate passes of a multi-attribute query concurrently
-  before the merge-join.
+  before the merge-join (:meth:`aggregate_conjunctive` does the same
+  and reduces the survivors to one scalar).
 
 Answers are bit-identical to calling ``index.query(predicate)``
 directly — the executor only re-schedules work, it never changes it.
@@ -33,11 +42,15 @@ from concurrent.futures import Future, ThreadPoolExecutor
 
 from ..index_base import QueryResult, SecondaryIndex
 from ..predicate import RangePredicate
-from ..core.conjunction import conjunctive_query
+from ..core.aggregates import AGGREGATE_OPS
+from ..core.conjunction import conjunctive_aggregate, conjunctive_query
 from ..core.parallel import default_workers
 from .cache import ExecutorStats, LRUCache
 
 __all__ = ["QueryExecutor"]
+
+#: Nominal LRU weight of a cached aggregate scalar (key + boxed value).
+_SCALAR_WEIGHT = 64
 
 
 class QueryExecutor:
@@ -273,6 +286,78 @@ class QueryExecutor:
             future.exception()  # wait without raising here
 
     # ------------------------------------------------------------------
+    # aggregate pushdown
+    # ------------------------------------------------------------------
+    def aggregate(self, name: str, predicate: RangePredicate, op: str):
+        """``COUNT``/``SUM``/``MIN``/``MAX`` of a predicate, cached as a scalar.
+
+        Resolution order mirrors the result cache: a cached *scalar*
+        under ``(column, predicate, op, version)`` answers immediately;
+        else a cached :class:`QueryResult` for the same predicate is
+        aggregated through the index's pre-aggregate sidecar (no kernel
+        run); else the index's own
+        :meth:`~repro.index_base.SecondaryIndex.aggregate` pushdown
+        runs (shard-parallel for a
+        :class:`~repro.engine.sharded.ShardedColumnImprints`).  The
+        scalar lands in the versioned LRU at a nominal weight, so a
+        byte budget holds practically unlimited aggregate answers and
+        any append/update/rebuild invalidates implicitly.
+        """
+        if op not in AGGREGATE_OPS:
+            raise ValueError(
+                f"unknown aggregate {op!r}; supported: {AGGREGATE_OPS}"
+            )
+        index = self.index(name)
+        version = getattr(index, "version", None)
+        key = (name, predicate, ("aggregate", op), version)
+        if version is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.stats.bump(submitted=1, cache_hits=1)
+                return hit[0]
+        cached_result = self._cached_result(name, index, predicate)
+        if cached_result is not None:
+            # The whole answer is already cached — reduce it without
+            # touching the kernel (and without expanding ids).
+            value = cached_result.aggregate(
+                op,
+                index.column.values,
+                getattr(index, "cacheline_aggregates", None),
+            )
+            self.stats.bump(submitted=1, cache_hits=1)
+        else:
+            value = index.aggregate(predicate, op)
+            self.stats.bump(submitted=1, cache_misses=1)
+        if version is not None:
+            # Scalars are wrapped in a 1-tuple so a legitimate ``None``
+            # answer (MIN/MAX over an empty selection) is distinguishable
+            # from a cache miss.
+            self._cache.put(key, (value,), weight=_SCALAR_WEIGHT)
+        return value
+
+    def aggregate_conjunctive(
+        self, names, predicates, op: str, target: int = 0
+    ):
+        """Aggregate one column over a multi-attribute AND.
+
+        The per-column candidate passes run concurrently (exactly like
+        :meth:`conjunctive`); the merge-join's all-full survivor spans
+        then feed the target column's per-cacheline pre-aggregates
+        without materialising ids.
+        """
+        names = list(names)
+        predicates = list(predicates)
+        indexes = [self.index(name) for name in names]
+        futures = [
+            self._pool.submit(index.candidate_ranges, predicate)
+            for index, predicate in zip(indexes, predicates)
+        ]
+        gathered = [future.result() for future in futures]
+        return conjunctive_aggregate(
+            indexes, predicates, op, target=target, candidates=gathered
+        )
+
+    # ------------------------------------------------------------------
     # the table-level path
     # ------------------------------------------------------------------
     def conjunctive(self, names, predicates) -> QueryResult:
@@ -372,17 +457,17 @@ class QueryExecutor:
                         # Weight = the compact RowSet footprint (range
                         # endpoints + exceptions), not the expanded id
                         # array: a byte budget holds orders of
-                        # magnitude more high-selectivity answers.
-                        # Known trade-off: a consumer forcing ``.ids``
-                        # later memoises the expansion on the shared
-                        # entry beyond this weight — bounded by
-                        # ``cache_size`` entries, and never more pinned
-                        # memory than the pre-RowSet cache (which held
-                        # the expanded array for *every* entry).
-                        self._cache.put(
-                            (name, predicate, version),
-                            result,
-                            weight=int(result.nbytes),
+                        # magnitude more high-selectivity answers.  If
+                        # a consumer later forces ``.ids``, the
+                        # materialisation hook re-charges the entry its
+                        # real pinned footprint, keeping the byte
+                        # budget honest.
+                        key = (name, predicate, version)
+                        self._cache.put(key, result, weight=int(result.nbytes))
+                        result.on_materialize(
+                            lambda nbytes, key=key: self._cache.reweight(
+                                key, int(nbytes)
+                            )
                         )
 
             for predicate, futures in groups.items():

@@ -39,6 +39,12 @@ import numpy as np
 from ..index_base import QueryResult, QueryStats, SecondaryIndex
 from ..predicate import RangePredicate
 from ..storage.column import Column
+from ..core.aggregates import (
+    AGGREGATE_OPS,
+    aggregate_candidates,
+    aggregate_identity,
+    combine_partials,
+)
 from ..core.builder import ImprintsData
 from ..core.dictionary import CachelineDictionary
 from ..core.index import ColumnImprints
@@ -225,6 +231,13 @@ class ShardedColumnImprints(SecondaryIndex):
         index through the plain :class:`ColumnImprints` query surface.
         """
         return self._inner.overlay_state()
+
+    @property
+    def cacheline_aggregates(self):
+        """The inner index's aggregate sidecar (shards share the global
+        prefix-sum table; per-shard answers are shifted to global ids
+        before consuming it)."""
+        return self._inner.cacheline_aggregates
 
     @property
     def saturation(self) -> float:
@@ -446,6 +459,61 @@ class ShardedColumnImprints(SecondaryIndex):
                 self._stitch([shard_res[i] for shard_res in per_shard], stats)
             )
         return results
+
+    def aggregate(self, predicate: RangePredicate, op: str):
+        """Shard-parallel aggregate pushdown: combine per-shard partials.
+
+        Each shard runs the compressed-domain kernel, shifts its
+        candidate ranges to global cacheline numbers and reduces them
+        through the fused
+        :func:`~repro.core.aggregates.aggregate_candidates` kernel
+        against the (global) per-cacheline pre-aggregates; only the
+        scalar partials travel back to be combined (``SUM`` recombines
+        in the 64-bit accumulator dtype, so integer wraparound stays
+        bit-identical to the unsharded answer).
+        """
+        if op not in AGGREGATE_OPS:
+            raise ValueError(
+                f"unknown aggregate {op!r}; supported: {AGGREGATE_OPS}"
+            )
+        if self.dispatch_mode == "inline":
+            return self._inner.aggregate(predicate, op)
+        data = self._inner.data
+        aggregates = self._inner.cacheline_aggregates  # build before fan-out
+        mask, innermask = cached_masks(data.histogram, predicate)
+        if mask == 0 or data.n_cachelines == 0:
+            return aggregate_identity(op, aggregates.sum_dtype)
+        mask64 = _U64(mask)
+        inner64 = _U64(~innermask & _LOW64)
+        states = self._shard_overlay_states()
+        shards = self.shards
+        values = self.column.values
+
+        def run(i: int):
+            shard = shards[i]
+            local = ranges_for_masks(
+                shard.data,
+                mask64,
+                inner64,
+                QueryStats(),
+                overlay_state=states[i],
+            )
+            # Shift shard-local cacheline numbers to global ones; the
+            # global pre-aggregates (and the global value array) then
+            # apply unchanged.  Interior shards end on whole cachelines,
+            # so the global ragged-tail clamp stays correct.
+            ranges = CandidateRanges(
+                local.starts + shard.cl_start,
+                local.stops + shard.cl_start,
+                local.full,
+                local.stats,
+            )
+            return aggregate_candidates(
+                ranges, values, predicate, aggregates, op
+            )
+
+        partials = self._map(run, len(shards))
+        return combine_partials(op, partials, aggregates.sum_dtype)
 
     def candidate_ranges(self, predicate: RangePredicate) -> CandidateRanges:
         """Global candidate ranges assembled from per-shard kernels.

@@ -14,6 +14,12 @@ the paper's experimental framing:
   implementation-independent counters of Figure 11 (index probes, value
   comparisons) plus the memory-traffic counters the cost model converts
   into simulated time;
+* :meth:`SecondaryIndex.aggregate` (and the ``count``/``sum``/``min``/
+  ``max`` conveniences) answers dashboard aggregations over a
+  predicate; indexes that keep a
+  :class:`~repro.core.aggregates.CachelineAggregates` sidecar push the
+  aggregation down onto per-cacheline pre-aggregates so full ranges of
+  the answer never touch values;
 * :attr:`SecondaryIndex.nbytes` is the storage-overhead number of
   Figures 5–7.
 """
@@ -103,12 +109,13 @@ class QueryResult:
     once from the row set and memoised, bit-identical to what the eager
     paths used to build.  Everything that does *not* need flat ids
     (:meth:`count`, :meth:`contains`, :meth:`intersect`, :meth:`union`,
-    cache accounting via :attr:`nbytes`) runs on the compressed form in
-    O(ranges), so count-only and cached high-selectivity traffic never
-    pays the O(ids) expansion.
+    the :meth:`aggregate` pushdown, cache accounting via
+    :attr:`nbytes`) runs on the compressed form in O(ranges), so
+    count-only, aggregate-only and cached high-selectivity traffic
+    never pays the O(ids) expansion.
     """
 
-    __slots__ = ("stats", "_ids", "_rowset")
+    __slots__ = ("stats", "_ids", "_rowset", "_on_materialize")
 
     def __init__(
         self,
@@ -120,6 +127,7 @@ class QueryResult:
             raise ValueError("provide exactly one of ids= or rowset=")
         self._ids = ids
         self._rowset = rowset
+        self._on_materialize = None
         self.stats = stats if stats is not None else QueryStats()
 
     # ------------------------------------------------------------------
@@ -135,7 +143,30 @@ class QueryResult:
             # never be written through.
             ids.setflags(write=False)
             self._ids = ids
+            hook, self._on_materialize = self._on_materialize, None
+            if hook is not None:
+                # The memoised array is pinned alongside the compact
+                # form; report the new total so byte-budgeted caches
+                # (LRUCache.reweight) can account for it.
+                hook(int(self._rowset.nbytes + ids.nbytes))
         return self._ids
+
+    def on_materialize(self, callback) -> None:
+        """Register a one-shot hook fired when ``.ids`` is first forced.
+
+        The callback receives the result's total pinned footprint after
+        materialisation (compact arrays + memoised id array).  Serving
+        caches use this to re-weight their entries
+        (:meth:`repro.engine.cache.LRUCache.reweight`) so a byte budget
+        keeps tracking reality once a consumer expands a cached answer.
+        Fires immediately if the result is already materialised;
+        replaces any previously registered hook.
+        """
+        if self._ids is not None:
+            extra = self._rowset.nbytes if self._rowset is not None else 0
+            callback(int(extra + self._ids.nbytes))
+            return
+        self._on_materialize = callback
 
     @property
     def is_materialized(self) -> bool:
@@ -192,6 +223,40 @@ class QueryResult:
         if n_rows <= 0:
             return 0.0
         return self.n_ids / n_rows
+
+    # ------------------------------------------------------------------
+    # aggregate pushdown (no id expansion on range-shaped answers)
+    # ------------------------------------------------------------------
+    def aggregate(self, op: str, values, aggregates=None):
+        """``COUNT``/``SUM``/``MIN``/``MAX`` of the answered ids.
+
+        ``values`` is the indexed column's backing array; ``aggregates``
+        is an optional per-cacheline pre-aggregate sidecar
+        (:class:`~repro.core.aggregates.CachelineAggregates`).  With the
+        sidecar, full id ranges of the answer are aggregated from the
+        pre-aggregates — prefix-sum O(1) per range for ``SUM`` — and
+        only the sparse exception chunk scans values; without it, the
+        ids are gathered and reduced (the baseline-index path).  Returns
+        a Python scalar (``None`` for ``min``/``max`` of an empty
+        answer); never materialises ``.ids`` on the sidecar path.
+        """
+        if op == "count":
+            return self.count()
+        from .core.aggregates import aggregate_rowset
+
+        return aggregate_rowset(self.row_set, values, op, aggregates)
+
+    def sum(self, values, aggregates=None):
+        """``SUM(values[ids])`` — see :meth:`aggregate`."""
+        return self.aggregate("sum", values, aggregates)
+
+    def min(self, values, aggregates=None):
+        """``MIN(values[ids])`` (``None`` if empty) — see :meth:`aggregate`."""
+        return self.aggregate("min", values, aggregates)
+
+    def max(self, values, aggregates=None):
+        """``MAX(values[ids])`` (``None`` if empty) — see :meth:`aggregate`."""
+        return self.aggregate("max", values, aggregates)
 
     # ------------------------------------------------------------------
     # compressed-domain combination
@@ -302,6 +367,47 @@ class SecondaryIndex(ABC):
         indexes simply measure their id list.
         """
         return self.query(predicate).count()
+
+    # ------------------------------------------------------------------
+    # aggregate pushdown
+    # ------------------------------------------------------------------
+    @property
+    def cacheline_aggregates(self):
+        """The per-cacheline pre-aggregate sidecar, if the index keeps
+        one (:class:`~repro.core.aggregates.CachelineAggregates`).
+
+        ``None`` here in the base class: baseline indexes aggregate by
+        gathering values.  :class:`~repro.core.index.ColumnImprints`
+        overrides this with a lazily built, incrementally maintained
+        sidecar.
+        """
+        return None
+
+    def aggregate(self, predicate: RangePredicate, op: str):
+        """``COUNT``/``SUM``/``MIN``/``MAX`` of values satisfying a predicate.
+
+        Runs the index's query kernel, then aggregates the compressed
+        answer through :meth:`QueryResult.aggregate` using the
+        :attr:`cacheline_aggregates` sidecar when present — full
+        cacheline ranges of the answer never touch values.  Returns a
+        Python scalar (``None`` for ``min``/``max`` of an empty answer).
+        """
+        result = self.query(predicate)
+        if op == "count":
+            return result.count()
+        return result.aggregate(op, self.column.values, self.cacheline_aggregates)
+
+    def sum(self, predicate: RangePredicate):
+        """``SUM`` of values satisfying ``predicate`` — see :meth:`aggregate`."""
+        return self.aggregate(predicate, "sum")
+
+    def min(self, predicate: RangePredicate):
+        """``MIN`` of values satisfying ``predicate`` (``None`` if empty)."""
+        return self.aggregate(predicate, "min")
+
+    def max(self, predicate: RangePredicate):
+        """``MAX`` of values satisfying ``predicate`` (``None`` if empty)."""
+        return self.aggregate(predicate, "max")
 
     def query_batch(self, predicates) -> list[QueryResult]:
         """Answer many predicates; one result per predicate, in order.

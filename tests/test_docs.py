@@ -1,0 +1,45 @@
+"""The docs tree stays real: links resolve, API examples execute.
+
+Runs the same checks as CI's docs job (``tools/check_docs.py``) inside
+the tier-1 suite, so a rename that breaks a doc link or an API change
+that invalidates a documented example fails locally first.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    for name in ("ARCHITECTURE.md", "API.md", "BENCHMARKS.md"):
+        assert (REPO_ROOT / "docs" / name).exists(), name
+
+
+def test_readme_links_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("docs/ARCHITECTURE.md", "docs/API.md", "docs/BENCHMARKS.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+def test_intra_repo_markdown_links_resolve():
+    check_docs = load_check_docs()
+    errors = check_docs.check_links()
+    assert not errors, "\n".join(errors)
+
+
+def test_api_doc_examples_pass_doctest():
+    check_docs = load_check_docs()
+    errors = check_docs.run_doctests()
+    assert not errors, "\n".join(errors)

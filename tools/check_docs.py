@@ -1,0 +1,124 @@
+"""Docs gate: intra-repo markdown links resolve; docs examples run.
+
+Two checks, both runnable locally and in CI (and re-run by
+``tests/test_docs.py`` so the tier-1 suite protects the docs too):
+
+* **links** — every relative ``[text](target)`` link in ``README.md``
+  and the ``docs/`` tree must point at a file or directory that exists
+  (``http(s)``/``mailto`` targets and in-page ``#anchors`` are
+  skipped).  Scope is deliberately the curated docs, not exemplar
+  files like SNIPPETS.md whose code blocks could false-positive.
+* **doctests** — every fenced ```` ```python ```` block in
+  ``docs/API.md`` that contains ``>>>`` prompts is executed with
+  :mod:`doctest` against ``src/``, so the API documentation cannot
+  drift from the code.
+
+Usage::
+
+    python tools/check_docs.py          # exit 0 = clean, 1 = failures
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links are checked.
+LINKED_DOCS = ("README.md", "ROADMAP.md", "docs")
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```python\n(.*?)```", re.S)
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> list[pathlib.Path]:
+    """The curated markdown set (README, ROADMAP, everything in docs/)."""
+    paths: list[pathlib.Path] = []
+    for entry in LINKED_DOCS:
+        path = ROOT / entry
+        if path.is_dir():
+            paths.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            paths.append(path)
+    return paths
+
+
+def check_links(paths=None) -> list[str]:
+    """Relative link targets that do not exist, as error strings."""
+    errors: list[str] = []
+    for path in paths if paths is not None else markdown_files():
+        text = path.read_text()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return errors
+
+
+def run_doctests(path=None) -> list[str]:
+    """Doctest failures in the fenced python examples of docs/API.md."""
+    if path is None:
+        path = ROOT / "docs" / "API.md"
+    if not path.exists():
+        return [f"{path.relative_to(ROOT)}: file missing"]
+    source = str(ROOT / "src")
+    if source not in sys.path:
+        sys.path.insert(0, source)
+    errors: list[str] = []
+    parser = doctest.DocTestParser()
+    blocks = 0
+    # One namespace shared across the file's blocks: the examples read
+    # top-to-bottom like a session, later blocks reuse earlier names.
+    globs: dict = {}
+    for number, block in enumerate(FENCE_RE.findall(path.read_text())):
+        if ">>>" not in block:
+            continue
+        blocks += 1
+        name = f"{path.name}[block {number}]"
+        test = parser.get_doctest(block, globs, name, str(path), 0)
+        runner = doctest.DocTestRunner(
+            verbose=False, optionflags=doctest.NORMALIZE_WHITESPACE
+        )
+        output: list[str] = []
+        runner.run(test, out=output.append, clear_globs=False)
+        globs = test.globs  # carry definitions into the next block
+        if runner.failures:
+            errors.append(
+                f"{path.relative_to(ROOT)}: {runner.failures} doctest "
+                f"failure(s) in {name}\n" + "".join(output)
+            )
+    if blocks == 0:
+        errors.append(
+            f"{path.relative_to(ROOT)}: no runnable >>> examples found"
+        )
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + run_doctests()
+    if errors:
+        for error in errors:
+            print(f"DOCS: {error}")
+        return 1
+    files = markdown_files()
+    print(
+        f"docs gate passed: {len(files)} markdown file(s) link-checked, "
+        f"docs/API.md examples doctested"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
