@@ -26,10 +26,18 @@ must have verified its forced ids bit-identical, and the headline
 count-vs-eager / cached-vs-eager speedup ratios must not drop more than
 the tolerance below a baseline of the same workload shape.
 
+The streaming study (``--streaming``) adds one self-contained
+invariant on top: full-size runs must keep the first-page-vs-eager
+headline at or above the acceptance floor (10x minus the tolerance) —
+first-page latency staying near O(page) instead of O(answer) is the
+whole point of the pipeline, so losing it is a regression even without
+a baseline to compare against.
+
 Usage (what CI runs after the full-size bench)::
 
     python -m repro.bench.regression FRESH.json --baseline BASELINE.json \
-        --materialization MAT.json --materialization-baseline MAT_BASE.json
+        --materialization MAT.json --materialization-baseline MAT_BASE.json \
+        --streaming STREAM.json --streaming-baseline STREAM_BASE.json
 
 Exit status 0 means no regression; 1 lists the failures.
 """
@@ -42,10 +50,12 @@ import pathlib
 
 __all__ = [
     "DEFAULT_TOLERANCE",
+    "MIN_FIRST_PAGE_SPEEDUP",
     "load_result",
     "comparable_configs",
     "check_throughput_regression",
     "check_materialization_regression",
+    "check_streaming_regression",
     "main",
 ]
 
@@ -173,6 +183,78 @@ def check_materialization_regression(
     return failures
 
 
+#: Config keys that must agree for streaming speedups to compare.
+_STREAM_COMPARABLE_KEYS = ("n_rows", "page_size", "smoke")
+
+#: Headline ratios the streaming gate tracks against a baseline.
+_STREAM_HEADLINE_KEYS = (
+    "speedup_first_page_vs_eager",
+    "speedup_sharded_page_vs_eager",
+    "speedup_executor_page_vs_eager",
+)
+
+#: The acceptance floor: first-page latency at the headline selectivity
+#: must beat eager materialisation by at least this factor on full-size
+#: runs (the tolerance is applied on top).
+MIN_FIRST_PAGE_SPEEDUP = 10.0
+
+
+def _streaming_comparable(fresh: dict, baseline: dict) -> bool:
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _STREAM_COMPARABLE_KEYS
+    )
+
+
+def check_streaming_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh ``BENCH_streaming.json``; returns failures.
+
+    Three layers: the bit-identical verification (paged output equals
+    forced ids across serial/sharded/executor) is a hard invariant; the
+    first-page-vs-eager headline must clear the acceptance floor on
+    full-size runs (smoke workloads finish in microseconds per page,
+    where the kernel dominates and the ratio is meaningless); and the
+    headline ratios are compared against a same-shape baseline with the
+    usual one-sided tolerance.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+    if not fresh.get("verified_bit_identical"):
+        failures.append(
+            "streaming run did not verify paged output bit-identical"
+        )
+    headline = fresh.get("headline", {})
+    if not fresh.get("config", {}).get("smoke"):
+        floor = MIN_FIRST_PAGE_SPEEDUP * (1.0 - tolerance)
+        got = headline.get("speedup_first_page_vs_eager", 0.0)
+        if got < floor:
+            failures.append(
+                f"first-page latency invariant lost: "
+                f"{got:.2f}x < {floor:.2f}x "
+                f"({MIN_FIRST_PAGE_SPEEDUP:.0f}x - {tolerance:.0%}) "
+                f"vs eager materialisation"
+            )
+    if baseline is not None and _streaming_comparable(fresh, baseline):
+        baseline_headline = baseline.get("headline", {})
+        for key in _STREAM_HEADLINE_KEYS:
+            floor = baseline_headline.get(key, 0.0) * (1.0 - tolerance)
+            got = headline.get(key, 0.0)
+            if got < floor:
+                failures.append(
+                    f"streaming {key} regressed: {got:.2f}x < "
+                    f"{floor:.2f}x (baseline "
+                    f"{baseline_headline.get(key, 0.0):.2f}x - {tolerance:.0%})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.regression", description=__doc__
@@ -192,6 +274,16 @@ def main(argv: list[str] | None = None) -> int:
         "--materialization-baseline",
         default=None,
         help="committed baseline BENCH_materialization.json (optional)",
+    )
+    parser.add_argument(
+        "--streaming",
+        default=None,
+        help="fresh BENCH_streaming.json to gate as well (optional)",
+    )
+    parser.add_argument(
+        "--streaming-baseline",
+        default=None,
+        help="committed baseline BENCH_streaming.json (optional)",
     )
     parser.add_argument(
         "--tolerance",
@@ -232,6 +324,26 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    if args.streaming:
+        stream_fresh = load_result(args.streaming)
+        stream_baseline = (
+            load_result(args.streaming_baseline)
+            if args.streaming_baseline
+            else None
+        )
+        if stream_baseline is not None and not _streaming_comparable(
+            stream_fresh, stream_baseline
+        ):
+            print(
+                "note: streaming baseline config differs; cross-run "
+                "speedup comparison skipped, invariants still gate"
+            )
+        failures.extend(
+            check_streaming_regression(
+                stream_fresh, stream_baseline, tolerance=args.tolerance
+            )
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -243,6 +355,7 @@ def main(argv: list[str] | None = None) -> int:
             for name, numbers in fresh.get("modes", {}).items()
         )
         + ("; materialisation gate passed" if args.materialization else "")
+        + ("; streaming gate passed" if args.streaming else "")
     )
     return 0
 

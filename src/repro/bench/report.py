@@ -27,6 +27,7 @@ from .queries_fig8_11 import (
 from .materialization import render_materialization_study
 from .runner import get_context
 from .size_time import render_fig5, render_fig6, render_fig7
+from .streaming import render_streaming_study
 from .throughput import render_throughput_study, scaled_defaults
 from .updates_study import render_update_study
 
@@ -94,6 +95,10 @@ def generate_report(
         ("aggregates", "Aggregate pushdown - pre-aggregates vs reduce",
          lambda: render_aggregate_study(
              seed=seed, n_rows=max(50_000, int(2_000_000 * scale))
+         )),
+        ("streaming", "Streaming - first-page latency vs eager ids",
+         lambda: render_streaming_study(
+             seed=seed, n_rows=max(50_000, int(4_000_000 * scale))
          )),
         ("ablations", "Ablations - design-choice sweeps",
          lambda: render_ablations()),

@@ -27,6 +27,10 @@ Commands
     Aggregate-pushdown study: ``SUM``/``MIN``/``MAX``/``COUNT`` from
     per-cacheline pre-aggregates vs materialise-then-reduce across a
     selectivity sweep.
+``streaming``
+    Streaming study: first-page latency through the cursor pipeline
+    (lazy pages off candidate ranges, shard-order streaming, executor
+    cache-served pages) vs eager ``.ids`` materialisation.
 
 Global options: ``--scale`` (dataset scale factor, default from
 ``REPRO_SCALE`` or 1.0) and ``--seed``.
@@ -110,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shrunken CI-sized workload")
     aggregates.add_argument("--json", metavar="PATH", default=None,
                             help="also write the machine-readable result")
+
+    streaming = commands.add_parser(
+        "streaming",
+        help="first-page latency vs eager id-array materialisation",
+    )
+    streaming.add_argument("--rows", type=int, default=None,
+                           help="column length (default: 4M * scale)")
+    streaming.add_argument("--page", type=int, default=None,
+                           help="ids per page (default: 100)")
+    streaming.add_argument("--shards", type=int, default=4)
+    streaming.add_argument("--workers", type=int, default=4)
+    streaming.add_argument("--smoke", action="store_true",
+                           help="shrunken CI-sized workload")
+    streaming.add_argument("--json", metavar="PATH", default=None,
+                           help="also write the machine-readable result")
     return parser
 
 
@@ -298,6 +317,30 @@ def _cmd_aggregates(args) -> str:
     return render_aggregate_study(result)
 
 
+def _cmd_streaming(args) -> str:
+    from .bench.streaming import (
+        DEFAULT_ROWS,
+        PAGE_SIZE,
+        render_streaming_study,
+        run_streaming_study,
+        write_streaming_json,
+    )
+
+    result = run_streaming_study(
+        n_rows=args.rows
+        if args.rows
+        else max(50_000, int(DEFAULT_ROWS * _scale(args))),
+        page_size=args.page if args.page else PAGE_SIZE,
+        n_shards=args.shards,
+        n_workers=args.workers,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_streaming_json(result, args.json)
+    return render_streaming_study(result)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "summary": _cmd_summary,
@@ -308,6 +351,7 @@ _COMMANDS = {
     "throughput": _cmd_throughput,
     "materialization": _cmd_materialization,
     "aggregates": _cmd_aggregates,
+    "streaming": _cmd_streaming,
 }
 
 

@@ -37,6 +37,7 @@ from .conjunction import (
     conjunctive_query_eager,
     disjunctive_query,
 )
+from .cursor import PageCursor, StaleCursorError
 from .delta_index import DeltaAwareImprints
 from .dictionary import CNT_BITS, MAX_CNT, CachelineDictionary
 from .entropy import column_entropy, entropy_of_vectors
@@ -93,6 +94,8 @@ __all__ = [
     "CachelineCandidates",
     "CandidateRanges",
     "RowSet",
+    "PageCursor",
+    "StaleCursorError",
     "AGGREGATE_OPS",
     "CachelineAggregates",
     "aggregate_candidates",

@@ -1,0 +1,179 @@
+"""Page cursors — resumable positions inside a streamed answer.
+
+The streaming consumption path (:meth:`repro.index_base.QueryResult.page`,
+:meth:`repro.engine.sharded.ShardedColumnImprints.page`,
+:meth:`repro.engine.executor.QueryExecutor.submit_paged`) hands out
+pages of an answer one at a time.  Each page comes with a
+:class:`PageCursor` naming where the next page starts:
+
+* ``rank`` — the absolute position in the sorted id order (how many
+  ids were already served);
+* ``segment`` / ``offset`` — the seek hint: the range index inside the
+  answer's :class:`~repro.core.rowset.RowSet` (or the shard index on
+  the sharded path) plus the intra-segment offset, so resuming does not
+  re-walk what was already served;
+* ``version`` — the index's mutation counter at the time the answer
+  was produced.  Any ``append``/``note_update``/``rebuild`` bumps the
+  counter, so a cursor taken before the mutation fails loudly
+  (:class:`StaleCursorError`) instead of silently serving pages of a
+  stale snapshot.
+
+Cursors cross process boundaries as opaque tokens
+(:meth:`PageCursor.encode` / :meth:`PageCursor.decode`): a
+URL-safe string a network client can hold between requests without
+being able to (or needing to) interpret it.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+__all__ = ["PageCursor", "StaleCursorError"]
+
+#: Token format tag — bumped if the encoded layout ever changes.
+_TOKEN_VERSION = 1
+
+
+class StaleCursorError(RuntimeError):
+    """A page cursor (or chunk stream) spans two versions of the index.
+
+    Raised instead of serving pages that mix two snapshots: the ids
+    before the cursor came from one version of the column, the ids
+    after it would come from another, and the concatenation would be an
+    answer no single version ever gave.
+    """
+
+    def __init__(
+        self, cursor_version, current_version, what: str = "page cursor"
+    ) -> None:
+        super().__init__(
+            f"{what} was issued at index version {cursor_version} "
+            f"but the index is now at version {current_version}; the "
+            f"underlying column changed (append/update/rebuild) — "
+            f"restart paging from the beginning"
+        )
+        self.cursor_version = cursor_version
+        self.current_version = current_version
+
+
+@dataclass(frozen=True)
+class PageCursor:
+    """An opaque, stable position inside a paged answer.
+
+    Attributes
+    ----------
+    rank:
+        Ids already served (the next page starts at this position of
+        the sorted id order).
+    segment:
+        The candidate-range index the next page resumes at (unused by
+        rank-addressed producers).
+    offset:
+        Intra-range offset: value positions already consumed within
+        ``segment``.
+    shard:
+        The shard the walk is inside on the sharded streaming path
+        (``0`` for unsharded producers); ``segment``/``offset`` are
+        then shard-local.
+    version:
+        The producing index's mutation counter, or ``None`` when the
+        producer does not version its data (eager baseline results).
+    kind:
+        The producing entry point (``"result"`` for
+        :meth:`QueryResult.page <repro.index_base.QueryResult.page>`,
+        ``"index"`` for :meth:`ColumnImprints.page
+        <repro.core.index.ColumnImprints.page>`, ``"shard"`` for the
+        sharded walk).  The position fields mean different things per
+        entry point, so consumers reject cursors issued elsewhere
+        instead of silently resuming at a meaningless position.
+    """
+
+    rank: int
+    segment: int = 0
+    offset: int = 0
+    shard: int = 0
+    version: int | None = None
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rank < 0 or self.segment < 0 or self.offset < 0 or self.shard < 0:
+            raise ValueError(f"cursor fields must be non-negative: {self}")
+        if ":" in self.kind:
+            raise ValueError(f"cursor kind must not contain ':': {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    # opaque token form
+    # ------------------------------------------------------------------
+    def encode(self) -> str:
+        """The cursor as a URL-safe opaque token."""
+        version = "-" if self.version is None else str(self.version)
+        raw = (
+            f"{_TOKEN_VERSION}:{self.rank}:{self.segment}:{self.offset}:"
+            f"{self.shard}:{version}:{self.kind}"
+        )
+        return base64.urlsafe_b64encode(raw.encode("ascii")).decode("ascii")
+
+    @classmethod
+    def decode(cls, token: str) -> "PageCursor":
+        """Parse a token produced by :meth:`encode`.
+
+        Any corrupted or foreign token — bad base64, wrong field count,
+        unknown format tag — raises one uniform ``ValueError`` naming
+        the token, never a confusing internal error.
+        """
+        try:
+            raw = base64.urlsafe_b64decode(token.encode("ascii")).decode("ascii")
+            tag, rank, segment, offset, shard, version, kind = raw.split(":")
+            if int(tag) != _TOKEN_VERSION:
+                raise ValueError(f"unknown token format {tag!r}")
+            return cls(
+                rank=int(rank),
+                segment=int(segment),
+                offset=int(offset),
+                shard=int(shard),
+                version=None if version == "-" else int(version),
+                kind=kind,
+            )
+        except Exception as exc:
+            raise ValueError(f"malformed page cursor token: {token!r}") from exc
+
+    @classmethod
+    def parse(cls, value) -> "PageCursor":
+        """Accept either a :class:`PageCursor` or its encoded token."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.decode(value)
+        raise TypeError(
+            f"cursor must be a PageCursor or its encoded token, "
+            f"got {type(value).__name__}"
+        )
+
+    def check_version(self, current_version) -> None:
+        """Raise :class:`StaleCursorError` on a version mismatch.
+
+        Versionless cursors (``version is None``) and versionless
+        producers skip the check — there is nothing to compare.
+        """
+        if (
+            self.version is not None
+            and current_version is not None
+            and self.version != current_version
+        ):
+            raise StaleCursorError(self.version, current_version)
+
+    def check_kind(self, expected: str) -> None:
+        """Reject a cursor issued by a different paging entry point.
+
+        The position fields are entry-point-specific (rank vs
+        candidate-range walk vs shard walk), so resuming a foreign
+        cursor would silently duplicate or skip ids.  Untagged cursors
+        (hand-built, ``kind == ""``) skip the check.
+        """
+        if self.kind and self.kind != expected:
+            raise ValueError(
+                f"page cursor was issued by the {self.kind!r} paging "
+                f"entry point and cannot resume a {expected!r} walk — "
+                f"pass it back to the API that produced it"
+            )

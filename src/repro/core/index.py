@@ -39,6 +39,7 @@ from .query import (
     query_cachelines,
     query_ranges,
     query_vectorized,
+    take_from_ranges,
 )
 from .ranges import CandidateRanges
 
@@ -188,14 +189,16 @@ class ColumnImprints(SecondaryIndex):
         cacheline runs stay id ranges and only checked survivors are
         stored sparsely, so ``result.count()`` / ``contains`` /
         ``intersect`` / ``union`` are O(ranges); ``result.ids`` forces
-        (and memoises) the paper's sorted id list.
+        (and memoises) the paper's sorted id list.  The result is
+        stamped with the index :attr:`version`, so page cursors taken
+        from it invalidate cleanly when the column mutates.
         """
         return query_vectorized(
             self.data,
             self.column.values,
             predicate,
             overlay_state=self.overlay_state(),
-        )
+        ).stamp_version(self.version)
 
     def query_batch(self, predicates) -> list[QueryResult]:
         """Answer many predicates with one shared stored-vector pass.
@@ -204,12 +207,99 @@ class ColumnImprints(SecondaryIndex):
         run as a single vectorised operation over the compressed index;
         each answer is bit-identical to :meth:`query` on that predicate.
         """
-        return query_batch(
+        version = self.version
+        return [
+            result.stamp_version(version)
+            for result in query_batch(
+                self.data,
+                self.column.values,
+                predicates,
+                overlay_state=self.overlay_state(),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # streaming consumption — lazy materialisation off candidate ranges
+    # ------------------------------------------------------------------
+    def page(self, predicate: RangePredicate, limit: int, cursor=None):
+        """One page of the answer: ``(ids_chunk, next_cursor)``.
+
+        True first-k laziness: the compressed-domain kernel produces
+        candidate *ranges* only, and :func:`~repro.core.query.
+        take_from_ranges` materialises just the requested page — full
+        ranges by arithmetic, partial ranges checked block by block
+        until the page fills.  "First 100 ids" of a million-id answer
+        therefore costs the kernel plus ~100 ids of work, never the
+        answer-sized expansion (and never the up-front false-positive
+        weeding of every partial cacheline that :meth:`query` pays).
+        The cursor records ``(range index, intra-range offset,
+        version)``; a cursor taken before an ``append``/``note_update``
+        /``rebuild`` raises
+        :class:`~repro.core.cursor.StaleCursorError`.  Concatenated
+        pages are bit-identical to ``query(predicate).ids``.
+        """
+        from .cursor import PageCursor
+
+        if limit < 1:
+            raise ValueError(f"page limit must be >= 1, got {limit}")
+        version = self.version
+        if cursor is None:
+            segment, offset, rank = 0, 0, 0
+        else:
+            cursor = PageCursor.parse(cursor)
+            cursor.check_kind("index")
+            cursor.check_version(version)
+            segment, offset, rank = cursor.segment, cursor.offset, cursor.rank
+        ranges = self.candidate_ranges(predicate)
+        ids, segment, offset = take_from_ranges(
             self.data,
             self.column.values,
-            predicates,
-            overlay_state=self.overlay_state(),
+            predicate.matches,
+            ranges,
+            segment,
+            offset,
+            limit,
         )
+        if segment >= ranges.n_ranges:
+            return ids, None
+        return ids, PageCursor(
+            rank=rank + int(ids.shape[0]),
+            segment=segment,
+            offset=offset,
+            version=version,
+            kind="index",
+        )
+
+    def iter_chunks(self, predicate: RangePredicate, size: int):
+        """Stream the answer as ``size``-id chunks, materialised lazily.
+
+        The generator form of :meth:`page`: the kernel runs once, then
+        each chunk expands only its own slice of the candidate ranges.
+        Stopping early leaves the tail of the answer untouched.  The
+        stream is version-guarded like a cursor: mutating the index
+        mid-iteration raises
+        :class:`~repro.core.cursor.StaleCursorError` instead of
+        silently yielding ids that mix two snapshots.
+        """
+        from .cursor import StaleCursorError
+
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        version = self.version
+        data = self.data
+        ranges = self.candidate_ranges(predicate)
+        values = self.column.values
+        segment = offset = 0
+        while segment < ranges.n_ranges:
+            if self.version != version:
+                raise StaleCursorError(
+                    version, self.version, what="chunk stream"
+                )
+            ids, segment, offset = take_from_ranges(
+                data, values, predicate.matches, ranges, segment, offset, size
+            )
+            if ids.shape[0]:
+                yield ids
 
     def aggregate(self, predicate: RangePredicate, op: str):
         """``COUNT``/``SUM``/``MIN``/``MAX`` pushdown (fused kernel).

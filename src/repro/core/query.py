@@ -56,6 +56,7 @@ __all__ = [
     "query_batch",
     "ranges_for_masks",
     "materialize_ranges",
+    "take_from_ranges",
     "CachelineCandidates",
 ]
 
@@ -321,6 +322,81 @@ def materialize_ranges(
     rowset = RowSet(full_starts, full_stops, extras)
     stats.ids_materialized = rowset.count()
     return QueryResult(rowset=rowset, stats=stats)
+
+
+def take_from_ranges(
+    data: ImprintsData,
+    values: np.ndarray,
+    matches,
+    ranges: CandidateRanges,
+    segment: int,
+    offset: int,
+    limit: int,
+) -> tuple[np.ndarray, int, int]:
+    """Materialise at most ``limit`` ids from a candidate-range walk.
+
+    The streaming counterpart of :func:`materialize_ranges`: instead of
+    weeding *every* partial candidate up front, the walk starts at
+    ``(segment, offset)`` — candidate-range index plus intra-range
+    offset in value positions, exactly what page cursors persist — and
+    stops as soon as ``limit`` ids are collected.  Full ranges emit ids
+    by arithmetic; partial ranges check values block by block, so a
+    first page touches a handful of cachelines no matter how large the
+    full answer is.  Returns ``(ids, segment, offset)`` with the
+    position advanced past the last id served (``segment ==
+    ranges.n_ranges`` means the walk is exhausted); resuming from a
+    returned position re-checks nothing.  Concatenated over a full
+    walk, the ids are bit-identical to ``materialize_ranges(...).ids``.
+    """
+    if limit < 0:
+        raise ValueError(f"limit must be >= 0, got {limit}")
+    vpc = data.values_per_cacheline
+    n = data.n_values
+    starts, stops, full = ranges.starts, ranges.stops, ranges.full
+    n_segments = int(starts.shape[0])
+    out: list[np.ndarray] = []
+    taken = 0
+    while segment < n_segments and taken < limit:
+        base = int(starts[segment]) * vpc
+        v_start = base + offset
+        v_stop = min(int(stops[segment]) * vpc, n)
+        if v_start >= v_stop:
+            segment += 1
+            offset = 0
+            continue
+        if full[segment]:
+            take = min(limit - taken, v_stop - v_start)
+            out.append(np.arange(v_start, v_start + take, dtype=np.int64))
+            taken += take
+            offset += take
+        else:
+            # One block of value checks: enough positions that a page
+            # usually fills in one round, clamped to the range.
+            block_stop = min(
+                v_start + max(4 * (limit - taken), vpc), v_stop
+            )
+            survivors = (
+                np.flatnonzero(matches(values[v_start:block_stop])) + v_start
+            )
+            need = limit - taken
+            if survivors.shape[0] > need:
+                survivors = survivors[:need]
+                out.append(survivors)
+                taken += need
+                offset = int(survivors[-1]) + 1 - base
+            else:
+                out.append(survivors)
+                taken += int(survivors.shape[0])
+                offset = block_stop - base
+        if base + offset >= v_stop:
+            segment += 1
+            offset = 0
+    ids = (
+        np.concatenate(out)
+        if len(out) > 1
+        else (out[0] if out else np.empty(0, dtype=np.int64))
+    )
+    return ids, segment, offset
 
 
 def query_vectorized(

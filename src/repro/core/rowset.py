@@ -238,6 +238,107 @@ class RowSet:
         )
 
     # ------------------------------------------------------------------
+    # streaming consumption — positional (rank) access in O(k)
+    # ------------------------------------------------------------------
+    def _ranks(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Rank arrays for positional access, computed once and cached.
+
+        ``rank`` of an id is its position in the merged sorted id order
+        (ranges and extras interleave).  Returns
+
+        * ``range_first`` — rank of each range's first id,
+        * ``extra_rank``  — rank of each extra id,
+        * ``lens_cum``    — exclusive prefix sum of range lengths.
+
+        All three are O(ranges + extras) ``searchsorted``/``cumsum``
+        arithmetic; no ids are materialised.  Cached on the instance
+        (the arrays are immutable, so the cache can never go stale).
+        """
+        cache = self.__dict__.get("_rank_cache")
+        if cache is None:
+            lens_cum = np.zeros(self.starts.size + 1, dtype=_I64)
+            np.cumsum(self.stops - self.starts, out=lens_cum[1:])
+            # Extras never fall inside ranges, so an extra is preceded by
+            # exactly the ranges whose stop is <= the extra, and a range
+            # is preceded by exactly the extras below its start.
+            range_first = lens_cum[:-1] + np.searchsorted(self.extras, self.starts)
+            ranges_before = np.searchsorted(self.stops, self.extras, side="right")
+            extra_rank = np.arange(self.extras.size, dtype=_I64) + lens_cum[
+                ranges_before
+            ]
+            cache = (range_first, extra_rank, lens_cum)
+            object.__setattr__(self, "_rank_cache", cache)
+        return cache
+
+    def slice_rows(self, start: int, stop: int | None = None) -> "RowSet":
+        """The sub-set holding ids with rank in ``[start, stop)``.
+
+        Positional (not id-value) slicing: ``slice_rows(100, 200)`` is
+        the second page of 100 ids.  O(output ranges + log) — ranges are
+        clipped, never expanded, so paging a ten-million-id answer for
+        its first 100 ids costs 100 ids of work, not ten million.
+        Out-of-bounds positions clamp like Python slicing.
+        """
+        total = self.count()
+        start = max(0, min(int(start), total))
+        stop = total if stop is None else max(start, min(int(stop), total))
+        if start == 0 and stop == total:
+            return self
+        if start == stop:
+            return RowSet.empty()
+        range_first, extra_rank, lens_cum = self._ranks()
+        lens = self.stops - self.starts
+        first = int(np.searchsorted(range_first + lens, start, side="right"))
+        last = int(np.searchsorted(range_first, stop, side="left"))
+        if last > first:
+            starts = self.starts[first:last].copy()
+            stops = self.stops[first:last].copy()
+            starts[0] += max(0, start - int(range_first[first]))
+            overshoot = int(range_first[last - 1] + lens[last - 1]) - stop
+            stops[-1] -= max(0, overshoot)
+        else:
+            starts = stops = _EMPTY
+        j0 = int(np.searchsorted(extra_rank, start, side="left"))
+        j1 = int(np.searchsorted(extra_rank, stop, side="left"))
+        return RowSet(starts, stops, self.extras[j0:j1])
+
+    def first_k(self, k: int) -> np.ndarray:
+        """The first ``k`` ids of the sorted order, in O(k).
+
+        The top-k entry point: expands only the head of the answer —
+        ``first_k(100)`` on a 10%-selectivity answer over millions of
+        rows never touches the other hundreds of thousands of ids.
+        Returns fewer than ``k`` ids when the set is smaller.
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return self.slice_rows(0, k).to_ids()
+
+    def skip(self, offset: int) -> "RowSet":
+        """The set without its first ``offset`` ids (OFFSET semantics).
+
+        O(ranges): the skipped prefix is dropped by clipping endpoints,
+        so ``skip(offset).first_k(k)`` serves any page in O(k + log).
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        return self.slice_rows(offset)
+
+    def iter_chunks(self, size: int):
+        """Yield the sorted ids as ``int64`` arrays of ``size`` ids each.
+
+        The streaming consumption loop: each chunk is expanded lazily
+        from the compressed form in O(size + log), the full id array is
+        never built, and the final chunk is simply shorter.  An empty
+        set yields nothing.
+        """
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        total = self.count()
+        for lo in range(0, total, size):
+            yield self.slice_rows(lo, min(lo + size, total)).to_ids()
+
+    # ------------------------------------------------------------------
     # materialisation (the only O(ids) operation)
     # ------------------------------------------------------------------
     def to_ids(self) -> np.ndarray:

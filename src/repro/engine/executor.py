@@ -267,6 +267,54 @@ class QueryExecutor:
         """Blocking convenience: submit and wait."""
         return self.submit(name, predicate).result()
 
+    # ------------------------------------------------------------------
+    # streaming consumption
+    # ------------------------------------------------------------------
+    def submit_paged(
+        self, name: str, predicate: RangePredicate, limit: int, cursor=None
+    ) -> Future:
+        """Enqueue one page request; future of ``(ids_chunk, next_cursor)``.
+
+        The streaming front door: the first call answers the predicate
+        through the normal batched/coalesced path and serves the first
+        ``limit`` ids from the answer's compressed form in O(limit);
+        successive calls pass the returned cursor and are served from
+        the *versioned LRU* — no kernel re-runs, each page expands only
+        its own slice of the cached row set.  A cursor issued before an
+        ``append``/``note_update``/``rebuild`` fails with
+        :class:`~repro.core.cursor.StaleCursorError` (the version is
+        part of both the cursor and the cache key, so a stale cursor
+        can never be served a fresh answer or vice versa).
+        """
+        from ..core.cursor import PageCursor
+
+        if limit < 1:
+            raise ValueError(f"page limit must be >= 1, got {limit}")
+        index = self.index(name)
+        if cursor is not None:
+            # Fail fast, before any scheduling: a stale cursor cannot
+            # become valid by waiting.
+            PageCursor.parse(cursor).check_version(
+                getattr(index, "version", None)
+            )
+        page_future: Future = Future()
+        inner = self.submit(name, predicate)
+
+        def deliver(done: Future) -> None:
+            try:
+                page_future.set_result(done.result().page(limit, cursor))
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiter
+                page_future.set_exception(exc)
+
+        inner.add_done_callback(deliver)
+        return page_future
+
+    def query_paged(
+        self, name: str, predicate: RangePredicate, limit: int, cursor=None
+    ):
+        """Blocking convenience: one page, ``(ids_chunk, next_cursor)``."""
+        return self.submit_paged(name, predicate, limit, cursor).result()
+
     def map(self, name: str, predicates) -> list[QueryResult]:
         """Submit many predicates against one column; gather in order."""
         futures = self.submit_many(name, predicates)

@@ -56,6 +56,7 @@ from ..core.query import (
     materialize_ranges,
     query_batch,
     ranges_for_masks,
+    take_from_ranges,
 )
 from ..core.ranges import CandidateRanges, coalesce_ranges
 from ..core.rowset import RowSet
@@ -381,7 +382,7 @@ class ShardedColumnImprints(SecondaryIndex):
                 offsets.append(shard.value_start)
         return QueryResult(
             rowset=RowSet.concatenate(parts, offsets), stats=stats
-        )
+        ).stamp_version(self.version)
 
     def query(self, predicate: RangePredicate) -> QueryResult:
         if self.dispatch_mode == "inline":
@@ -393,7 +394,9 @@ class ShardedColumnImprints(SecondaryIndex):
         mask, innermask = cached_masks(data.histogram, predicate)
         stats = fresh_query_stats(data)
         if mask == 0 or data.n_cachelines == 0:
-            return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+            return QueryResult(
+                ids=np.empty(0, dtype=np.int64), stats=stats
+            ).stamp_version(self.version)
         mask64 = _U64(mask)
         inner64 = _U64(~innermask & _LOW64)
         states = self._shard_overlay_states()
@@ -452,13 +455,169 @@ class ShardedColumnImprints(SecondaryIndex):
             stats = fresh_query_stats(data)
             if mask == 0 or data.n_cachelines == 0:
                 results.append(
-                    QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+                    QueryResult(
+                        ids=np.empty(0, dtype=np.int64), stats=stats
+                    ).stamp_version(self.version)
                 )
                 continue
             results.append(
                 self._stitch([shard_res[i] for shard_res in per_shard], stats)
             )
         return results
+
+    # ------------------------------------------------------------------
+    # streaming consumption — shards evaluated lazily, in shard order
+    # ------------------------------------------------------------------
+    def _shard_candidates(
+        self, i: int, predicate: RangePredicate
+    ) -> CandidateRanges:
+        """One shard's candidate ranges (compressed domain, no values).
+
+        The unit of lazy streaming: runs the mask kernel for shard
+        ``i`` only — false-positive weeding is deferred to
+        :func:`~repro.core.query.take_from_ranges`, which checks values
+        just for the cachelines a page actually consumes.
+        """
+        data = self._inner.data
+        mask, innermask = cached_masks(data.histogram, predicate)
+        if mask == 0 or data.n_cachelines == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return CandidateRanges(
+                empty, empty, np.empty(0, dtype=bool), QueryStats()
+            )
+        return ranges_for_masks(
+            self.shards[i].data,
+            _U64(mask),
+            _U64(~innermask & _LOW64),
+            QueryStats(),
+            overlay_state=self._shard_overlay_states()[i],
+        )
+
+    def iter_chunks(self, predicate: RangePredicate, size: int):
+        """Stream the global answer as ``size``-id chunks, shard by shard.
+
+        Shards are evaluated *lazily in shard order*: the first chunk
+        costs one shard's mask kernel plus O(size) materialisation, and
+        shards (or candidate ranges) past the consumer's stopping point
+        are never touched at all — the top-k consumption shape.  No
+        full per-shard (let alone global) id array is ever built.
+        Chunks concatenate bit-identical to ``query(predicate).ids``.
+        The stream is version-guarded like a cursor: mutating the index
+        mid-iteration raises
+        :class:`~repro.core.cursor.StaleCursorError` instead of
+        silently yielding ids that mix two snapshots.
+        """
+        from ..core.cursor import StaleCursorError
+
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        version = self.version
+        values = self.column.values
+        pending: list[np.ndarray] = []
+        buffered = 0
+        for i in range(len(self.shards)):
+            if self.version != version:
+                raise StaleCursorError(
+                    version, self.version, what="chunk stream"
+                )
+            shard = self.shards[i]
+            ranges = self._shard_candidates(i, predicate)
+            local_values = values[shard.value_start : shard.value_stop]
+            segment = offset = 0
+            while segment < ranges.n_ranges:
+                if self.version != version:
+                    raise StaleCursorError(
+                        version, self.version, what="chunk stream"
+                    )
+                ids, segment, offset = take_from_ranges(
+                    shard.data,
+                    local_values,
+                    predicate.matches,
+                    ranges,
+                    segment,
+                    offset,
+                    size,
+                )
+                if ids.shape[0] == 0:
+                    continue
+                pending.append(ids + shard.value_start)
+                buffered += int(ids.shape[0])
+                if buffered >= size:
+                    merged = np.concatenate(pending)
+                    for lo in range(0, merged.shape[0] - size + 1, size):
+                        yield merged[lo : lo + size]
+                    tail = merged[merged.shape[0] - (merged.shape[0] % size) :]
+                    pending = [tail] if tail.size else []
+                    buffered = int(tail.shape[0])
+        if buffered:
+            yield np.concatenate(pending) if len(pending) > 1 else pending[0]
+
+    def page(self, predicate: RangePredicate, limit: int, cursor=None):
+        """One page of the global answer: ``(ids_chunk, next_cursor)``.
+
+        Cursor-resumable streaming over the shard walk: the cursor
+        records ``(shard, candidate-range index, intra-range offset)``
+        plus the index version, so successive pages pick up exactly
+        where the previous one stopped — shards before the cursor are
+        not re-evaluated, candidate ranges after the page are not
+        materialised yet.  A cursor taken before an ``append``/
+        ``note_update``/``rebuild`` raises
+        :class:`~repro.core.cursor.StaleCursorError`.
+        """
+        from ..core.cursor import PageCursor
+
+        if limit < 1:
+            raise ValueError(f"page limit must be >= 1, got {limit}")
+        version = self.version
+        if cursor is None:
+            shard_i = segment = offset = rank = 0
+        else:
+            cursor = PageCursor.parse(cursor)
+            cursor.check_kind("shard")
+            cursor.check_version(version)
+            shard_i, segment, offset, rank = (
+                cursor.shard,
+                cursor.segment,
+                cursor.offset,
+                cursor.rank,
+            )
+        n_shards = len(self.shards)
+        values = self.column.values
+        chunks: list[np.ndarray] = []
+        taken = 0
+        while shard_i < n_shards and taken < limit:
+            shard = self.shards[shard_i]
+            ranges = self._shard_candidates(shard_i, predicate)
+            ids, segment, offset = take_from_ranges(
+                shard.data,
+                values[shard.value_start : shard.value_stop],
+                predicate.matches,
+                ranges,
+                segment,
+                offset,
+                limit - taken,
+            )
+            if ids.shape[0]:
+                chunks.append(ids + shard.value_start)
+                taken += int(ids.shape[0])
+            if segment >= ranges.n_ranges:
+                shard_i += 1
+                segment = offset = 0
+        ids = (
+            np.concatenate(chunks)
+            if len(chunks) > 1
+            else (chunks[0] if chunks else np.empty(0, dtype=np.int64))
+        )
+        if shard_i >= n_shards:
+            return ids, None
+        return ids, PageCursor(
+            rank=rank + taken,
+            segment=segment,
+            offset=offset,
+            shard=shard_i,
+            version=version,
+            kind="shard",
+        )
 
     def aggregate(self, predicate: RangePredicate, op: str):
         """Shard-parallel aggregate pushdown: combine per-shard partials.

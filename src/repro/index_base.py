@@ -115,19 +115,29 @@ class QueryResult:
     never pays the O(ids) expansion.
     """
 
-    __slots__ = ("stats", "_ids", "_rowset", "_on_materialize")
+    __slots__ = (
+        "stats",
+        "_ids",
+        "_rowset",
+        "_on_materialize",
+        "_count",
+        "_version",
+    )
 
     def __init__(
         self,
         ids: np.ndarray | None = None,
         stats: QueryStats | None = None,
         rowset=None,
+        version: int | None = None,
     ) -> None:
         if (ids is None) == (rowset is None):
             raise ValueError("provide exactly one of ids= or rowset=")
         self._ids = ids
         self._rowset = rowset
         self._on_materialize = None
+        self._count = None
+        self._version = version
         self.stats = stats if stats is not None else QueryStats()
 
     # ------------------------------------------------------------------
@@ -190,10 +200,19 @@ class QueryResult:
     # O(ranges) observers — no id expansion
     # ------------------------------------------------------------------
     def count(self) -> int:
-        """Answer size without materialising ids."""
-        if self._ids is not None:
-            return int(self._ids.shape[0])
-        return self._rowset.count()
+        """Answer size without materialising ids (computed once).
+
+        The memo matters both ways: a lazy result's count comes off the
+        range endpoints exactly once instead of re-walking them per
+        call, and a result whose ``.ids`` was already forced reuses the
+        frozen array's length rather than falling back to the row set.
+        """
+        if self._count is None:
+            if self._ids is not None:
+                self._count = int(self._ids.shape[0])
+            else:
+                self._count = self._rowset.count()
+        return self._count
 
     @property
     def n_ids(self) -> int:
@@ -223,6 +242,88 @@ class QueryResult:
         if n_rows <= 0:
             return 0.0
         return self.n_ids / n_rows
+
+    # ------------------------------------------------------------------
+    # streaming consumption — pages and chunks, O(k) per page
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int | None:
+        """The producing index's mutation counter, if stamped.
+
+        Page cursors carry this stamp; serving a cursor against an
+        answer with a different stamp raises
+        :class:`~repro.core.cursor.StaleCursorError` instead of quietly
+        mixing two snapshots.  ``None`` for results whose producer does
+        not version its data (eager baseline indexes).
+        """
+        return self._version
+
+    def stamp_version(self, version: int | None) -> "QueryResult":
+        """Stamp the producing index version (returns ``self``)."""
+        self._version = version
+        return self
+
+    def page(self, limit: int, cursor=None):
+        """One page of the sorted id list: ``(ids_chunk, next_cursor)``.
+
+        ``LIMIT``/``OFFSET`` consumption without materialising the
+        answer: the chunk is expanded lazily from the compressed row
+        set in O(limit + log), so "first 100 rows" of a
+        million-id answer costs 100 ids of work.  ``cursor`` is
+        ``None`` for the first page, thereafter the
+        :class:`~repro.core.cursor.PageCursor` (or its encoded token)
+        returned by the previous call.  ``next_cursor`` is ``None``
+        once the answer is exhausted.  A cursor stamped with a
+        different index version raises
+        :class:`~repro.core.cursor.StaleCursorError`.
+        """
+        from .core.cursor import PageCursor
+
+        if limit < 1:
+            raise ValueError(f"page limit must be >= 1, got {limit}")
+        if cursor is None:
+            rank = 0
+        else:
+            cursor = PageCursor.parse(cursor)
+            cursor.check_kind("result")
+            cursor.check_version(self._version)
+            rank = cursor.rank
+        total = self.count()
+        stop = min(rank + limit, total)
+        if self._ids is not None:
+            chunk = self._ids[rank:stop]
+        else:
+            chunk = self._rowset.slice_rows(rank, stop).to_ids()
+        if stop >= total:
+            return chunk, None
+        # Results address position by rank alone (slice_rows seeks in
+        # O(log ranges)); the candidate-walk fields stay zero.
+        return chunk, PageCursor(
+            rank=stop, version=self._version, kind="result"
+        )
+
+    def iter_chunks(self, size: int):
+        """Stream the sorted ids as arrays of ``size`` ids each.
+
+        Delegates to :meth:`RowSet.iter_chunks
+        <repro.core.rowset.RowSet.iter_chunks>` on the compressed form
+        (eagerly-built results just slice their id array): O(size) per
+        chunk, the flat array is never built, an empty answer yields
+        nothing.
+        """
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        if self._ids is not None:
+            for lo in range(0, self._ids.shape[0], size):
+                yield self._ids[lo : lo + size]
+            return
+        yield from self._rowset.iter_chunks(size)
+
+    def first_k(self, k: int) -> np.ndarray:
+        """The first ``k`` ids in O(k) — top-k without materialisation."""
+        if self._ids is not None:
+            return self._ids[: max(k, 0)]
+        return self._rowset.first_k(k)
 
     # ------------------------------------------------------------------
     # aggregate pushdown (no id expansion on range-shaped answers)

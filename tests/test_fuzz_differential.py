@@ -1,0 +1,220 @@
+"""Cross-layer differential fuzzing — randomised programs vs a NumPy oracle.
+
+Hypothesis generates little *programs* — build an index, then a random
+interleaving of queries, paged reads, aggregates, appends and in-place
+updates over random dtypes, shard counts and page sizes — and replays
+each against every layer of the stack at once:
+
+* a NumPy mirror of the column (the oracle: ``flatnonzero`` + reduce);
+* the serial :class:`ColumnImprints` (forced ``.ids``, the lazy
+  ``page``/``iter_chunks`` walks, aggregates);
+* a :class:`ShardedColumnImprints` (lazy shard-order streaming);
+* a :class:`QueryExecutor` (batched/coalesced/cached ``submit_paged``).
+
+At every step the paged concatenations, the forced id arrays and the
+oracle must agree bit-for-bit, and aggregates must match the NumPy
+reduction — after any prefix of mutations.  Failures are reproducible:
+examples shrink deterministically and ``print_blob`` emits the
+``@reproduce_failure`` decorator to replay an exact failure locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, note, settings
+from hypothesis import strategies as st
+
+from repro.core import ColumnImprints
+from repro.engine import QueryExecutor, ShardedColumnImprints
+from repro.predicate import RangePredicate
+from repro.storage import DOUBLE, INT, LONG, SHORT, Column
+
+# Value domain shared by every dtype under test (fits SHORT).
+_LOW, _HIGH = -6_000, 6_000
+
+_CTYPES = {
+    "short": (SHORT, np.int16),
+    "int": (INT, np.int32),
+    "long": (LONG, np.int64),
+    "double": (DOUBLE, np.float64),
+}
+
+values_st = st.lists(
+    st.integers(min_value=_LOW, max_value=_HIGH), min_size=1, max_size=120
+)
+
+# One program step: (kind, payload...).  Bounds are drawn as raw values
+# in the shared domain; ids are drawn as fractions of the current
+# column length so they stay valid as the column grows.
+step_st = st.one_of(
+    st.tuples(
+        st.just("query"),
+        st.integers(_LOW, _HIGH),
+        st.integers(_LOW, _HIGH),
+        st.integers(1, 64),  # page size
+    ),
+    st.tuples(
+        st.just("aggregate"),
+        st.sampled_from(["count", "sum", "min", "max"]),
+        st.integers(_LOW, _HIGH),
+        st.integers(_LOW, _HIGH),
+    ),
+    st.tuples(st.just("append"), values_st),
+    st.tuples(
+        st.just("update"),
+        st.floats(0.0, 1.0, allow_nan=False),  # position fraction
+        st.integers(_LOW, _HIGH),
+    ),
+)
+
+
+def _predicate(low, high, ctype) -> RangePredicate:
+    low, high = sorted((low, high))
+    return RangePredicate.range(low, max(high, low + 1), ctype)
+
+
+def _drain_pages(page_fn, limit: int) -> np.ndarray:
+    chunks, cursor = [], None
+    while True:
+        ids, cursor = page_fn(limit, cursor)
+        chunks.append(ids)
+        if cursor is None:
+            break
+    return np.concatenate(chunks)
+
+
+def _check_query(mirror, serial, sharded, executor, pred, size) -> None:
+    oracle = np.flatnonzero(pred.matches(mirror)).astype(np.int64)
+    result = serial.query(pred)
+    assert np.array_equal(result.ids, oracle), "serial forced ids"
+    assert result.count() == oracle.shape[0]
+
+    paged = _drain_pages(lambda k, c: serial.page(pred, k, c), size)
+    assert np.array_equal(paged, oracle), "serial paged concatenation"
+
+    result_paged = _drain_pages(serial.query(pred).page, size)
+    assert np.array_equal(result_paged, oracle), "result paged concatenation"
+
+    chunked = list(sharded.iter_chunks(pred, size))
+    chunked = (
+        np.concatenate(chunked) if chunked else np.empty(0, dtype=np.int64)
+    )
+    assert np.array_equal(chunked, oracle), "sharded chunk stream"
+
+    sharded_paged = _drain_pages(lambda k, c: sharded.page(pred, k, c), size)
+    assert np.array_equal(sharded_paged, oracle), "sharded paged concatenation"
+    assert np.array_equal(sharded.query(pred).ids, oracle), "sharded forced ids"
+
+    executor_paged = _drain_pages(
+        lambda k, c: executor.query_paged("col", pred, k, c), size
+    )
+    assert np.array_equal(executor_paged, oracle), "executor paged concatenation"
+
+
+def _check_aggregate(mirror, serial, sharded, executor, op, pred) -> None:
+    oracle_ids = np.flatnonzero(pred.matches(mirror))
+    selected = mirror[oracle_ids]
+    for name, got in (
+        ("serial", serial.aggregate(pred, op)),
+        ("sharded", sharded.aggregate(pred, op)),
+        ("executor", executor.aggregate("col", pred, op)),
+    ):
+        if op == "count":
+            assert got == oracle_ids.shape[0], name
+        elif op == "sum":
+            # SUM of an empty selection is the identity (0), not None.
+            if mirror.dtype.kind == "f":
+                assert got == pytest.approx(float(np.sum(selected, dtype=np.float64)))
+            else:
+                assert got == int(np.sum(selected.astype(np.int64))), name
+        elif selected.size == 0:
+            assert got is None, name
+        else:
+            reduced = np.min(selected) if op == "min" else np.max(selected)
+            assert got == reduced, name
+
+
+@given(
+    dtype=st.sampled_from(sorted(_CTYPES)),
+    seed_values=st.lists(
+        st.integers(_LOW, _HIGH), min_size=8, max_size=400
+    ),
+    n_shards=st.integers(1, 5),
+    steps=st.lists(step_st, min_size=1, max_size=8),
+)
+@settings(
+    max_examples=40,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_programs_agree_with_oracle(dtype, seed_values, n_shards, steps):
+    ctype, np_dtype = _CTYPES[dtype]
+    mirror = np.array(seed_values, dtype=np_dtype)
+    serial = ColumnImprints(Column(mirror.copy(), ctype=ctype, name="fuzz"))
+    sharded = ShardedColumnImprints(
+        Column(mirror.copy(), ctype=ctype, name="fuzz.s"),
+        n_shards=n_shards,
+        n_workers=2,
+    )
+    executor = QueryExecutor(
+        {"col": ColumnImprints(Column(mirror.copy(), ctype=ctype, name="fuzz.e"))},
+        batch_window=0.0,
+    )
+    try:
+        for step in steps:
+            note(f"step: {step}")
+            kind = step[0]
+            if kind == "query":
+                _, low, high, size = step
+                _check_query(
+                    mirror,
+                    serial,
+                    sharded,
+                    executor,
+                    _predicate(low, high, ctype),
+                    size,
+                )
+            elif kind == "aggregate":
+                _, op, low, high = step
+                _check_aggregate(
+                    mirror,
+                    serial,
+                    sharded,
+                    executor,
+                    op,
+                    _predicate(low, high, ctype),
+                )
+            elif kind == "append":
+                _, raw = step
+                fresh = np.array(raw, dtype=np_dtype)
+                mirror = np.concatenate([mirror, fresh])
+                for index in (serial, sharded, executor.index("col")):
+                    index.append(fresh)
+            elif kind == "update":
+                _, fraction, raw = step
+                position = min(
+                    int(fraction * mirror.shape[0]), mirror.shape[0] - 1
+                )
+                value = np_dtype(raw)
+                mirror[position] = value
+                for index in (serial, sharded, executor.index("col")):
+                    index.note_update(position, value)
+        # Every program ends with one full re-check so trailing
+        # mutations are always exercised.
+        _check_query(
+            mirror,
+            serial,
+            sharded,
+            executor,
+            _predicate(_LOW, _HIGH, ctype),
+            17,
+        )
+        _check_aggregate(
+            mirror, serial, sharded, executor, "sum",
+            _predicate(_LOW, _HIGH, ctype),
+        )
+    finally:
+        executor.close()
+        sharded.close()
