@@ -1,0 +1,12 @@
+# The serving layer in a container: python -m repro serve on 0.0.0.0.
+# See docs/SERVING.md for the endpoint and error-code contract.
+FROM python:3.11-slim
+
+RUN pip install --no-cache-dir numpy
+
+WORKDIR /app
+COPY src/ src/
+ENV PYTHONPATH=/app/src
+
+EXPOSE 8100
+ENTRYPOINT ["python", "-m", "repro", "serve", "--host", "0.0.0.0", "--port", "8100"]

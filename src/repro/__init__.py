@@ -26,9 +26,21 @@ Packages:
 * :mod:`repro.workloads` — the five dataset simulators + query
   generator;
 * :mod:`repro.bench` — the experiment harness regenerating every table
-  and figure of the paper.
+  and figure of the paper;
+* :mod:`repro.serving` — the network-facing asyncio service: admission
+  control, deadlines, graceful degradation, fault injection;
+* :mod:`repro.errors` — the shared exception hierarchy
+  (:class:`ReproError` and friends).
 """
 
+from .errors import (
+    AdmissionRejected,
+    CorruptColumnError,
+    DeadlineExceeded,
+    ExecutorClosedError,
+    ReproError,
+    StaleCursorError,
+)
 from .core import (
     ColumnImprints,
     Histogram,
@@ -51,6 +63,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "ReproError",
+    "StaleCursorError",
+    "ExecutorClosedError",
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "CorruptColumnError",
     "ColumnImprints",
     "Histogram",
     "ImprintsBuilder",

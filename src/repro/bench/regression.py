@@ -56,6 +56,7 @@ __all__ = [
     "check_throughput_regression",
     "check_materialization_regression",
     "check_streaming_regression",
+    "check_serving_regression",
     "main",
 ]
 
@@ -255,6 +256,120 @@ def check_streaming_regression(
     return failures
 
 
+#: Config keys that must agree for serving latencies to compare.
+_SERVING_COMPARABLE_KEYS = (
+    "n_rows",
+    "n_requests",
+    "max_inflight",
+    "max_waiting",
+    "rate_multiplier",
+    "smoke",
+)
+
+
+def _serving_comparable(fresh: dict, baseline: dict) -> bool:
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _SERVING_COMPARABLE_KEYS
+    )
+
+
+def check_serving_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh ``BENCH_serving.json``; returns failures.
+
+    The hard invariants are the overload contract itself, all
+    machine-portable:
+
+    * the open-loop run finished (``completed`` — its absence means a
+      request hung forever: a deadlock somewhere in admission, the
+      executor bridge, or the HTTP pipeline);
+    * the accounting balances — served + fast-rejected + timed-out +
+      errors equals issued, i.e. *rejected-not-dropped*: load shedding
+      answered every request, none vanished into an unbounded queue;
+    * zero transport/500 errors, and every served answer (degraded or
+      not) matched the pre-computed oracle count;
+    * on full-size runs, the p99 of *accepted* requests stays under the
+      request budget (an accepted request that took longer than its
+      deadline means the deadline path leaks), and fast rejection is
+      actually fast — the rejection p95 must not exceed the accepted
+      p99 (shedding that costs as much as serving is not shedding).
+
+    Against a same-shape baseline the accepted-latency tail ratio
+    (p99/p50) must not grow beyond the tolerance — wall-clock numbers
+    are machine-specific, the tail *shape* is the portable part.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+    if not fresh.get("completed"):
+        failures.append(
+            "serving run did not complete — a request hung past the "
+            "guard timeout (deadlock)"
+        )
+    if not fresh.get("accounting_balanced"):
+        failures.append(
+            f"serving accounting does not balance: "
+            f"served={fresh.get('served')} + rejected={fresh.get('rejected')}"
+            f" + timed_out={fresh.get('timed_out')} + "
+            f"errors={fresh.get('errors')} != issued={fresh.get('issued')}"
+        )
+    if fresh.get("errors"):
+        failures.append(
+            f"serving run recorded {fresh.get('errors')} errors "
+            f"(statuses {fresh.get('error_statuses')})"
+        )
+    if not fresh.get("verified_counts"):
+        failures.append(
+            "a served answer disagreed with the oracle (wrong count/ids)"
+        )
+    if fresh.get("served", 0) < 1:
+        failures.append("no request was served at all")
+
+    latency = fresh.get("latency_ms", {})
+    reject = fresh.get("reject_latency_ms", {})
+    if not fresh.get("config", {}).get("smoke"):
+        budget = fresh.get("config", {}).get("timeout_ms", 0.0)
+        p99 = latency.get("p99")
+        if p99 is not None and budget and p99 > budget:
+            failures.append(
+                f"accepted p99 exceeds the request budget: "
+                f"{p99:.1f}ms > {budget:.0f}ms — the deadline path leaks"
+            )
+        if (
+            reject.get("p95") is not None
+            and p99 is not None
+            and reject["p95"] > p99
+        ):
+            failures.append(
+                f"fast rejection is slower than serving: reject p95 "
+                f"{reject['p95']:.1f}ms > accepted p99 {p99:.1f}ms"
+            )
+    if baseline is not None and _serving_comparable(fresh, baseline):
+        base_latency = baseline.get("latency_ms", {})
+        if (
+            latency.get("p50")
+            and latency.get("p99")
+            and base_latency.get("p50")
+            and base_latency.get("p99")
+        ):
+            fresh_tail = latency["p99"] / latency["p50"]
+            base_tail = base_latency["p99"] / base_latency["p50"]
+            ceiling = base_tail * (1.0 + tolerance)
+            if fresh_tail > ceiling:
+                failures.append(
+                    f"accepted-latency tail widened: p99/p50 "
+                    f"{fresh_tail:.2f} > {ceiling:.2f} (baseline "
+                    f"{base_tail:.2f} + {tolerance:.0%})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.regression", description=__doc__
@@ -284,6 +399,16 @@ def main(argv: list[str] | None = None) -> int:
         "--streaming-baseline",
         default=None,
         help="committed baseline BENCH_streaming.json (optional)",
+    )
+    parser.add_argument(
+        "--serving",
+        default=None,
+        help="fresh BENCH_serving.json to gate as well (optional)",
+    )
+    parser.add_argument(
+        "--serving-baseline",
+        default=None,
+        help="committed baseline BENCH_serving.json (optional)",
     )
     parser.add_argument(
         "--tolerance",
@@ -344,6 +469,26 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    if args.serving:
+        serving_fresh = load_result(args.serving)
+        serving_baseline = (
+            load_result(args.serving_baseline)
+            if args.serving_baseline
+            else None
+        )
+        if serving_baseline is not None and not _serving_comparable(
+            serving_fresh, serving_baseline
+        ):
+            print(
+                "note: serving baseline config differs; tail-ratio "
+                "comparison skipped, overload invariants still gate"
+            )
+        failures.extend(
+            check_serving_regression(
+                serving_fresh, serving_baseline, tolerance=args.tolerance
+            )
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -356,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         + ("; materialisation gate passed" if args.materialization else "")
         + ("; streaming gate passed" if args.streaming else "")
+        + ("; serving gate passed" if args.serving else "")
     )
     return 0
 

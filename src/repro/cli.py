@@ -31,6 +31,14 @@ Commands
     Streaming study: first-page latency through the cursor pipeline
     (lazy pages off candidate ranges, shard-order streaming, executor
     cache-served pages) vs eager ``.ids`` materialisation.
+``serving``
+    Open-loop serving load study: overload the asyncio HTTP front end
+    at a multiple of its admission capacity and check the overload
+    contract (every request accounted for, fast 429s, correct answers).
+``serve``
+    Run the HTTP serving layer (``/query`` ``/aggregate`` ``/page``
+    ``/healthz`` ``/stats``) over a dataset's columns — or a synthetic
+    demo column — until interrupted.
 
 Global options: ``--scale`` (dataset scale factor, default from
 ``REPRO_SCALE`` or 1.0) and ``--seed``.
@@ -129,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
                            help="shrunken CI-sized workload")
     streaming.add_argument("--json", metavar="PATH", default=None,
                            help="also write the machine-readable result")
+
+    serving = commands.add_parser(
+        "serving",
+        help="open-loop overload study through the HTTP serving layer",
+    )
+    serving.add_argument("--rows", type=int, default=None,
+                         help="column length (default: 1M * scale)")
+    serving.add_argument("--requests", type=int, default=None,
+                         help="open-loop requests (default: 400 * scale)")
+    serving.add_argument("--rate", type=float, default=None,
+                         help="arrival rate as a multiple of capacity "
+                              "(default: 4.0)")
+    serving.add_argument("--smoke", action="store_true",
+                         help="shrunken CI-sized workload")
+    serving.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the machine-readable result")
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP serving layer until interrupted"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100)
+    serve.add_argument("--dataset", default=None,
+                       help="serve every column of this generated dataset "
+                            "(default: one synthetic demo column 'serve')")
+    serve.add_argument("--rows", type=int, default=1_000_000,
+                       help="demo column length when no --dataset is given")
+    serve.add_argument("--max-inflight", type=int, default=8)
+    serve.add_argument("--max-waiting", type=int, default=32)
+    serve.add_argument("--timeout", type=float, default=1.0,
+                       help="default per-request budget in seconds")
     return parser
 
 
@@ -341,6 +380,86 @@ def _cmd_streaming(args) -> str:
     return render_streaming_study(result)
 
 
+def _cmd_serving(args) -> str:
+    from .bench.serving import (
+        RATE_MULTIPLIER,
+        render_serving_study,
+        run_serving_study,
+        scaled_defaults,
+        write_serving_json,
+    )
+
+    sizes = scaled_defaults(_scale(args))
+    result = run_serving_study(
+        n_rows=args.rows if args.rows else sizes["n_rows"],
+        n_requests=args.requests if args.requests else sizes["n_requests"],
+        rate_multiplier=args.rate if args.rate else RATE_MULTIPLIER,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_serving_json(result, args.json)
+    return render_serving_study(result)
+
+
+def _build_serve_indexes(args) -> dict:
+    from .core import ColumnImprints
+
+    if args.dataset:
+        from .workloads import load_dataset
+
+        dataset = load_dataset(args.dataset, scale=_scale(args),
+                               seed=args.seed)
+        return {
+            entry.qualified_name: ColumnImprints(entry.column)
+            for entry in dataset
+        }
+    from .storage import Column
+
+    rng = np.random.default_rng(args.seed)
+    walk = np.cumsum(rng.normal(0.0, 25.0, args.rows)) + 50_000.0
+    column = Column(walk.astype(np.int32), name="serve")
+    return {"serve": ColumnImprints(column)}
+
+
+def _cmd_serve(args) -> str:
+    import asyncio
+
+    from .engine.executor import QueryExecutor
+    from .serving.http import ServingHTTPServer
+    from .serving.service import ImprintService, ServingConfig
+
+    indexes = _build_serve_indexes(args)
+    config = ServingConfig(
+        max_inflight=args.max_inflight,
+        max_waiting=args.max_waiting,
+        default_timeout=args.timeout,
+    )
+
+    async def run() -> None:
+        executor = QueryExecutor(indexes)
+        service = ImprintService(executor, config)
+        try:
+            async with ServingHTTPServer(
+                service, host=args.host, port=args.port
+            ) as server:
+                host, port = server.address
+                print(f"serving {sorted(indexes)} on http://{host}:{port}",
+                      flush=True)
+                print(f"  in flight <= {config.max_inflight}, "
+                      f"waiting <= {config.max_waiting}, "
+                      f"budget {config.default_timeout:.3g}s", flush=True)
+                await server.serve_forever()
+        finally:
+            await service.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return "stopped"
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "summary": _cmd_summary,
@@ -352,6 +471,8 @@ _COMMANDS = {
     "materialization": _cmd_materialization,
     "aggregates": _cmd_aggregates,
     "streaming": _cmd_streaming,
+    "serving": _cmd_serving,
+    "serve": _cmd_serve,
 }
 
 

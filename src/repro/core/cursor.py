@@ -29,32 +29,12 @@ from __future__ import annotations
 import base64
 from dataclasses import dataclass
 
+from ..errors import StaleCursorError
+
 __all__ = ["PageCursor", "StaleCursorError"]
 
 #: Token format tag — bumped if the encoded layout ever changes.
 _TOKEN_VERSION = 1
-
-
-class StaleCursorError(RuntimeError):
-    """A page cursor (or chunk stream) spans two versions of the index.
-
-    Raised instead of serving pages that mix two snapshots: the ids
-    before the cursor came from one version of the column, the ids
-    after it would come from another, and the concatenation would be an
-    answer no single version ever gave.
-    """
-
-    def __init__(
-        self, cursor_version, current_version, what: str = "page cursor"
-    ) -> None:
-        super().__init__(
-            f"{what} was issued at index version {cursor_version} "
-            f"but the index is now at version {current_version}; the "
-            f"underlying column changed (append/update/rebuild) — "
-            f"restart paging from the beginning"
-        )
-        self.cursor_version = cursor_version
-        self.current_version = current_version
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,25 @@ class LRUCache:
                 self.bytes -= evicted_weight
             return True
 
+    def evict_oldest(self, count: int = 1) -> int:
+        """Force-evict up to ``count`` cold entries; returns how many.
+
+        Not used on any serving fast path — this is the lever the
+        fault-injection harness (:mod:`repro.serving.chaos`) pulls to
+        simulate eviction storms (a competing tenant churning the
+        budget), so the suite can prove correctness is indifferent to
+        cache contents.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        with self._lock:
+            evicted = 0
+            while self._entries and evicted < count:
+                _, (_, weight) = self._entries.popitem(last=False)
+                self.bytes -= weight
+                evicted += 1
+            return evicted
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -145,6 +164,10 @@ class ExecutorStats:
     batched_queries:
         Predicates evaluated inside those shared passes — the work that
         actually reached an index kernel.
+    expired:
+        Submissions whose deadline passed before their micro-batch ran
+        — answered with :class:`~repro.errors.DeadlineExceeded`, never
+        evaluated.
     """
 
     submitted: int = 0
@@ -153,6 +176,7 @@ class ExecutorStats:
     cache_misses: int = 0
     batches: int = 0
     batched_queries: int = 0
+    expired: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -172,6 +196,7 @@ class ExecutorStats:
             self.cache_misses = 0
             self.batches = 0
             self.batched_queries = 0
+            self.expired = 0
 
     @property
     def kernel_share(self) -> float:

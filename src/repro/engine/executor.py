@@ -40,6 +40,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
+from ..errors import DeadlineExceeded, ExecutorClosedError
 from ..index_base import QueryResult, SecondaryIndex
 from ..predicate import RangePredicate
 from ..core.aggregates import AGGREGATE_OPS
@@ -178,14 +179,26 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, name: str, predicate: RangePredicate) -> Future:
+    def submit(
+        self, name: str, predicate: RangePredicate, *, deadline: float | None = None
+    ) -> Future:
         """Enqueue one predicate; returns a future of its QueryResult.
 
         The future resolves once the predicate's micro-batch executed
         (or instantly on a result-cache hit shared with the batch).
+
+        ``deadline`` is an optional absolute ``time.monotonic()``
+        timestamp: if it passes before the entry's batch runs, the
+        future fails with :class:`~repro.errors.DeadlineExceeded` and
+        no kernel time is spent on it — even when an identical
+        predicate from another caller is evaluated in the same batch,
+        the expired waiter is answered with the timeout, never with a
+        result it stopped waiting for.  An already-expired deadline
+        fails the future immediately (the future is still returned, so
+        callers have one uniform consumption path).
         """
         if self._closed:
-            raise RuntimeError("executor is closed")
+            raise ExecutorClosedError("executor is closed")
         index = self.index(name)  # fail fast on unknown names
         fut: Future = Future()
         # Fast path: a fresh cached result needs no scheduling at all.
@@ -194,14 +207,22 @@ class QueryExecutor:
             self.stats.bump(submitted=1, cache_hits=1)
             fut.set_result(cached)
             return fut
+        if deadline is not None and deadline <= time.monotonic():
+            self.stats.bump(submitted=1, expired=1)
+            fut.set_exception(
+                DeadlineExceeded(
+                    f"deadline expired before submission of {predicate!r}"
+                )
+            )
+            return fut
         with self._lock:
             if self._closed:
-                raise RuntimeError("executor is closed")
+                raise ExecutorClosedError("executor is closed")
             queue = self._pending.setdefault(name, [])
             fresh_deadline = not queue
             if fresh_deadline:
                 self._deadlines[name] = time.monotonic() + self.batch_window
-            queue.append((predicate, fut))
+            queue.append((predicate, fut, deadline))
             self.stats.bump(submitted=1)
             if len(queue) >= self.max_batch or self.batch_window == 0:
                 self._dispatch_locked(name)
@@ -219,10 +240,10 @@ class QueryExecutor:
         in ``max_batch``-sized chunks without per-call locking.
         """
         if self._closed:
-            raise RuntimeError("executor is closed")
+            raise ExecutorClosedError("executor is closed")
         index = self.index(name)
         futures: list[Future] = []
-        misses: list[tuple[RangePredicate, Future]] = []
+        misses: list[tuple[RangePredicate, Future, float | None]] = []
         hits = 0
         for predicate in predicates:
             fut: Future = Future()
@@ -232,13 +253,13 @@ class QueryExecutor:
                 hits += 1
                 fut.set_result(cached)
             else:
-                misses.append((predicate, fut))
+                misses.append((predicate, fut, None))
         self.stats.bump(submitted=len(futures), cache_hits=hits)
         if not misses:
             return futures
         with self._lock:
             if self._closed:
-                raise RuntimeError("executor is closed")
+                raise ExecutorClosedError("executor is closed")
             queue = self._pending.setdefault(name, [])
             fresh_deadline = not queue
             queue.extend(misses)
@@ -271,7 +292,13 @@ class QueryExecutor:
     # streaming consumption
     # ------------------------------------------------------------------
     def submit_paged(
-        self, name: str, predicate: RangePredicate, limit: int, cursor=None
+        self,
+        name: str,
+        predicate: RangePredicate,
+        limit: int,
+        cursor=None,
+        *,
+        deadline: float | None = None,
     ) -> Future:
         """Enqueue one page request; future of ``(ids_chunk, next_cursor)``.
 
@@ -298,7 +325,7 @@ class QueryExecutor:
                 getattr(index, "version", None)
             )
         page_future: Future = Future()
-        inner = self.submit(name, predicate)
+        inner = self.submit(name, predicate, deadline=deadline)
 
         def deliver(done: Future) -> None:
             try:
@@ -326,7 +353,7 @@ class QueryExecutor:
             futures = [
                 fut
                 for queue in self._pending.values()
-                for _, fut in queue
+                for _, fut, _ in queue
             ]
             for name in list(self._pending):
                 self._dispatch_locked(name)
@@ -466,16 +493,45 @@ class QueryExecutor:
                     self._wakeup.wait(0.05 if self._closed else None)
 
     def _run_batch(
-        self, name: str, entries: list[tuple[RangePredicate, Future]]
+        self,
+        name: str,
+        entries: list[tuple[RangePredicate, Future, float | None]],
     ) -> None:
         try:
             index = self._indexes[name]
             version = getattr(index, "version", None)
+            # Expired entries are answered with DeadlineExceeded before
+            # any kernel runs: nobody is waiting for them any more, so
+            # spending evaluation time would be pure waste — and if
+            # *every* waiter on a predicate expired, that predicate is
+            # dropped from the batch entirely.  An expired entry
+            # coalesced with a live identical predicate still gets the
+            # timeout (its caller stopped waiting), while the live
+            # peer's evaluation proceeds untouched.
+            now = time.monotonic()
+            live: list[tuple[RangePredicate, Future]] = []
+            expired = 0
+            for predicate, fut, deadline in entries:
+                if deadline is not None and deadline <= now:
+                    expired += 1
+                    if not fut.done():
+                        fut.set_exception(
+                            DeadlineExceeded(
+                                f"deadline expired while {predicate!r} "
+                                f"waited for its micro-batch"
+                            )
+                        )
+                else:
+                    live.append((predicate, fut))
+            if expired:
+                self.stats.bump(expired=expired)
+            if not live:
+                return
             # Coalesce: one evaluation per distinct predicate.
             groups: dict[RangePredicate, list[Future]] = {}
-            for predicate, fut in entries:
+            for predicate, fut in live:
                 groups.setdefault(predicate, []).append(fut)
-            self.stats.bump(coalesced=len(entries) - len(groups))
+            self.stats.bump(coalesced=len(live) - len(groups))
 
             results: dict[RangePredicate, QueryResult] = {}
             to_run: list[RangePredicate] = []
@@ -520,9 +576,13 @@ class QueryExecutor:
 
             for predicate, futures in groups.items():
                 for fut in futures:
-                    fut.set_result(results[predicate])
+                    # A waiter may have given up while the batch ran
+                    # (asyncio deadline cancelling its wrapped future);
+                    # delivery must not die on it and strand the rest.
+                    if not fut.done():
+                        fut.set_result(results[predicate])
         except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-            for _, fut in entries:
+            for _, fut, _ in entries:
                 if not fut.done():
                     fut.set_exception(exc)
 
@@ -536,17 +596,58 @@ class QueryExecutor:
     def clear_cache(self) -> None:
         self._cache.clear()
 
-    def close(self) -> None:
-        """Flush pending work and stop the scheduler and workers."""
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the scheduler and workers; idempotent.
+
+        With ``drain=True`` (the default) pending batches are
+        dispatched and their answers delivered before the pool shuts
+        down — the graceful path.  With ``drain=False`` pending entries
+        are failed immediately with
+        :class:`~repro.errors.ExecutorClosedError` and only batches
+        already on the worker pool finish — the fast path a serving
+        process takes on abort.  Either way no future is ever left
+        dangling: after shutdown a final sweep fails anything still
+        unresolved, and later :meth:`submit` calls raise
+        :class:`~repro.errors.ExecutorClosedError` immediately instead
+        of queueing work nothing will ever run.
+        """
+        stranded: list[Future] = []
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            for name in list(self._pending):
-                self._dispatch_locked(name)
+            if drain:
+                for name in list(self._pending):
+                    self._dispatch_locked(name)
+            else:
+                for queue in self._pending.values():
+                    stranded.extend(fut for _, fut, _ in queue)
+                self._pending.clear()
+                self._deadlines.clear()
             self._wakeup.notify_all()
+        for fut in stranded:
+            if not fut.done():
+                fut.set_exception(
+                    ExecutorClosedError("executor closed before evaluation")
+                )
         self._scheduler.join(timeout=5.0)
         self._pool.shutdown(wait=True)
+        # Backstop: anything that slipped past both paths (a dispatch
+        # racing the shutdown, a worker dying mid-batch) must still
+        # resolve — a dangling future would hang its waiter forever.
+        with self._lock:
+            leftovers = [
+                fut
+                for queue in self._pending.values()
+                for _, fut, _ in queue
+            ]
+            self._pending.clear()
+            self._deadlines.clear()
+        for fut in leftovers:
+            if not fut.done():
+                fut.set_exception(
+                    ExecutorClosedError("executor closed before evaluation")
+                )
 
     def __enter__(self) -> "QueryExecutor":
         return self

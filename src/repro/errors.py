@@ -1,0 +1,113 @@
+"""The shared exception hierarchy.
+
+Every failure the toolkit raises on purpose derives from
+:class:`ReproError`, so callers embedding the engine can catch one base
+class at the boundary instead of enumerating module-specific types.
+Several members *also* inherit the builtin exception their call sites
+historically raised (``RuntimeError``, ``ValueError``, ``TimeoutError``)
+so existing ``except`` sites — inside this repo and out — keep working
+unchanged:
+
+* :class:`StaleCursorError` — a page cursor or chunk stream spans two
+  index versions (was a bare ``RuntimeError`` subclass in
+  :mod:`repro.core.cursor`, still importable from there);
+* :class:`ExecutorClosedError` — work submitted to (or stranded inside)
+  a closed :class:`~repro.engine.executor.QueryExecutor`;
+* :class:`AdmissionRejected` — the serving layer is at capacity and
+  fast-rejected the request instead of queueing it unboundedly;
+* :class:`DeadlineExceeded` — a request's time budget ran out before
+  its answer was produced;
+* :class:`CorruptColumnError` — a persisted column or imprint file
+  failed its integrity check on read.
+
+The serving layer (:mod:`repro.serving`) maps these onto HTTP statuses
+one-to-one: 410, 503, 429, 504 and 500 respectively — see
+``docs/SERVING.md`` for the full table.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StaleCursorError",
+    "ExecutorClosedError",
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "CorruptColumnError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate failure raised by this package."""
+
+
+class StaleCursorError(ReproError, RuntimeError):
+    """A page cursor (or chunk stream) spans two versions of the index.
+
+    Raised instead of serving pages that mix two snapshots: the ids
+    before the cursor came from one version of the column, the ids
+    after it would come from another, and the concatenation would be an
+    answer no single version ever gave.
+    """
+
+    def __init__(
+        self, cursor_version, current_version, what: str = "page cursor"
+    ) -> None:
+        super().__init__(
+            f"{what} was issued at index version {cursor_version} "
+            f"but the index is now at version {current_version}; the "
+            f"underlying column changed (append/update/rebuild) — "
+            f"restart paging from the beginning"
+        )
+        self.cursor_version = cursor_version
+        self.current_version = current_version
+
+
+class ExecutorClosedError(ReproError, RuntimeError):
+    """The executor is closed: new work is refused, stranded work fails.
+
+    ``RuntimeError`` stays in the bases because ``submit()`` after
+    ``close()`` historically raised a bare ``RuntimeError`` — existing
+    handlers keep catching this.
+    """
+
+
+class AdmissionRejected(ReproError):
+    """The serving layer is at capacity; the request was fast-rejected.
+
+    ``retry_after`` is the suggested client back-off in seconds (the
+    HTTP layer sends it as a ``Retry-After`` header with status 429).
+    Rejection is deliberate load shedding, not an error in the request:
+    retrying after the hint — with jitter — is the expected response.
+    """
+
+    def __init__(self, reason: str, retry_after: float = 0.05) -> None:
+        super().__init__(reason)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A request's time budget expired before its answer was produced.
+
+    Raised both by the serving layer (request-level budget, HTTP 504)
+    and by :class:`~repro.engine.executor.QueryExecutor` when a
+    submission's deadline passes before its micro-batch runs — the
+    executor abandons the expired entry instead of spending kernel time
+    on an answer nobody is waiting for.
+    """
+
+
+class CorruptColumnError(ReproError, ValueError):
+    """A persisted column or imprint file failed its integrity check.
+
+    Carries the offending ``path``; raised instead of returning a
+    silently garbled array when a stored file was truncated, bit-flipped
+    or otherwise diverged from the checksum and length recorded in the
+    catalog at write time.  ``ValueError`` stays in the bases because
+    the pre-checksum length check raised one.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason

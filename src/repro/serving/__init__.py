@@ -1,0 +1,46 @@
+"""The network-facing serving layer.
+
+Bridges the threaded execution engine
+(:class:`~repro.engine.executor.QueryExecutor`) into an ``asyncio``
+HTTP service with production-shaped robustness: bounded admission,
+deadline propagation, graceful degradation under pressure, and a fault
+injection harness plus retrying client to prove all of it.  Pure
+stdlib — no web framework, no event-loop add-ons.
+
+Modules:
+
+* :mod:`~repro.serving.admission` — bounded in-flight + bounded wait
+  queue, fast rejection;
+* :mod:`~repro.serving.service` — :class:`ImprintService`, the async
+  facade (deadlines, degradation, health, stats);
+* :mod:`~repro.serving.http` — the stdlib HTTP/1.1 front end
+  (``/query`` ``/aggregate`` ``/page`` ``/healthz`` ``/stats``);
+* :mod:`~repro.serving.chaos` — deterministic fault injection
+  (stalls, latency, eviction storms, mid-page mutations);
+* :mod:`~repro.serving.client` — asyncio client with jittered-backoff
+  retries honouring ``Retry-After``.
+
+See ``docs/SERVING.md`` for the endpoint and error-code contract.
+"""
+
+from .admission import AdmissionController, AdmissionSnapshot
+from .chaos import ChaosConfig, ChaosIndex, install_chaos
+from .client import ClientResponse, ServingClient, retry_with_backoff
+from .http import ServingHTTPServer, status_for_exception
+from .service import ImprintService, ServingConfig, ServingStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionSnapshot",
+    "ChaosConfig",
+    "ChaosIndex",
+    "install_chaos",
+    "ClientResponse",
+    "ServingClient",
+    "retry_with_backoff",
+    "ServingHTTPServer",
+    "status_for_exception",
+    "ImprintService",
+    "ServingConfig",
+    "ServingStats",
+]

@@ -1,0 +1,209 @@
+"""A minimal asyncio HTTP client with retry-and-jittered-backoff.
+
+The counterpart of the serving layer's load shedding: a client that
+treats 429/503 as the protocol working (back off, jitter, retry) rather
+than as failures.  Used by the chaos suite and the open-loop load bench;
+small enough to copy into a real deployment's SDK.
+
+* :class:`ServingClient` — one-connection-per-request HTTP/1.1 GETs
+  against a :class:`~repro.serving.http.ServingHTTPServer`, returning
+  :class:`ClientResponse` (status, headers, decoded JSON);
+* :func:`retry_with_backoff` — drives any coroutine-returning callable
+  through capped exponential backoff with full jitter, honouring the
+  server's ``Retry-After`` hint when one is present.  Deterministic
+  under a seeded :class:`random.Random`, so chaos runs are replayable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import urllib.parse
+from dataclasses import dataclass, field
+
+__all__ = ["ClientResponse", "ServingClient", "retry_with_backoff"]
+
+#: Statuses worth retrying: shed load and shutdown races.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+@dataclass
+class ClientResponse:
+    """One decoded HTTP response."""
+
+    status: int
+    headers: dict[str, str]
+    body: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> float | None:
+        """The server's back-off hint in seconds, if it sent one."""
+        raw = self.headers.get("retry-after")
+        if raw is None:
+            raw = self.body.get("retry_after") if isinstance(self.body, dict) else None
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            return None
+
+
+async def retry_with_backoff(
+    attempt_fn,
+    *,
+    attempts: int = 5,
+    base_delay: float = 0.02,
+    max_delay: float = 1.0,
+    rng: random.Random | None = None,
+    retry_statuses=RETRYABLE_STATUSES,
+    sleep=asyncio.sleep,
+) -> ClientResponse:
+    """Run ``attempt_fn()`` until success or the attempt budget runs out.
+
+    ``attempt_fn`` is an async callable returning a
+    :class:`ClientResponse`.  A response whose status is not in
+    ``retry_statuses`` is returned immediately (success *and*
+    non-retryable failures — a 400 will never succeed on retry).  A
+    retryable response waits ``min(max_delay, base_delay * 2**attempt)``
+    scaled by full jitter in ``[0.5, 1.5)``, floored at the server's
+    ``Retry-After`` hint, then tries again.  The last response is
+    returned when the budget is exhausted — callers always get the
+    server's word, never a synthetic error.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    rng = rng or random.Random()
+    response = None
+    for attempt in range(attempts):
+        response = await attempt_fn()
+        if response.status not in retry_statuses:
+            return response
+        if attempt == attempts - 1:
+            break
+        delay = min(max_delay, base_delay * (2 ** attempt))
+        delay *= 0.5 + rng.random()  # full jitter: desynchronise retriers
+        hint = response.retry_after
+        if hint is not None:
+            delay = max(delay, hint)
+        await sleep(delay)
+    return response
+
+
+@dataclass
+class ServingClient:
+    """Tiny asyncio HTTP client for the serving endpoints."""
+
+    host: str
+    port: int
+    attempts: int = 5
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    async def get(self, path: str, params: dict | None = None) -> ClientResponse:
+        """One GET request on a fresh connection."""
+        query = urllib.parse.urlencode(
+            {k: v for k, v in (params or {}).items() if v is not None}
+        )
+        target = f"{path}?{query}" if query else path
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                (
+                    f"GET {target} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await writer.drain()
+            raw = await reader.read(-1)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        status = int(status_line.split(" ", 2)[1])
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except json.JSONDecodeError:
+            payload = {"raw": body.decode("utf-8", "replace")}
+        return ClientResponse(status=status, headers=headers, body=payload)
+
+    async def get_with_retry(
+        self, path: str, params: dict | None = None
+    ) -> ClientResponse:
+        """GET with the jittered-backoff retry policy."""
+        return await retry_with_backoff(
+            lambda: self.get(path, params),
+            attempts=self.attempts,
+            base_delay=self.base_delay,
+            max_delay=self.max_delay,
+            rng=self.rng,
+        )
+
+    # ------------------------------------------------------------------
+    # endpoint conveniences
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        column: str,
+        low,
+        high,
+        *,
+        mode: str | None = None,
+        limit: int | None = None,
+        timeout_ms: float | None = None,
+        retry: bool = True,
+    ) -> ClientResponse:
+        params = {
+            "column": column, "low": low, "high": high,
+            "mode": mode, "limit": limit, "timeout_ms": timeout_ms,
+        }
+        getter = self.get_with_retry if retry else self.get
+        return await getter("/query", params)
+
+    async def aggregate(
+        self, column: str, low, high, op: str, *,
+        timeout_ms: float | None = None, retry: bool = True,
+    ) -> ClientResponse:
+        params = {
+            "column": column, "low": low, "high": high, "op": op,
+            "timeout_ms": timeout_ms,
+        }
+        getter = self.get_with_retry if retry else self.get
+        return await getter("/aggregate", params)
+
+    async def page(
+        self, column: str, low, high, *,
+        limit: int, cursor: str | None = None,
+        timeout_ms: float | None = None, retry: bool = True,
+    ) -> ClientResponse:
+        params = {
+            "column": column, "low": low, "high": high,
+            "limit": limit, "cursor": cursor, "timeout_ms": timeout_ms,
+        }
+        getter = self.get_with_retry if retry else self.get
+        return await getter("/page", params)
+
+    async def healthz(self) -> ClientResponse:
+        return await self.get("/healthz")
+
+    async def stats(self) -> ClientResponse:
+        return await self.get("/stats")

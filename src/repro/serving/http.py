@@ -1,0 +1,366 @@
+"""The HTTP front end — stdlib ``asyncio`` only, no framework.
+
+A deliberately small HTTP/1.1 server exposing the
+:class:`~repro.serving.service.ImprintService` endpoints:
+
+====================  =====================================================
+``GET /query``        ``column``, ``low``, ``high`` (+ ``mode``, ``limit``,
+                      ``timeout_ms``) — range query, degradable
+``GET /aggregate``    ``column``, ``low``, ``high``, ``op`` — scalar pushdown
+``GET /page``         ``column``, ``low``, ``high``, ``limit``
+                      (+ ``cursor``, ``timeout_ms``) — cursor paging
+``GET /healthz``      liveness + pressure (never admission-controlled)
+``GET /stats``        service / admission / engine / cache counters
+====================  =====================================================
+
+Error mapping (the contract ``docs/SERVING.md`` documents)::
+
+    AdmissionRejected   -> 429  + Retry-After header
+    DeadlineExceeded    -> 504
+    StaleCursorError    -> 410
+    ExecutorClosedError -> 503
+    unknown column      -> 404
+    bad parameters      -> 400
+    anything else       -> 500
+
+Responses are JSON.  Request lines, headers and bodies are
+size-capped; a malformed or oversized request gets a 400 and the
+connection is closed — a network-facing parser must never allocate
+proportionally to hostile input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+
+from ..errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ExecutorClosedError,
+    StaleCursorError,
+)
+from .service import ImprintService
+
+__all__ = ["ServingHTTPServer", "status_for_exception", "error_body"]
+
+#: Upper bound on the request head (request line + headers).
+MAX_HEAD_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def status_for_exception(exc: BaseException) -> int:
+    """The HTTP status one of the service's failures maps to."""
+    if isinstance(exc, AdmissionRejected):
+        return 429
+    if isinstance(exc, DeadlineExceeded):
+        return 504
+    if isinstance(exc, StaleCursorError):
+        return 410
+    if isinstance(exc, ExecutorClosedError):
+        return 503
+    if isinstance(exc, KeyError):
+        return 404
+    if isinstance(exc, (ValueError, TypeError)):
+        return 400
+    return 500
+
+
+def error_body(exc: BaseException, status: int) -> dict:
+    """The JSON body describing a failed request."""
+    body = {
+        "error": type(exc).__name__,
+        "status": status,
+        "detail": str(exc),
+    }
+    if isinstance(exc, AdmissionRejected):
+        body["retry_after"] = exc.retry_after
+    return body
+
+
+class ServingHTTPServer:
+    """One listening socket serving one :class:`ImprintService`."""
+
+    def __init__(
+        self,
+        service: ImprintService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServingHTTPServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # port 0 means "pick one" — record what the kernel chose.
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def __aenter__(self) -> "ServingHTTPServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # the connection loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError:
+                    return  # client closed between requests
+                except asyncio.LimitOverrunError:
+                    await self._respond(
+                        writer, 400,
+                        {"error": "RequestTooLarge", "status": 400,
+                         "detail": "request head exceeds limit"},
+                        close=True,
+                    )
+                    return
+                if len(head) > MAX_HEAD_BYTES:
+                    await self._respond(
+                        writer, 400,
+                        {"error": "RequestTooLarge", "status": 400,
+                         "detail": "request head exceeds limit"},
+                        close=True,
+                    )
+                    return
+                keep_alive = await self._handle_request(head, reader, writer)
+                if not keep_alive:
+                    return
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):
+            # Client went away (or the server is shutting down) —
+            # admission slots are released by the service's own
+            # try/finally, so a disconnect can never leak capacity.
+            raise
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(self, head, reader, writer) -> bool:
+        try:
+            request_line, *header_lines = (
+                head.decode("latin-1").split("\r\n")
+            )
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            await self._respond(
+                writer, 400,
+                {"error": "MalformedRequest", "status": 400,
+                 "detail": "unparseable request line"},
+                close=True,
+            )
+            return False
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        # Drain (and ignore) any body so keep-alive framing survives.
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            if length > MAX_HEAD_BYTES:
+                await self._respond(
+                    writer, 400,
+                    {"error": "RequestTooLarge", "status": 400,
+                     "detail": "request body exceeds limit"},
+                    close=True,
+                )
+                return False
+            await reader.readexactly(length)
+        keep_alive = headers.get("connection", "").lower() != "close"
+
+        if method != "GET":
+            await self._respond(
+                writer, 405,
+                {"error": "MethodNotAllowed", "status": 405,
+                 "detail": f"{method} not supported"},
+                close=not keep_alive,
+            )
+            return keep_alive
+
+        parsed = urllib.parse.urlsplit(target)
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        status, payload, extra_headers = await self._dispatch(
+            parsed.path, params
+        )
+        await self._respond(
+            writer, status, payload,
+            close=not keep_alive, extra_headers=extra_headers,
+        )
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, path: str, params: dict[str, str]
+    ) -> tuple[int, dict, dict]:
+        try:
+            if path == "/healthz":
+                return 200, self.service.healthz(), {}
+            if path == "/stats":
+                return 200, self.service.stats_payload(), {}
+            if path == "/query":
+                payload = await self.service.query(
+                    _required(params, "column"),
+                    _number(params, "low"),
+                    _number(params, "high"),
+                    mode=params.get("mode", "auto"),
+                    limit=_optional_int(params, "limit"),
+                    timeout=_timeout(params),
+                )
+                return 200, payload, {}
+            if path == "/aggregate":
+                payload = await self.service.aggregate(
+                    _required(params, "column"),
+                    _number(params, "low"),
+                    _number(params, "high"),
+                    _required(params, "op").lower(),
+                    timeout=_timeout(params),
+                )
+                return 200, payload, {}
+            if path == "/page":
+                payload = await self.service.page(
+                    _required(params, "column"),
+                    _number(params, "low"),
+                    _number(params, "high"),
+                    limit=_optional_int(params, "limit") or 100,
+                    cursor=params.get("cursor"),
+                    timeout=_timeout(params),
+                )
+                return 200, payload, {}
+            return 404, {
+                "error": "NotFound", "status": 404,
+                "detail": f"no route {path!r}",
+            }, {}
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - becomes the response
+            status = status_for_exception(exc)
+            extra = {}
+            if isinstance(exc, AdmissionRejected):
+                extra["Retry-After"] = f"{exc.retry_after:.3f}"
+            return status, error_body(exc, status), extra
+
+    # ------------------------------------------------------------------
+    # response writing
+    # ------------------------------------------------------------------
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        close: bool,
+        extra_headers: dict | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for key, value in (extra_headers or {}).items():
+            headers.append(f"{key}: {value}")
+        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# parameter parsing (400 on anything malformed)
+# ----------------------------------------------------------------------
+def _required(params: dict[str, str], name: str) -> str:
+    try:
+        return params[name]
+    except KeyError:
+        raise ValueError(f"missing required parameter {name!r}") from None
+
+
+def _number(params: dict[str, str], name: str):
+    raw = _required(params, name)
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValueError(
+                f"parameter {name!r} must be a number, got {raw!r}"
+            ) from None
+
+
+def _optional_int(params: dict[str, str], name: str) -> int | None:
+    raw = params.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _timeout(params: dict[str, str]) -> float | None:
+    raw = params.get("timeout_ms")
+    if raw is None:
+        return None
+    try:
+        return float(raw) / 1000.0
+    except ValueError:
+        raise ValueError(
+            f"parameter 'timeout_ms' must be a number, got {raw!r}"
+        ) from None

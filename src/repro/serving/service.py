@@ -1,0 +1,499 @@
+"""The asyncio serving facade over :class:`~repro.engine.executor.QueryExecutor`.
+
+:class:`ImprintService` is the layer between the network front end
+(:mod:`repro.serving.http`) and the threaded execution engine.  It owns
+the three robustness behaviours the engine itself deliberately does not:
+
+* **admission control** — every request takes a slot from a bounded
+  :class:`~repro.serving.admission.AdmissionController` before any
+  engine work is scheduled; over-capacity traffic is fast-rejected
+  (:class:`~repro.errors.AdmissionRejected` → HTTP 429) instead of
+  queueing unboundedly;
+* **deadline propagation** — each request carries an absolute
+  ``time.monotonic()`` deadline derived from its budget; the same
+  deadline is threaded into the executor (which abandons expired
+  entries before evaluating them) *and* bounds the await on this side,
+  so an expired request returns :class:`~repro.errors.DeadlineExceeded`
+  (→ 504) without leaking scheduler state — the engine-side future is
+  cancelled or answered-and-dropped, never dangled;
+* **graceful degradation** — when the wait queue fills past
+  ``degrade_at``, ``mode="auto"`` queries stop materialising full id
+  lists and answer with the count plus the first page and a resume
+  cursor; past ``shed_at`` they answer count-only.  Clients that asked
+  for ``mode="full"`` explicitly still get full answers (they opted out
+  of degradation), but the response always says how it was served.
+
+The executor's ``concurrent.futures`` futures bridge into awaitables
+via :func:`asyncio.wrap_future`; blocking engine calls with no future
+form (:meth:`~repro.engine.executor.QueryExecutor.aggregate`) run on a
+worker thread via :func:`asyncio.to_thread`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from ..errors import (
+    DeadlineExceeded,
+    ExecutorClosedError,
+)
+from ..engine.executor import QueryExecutor
+from .admission import AdmissionController
+
+__all__ = ["ServingConfig", "ServingStats", "ImprintService"]
+
+#: ``mode=`` values :meth:`ImprintService.query` accepts.
+QUERY_MODES = ("auto", "full", "count", "page")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Operating envelope of one :class:`ImprintService`.
+
+    Attributes
+    ----------
+    max_inflight / max_waiting:
+        The admission bounds: concurrent requests executing, further
+        requests queued.  Everything beyond is fast-rejected with 429.
+    default_timeout / max_timeout:
+        Per-request budget in seconds when the client names none, and
+        the cap a client-supplied budget is clamped to.
+    degrade_at / shed_at:
+        Wait-queue occupancy fractions at which ``auto`` queries
+        degrade to first-page-plus-cursor, respectively to count-only.
+    degraded_page_limit:
+        Ids served in the first page of a degraded answer.
+    max_page_limit:
+        Cap on client-requested page sizes (``/query`` and ``/page``).
+    retry_after:
+        The back-off hint (seconds) sent with fast rejections.
+    """
+
+    max_inflight: int = 8
+    max_waiting: int = 32
+    default_timeout: float = 1.0
+    max_timeout: float = 30.0
+    degrade_at: float = 0.5
+    shed_at: float = 0.9
+    degraded_page_limit: int = 100
+    max_page_limit: int = 10_000
+    retry_after: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.degrade_at <= self.shed_at <= 1.0:
+            raise ValueError(
+                f"need 0 <= degrade_at <= shed_at <= 1, got "
+                f"{self.degrade_at} / {self.shed_at}"
+            )
+        if self.default_timeout <= 0 or self.max_timeout <= 0:
+            raise ValueError("timeouts must be > 0")
+        if self.degraded_page_limit < 1 or self.max_page_limit < 1:
+            raise ValueError("page limits must be >= 1")
+
+
+@dataclass
+class ServingStats:
+    """Request-outcome counters (the service-level accounting).
+
+    ``served + rejected + timed_out + failed`` equals the number of
+    requests that entered :meth:`ImprintService.query` /
+    :meth:`aggregate` / :meth:`page` and have finished — the identity
+    the load bench and the regression gate check.  ``degraded`` and
+    ``shed`` sub-count ``served`` (how many answers were downgraded),
+    ``stale_cursors`` sub-counts ``failed``.
+    """
+
+    requests: int = 0
+    served: int = 0
+    degraded: int = 0
+    shed: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    stale_cursors: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "served": self.served,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "failed": self.failed,
+            "stale_cursors": self.stale_cursors,
+            "cancelled": self.cancelled,
+        }
+
+
+class ImprintService:
+    """Admission-controlled async facade over a :class:`QueryExecutor`.
+
+    One instance serves one executor (one set of registered columns)
+    from one event loop.  All methods are coroutine-safe with respect
+    to each other; none may be called from a different loop.
+    """
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        config: ServingConfig | None = None,
+    ) -> None:
+        self.executor = executor
+        self.config = config or ServingConfig()
+        self.admission = AdmissionController(
+            self.config.max_inflight,
+            self.config.max_waiting,
+            retry_after=self.config.retry_after,
+        )
+        self.stats = ServingStats()
+        self.started_at = time.monotonic()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # deadlines and degradation
+    # ------------------------------------------------------------------
+    def deadline_for(self, timeout: float | None) -> float:
+        """Absolute monotonic deadline for a request budget in seconds."""
+        budget = (
+            self.config.default_timeout
+            if timeout is None
+            else min(float(timeout), self.config.max_timeout)
+        )
+        if budget <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        return time.monotonic() + budget
+
+    @property
+    def degradation_level(self) -> str:
+        """``"ok"`` / ``"degraded"`` / ``"shedding"`` from queue pressure."""
+        pressure = self.admission.snapshot().pressure
+        if pressure >= self.config.shed_at:
+            return "shedding"
+        if pressure >= self.config.degrade_at:
+            return "degraded"
+        return "ok"
+
+    async def _await_result(self, future, deadline: float):
+        """Await an executor future within the deadline.
+
+        On expiry the wrapped future is cancelled: if the engine entry
+        has not been dispatched yet it dies with the cancellation (and
+        the executor skips it at batch time thanks to the propagated
+        deadline); if it is mid-evaluation the engine's delivery loop
+        skips the dead future — either way no scheduler state leaks.
+        """
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded("request budget exhausted")
+        try:
+            return await asyncio.wait_for(
+                asyncio.wrap_future(future), remaining
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(
+                "request budget exhausted awaiting the engine"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # request bookkeeping
+    # ------------------------------------------------------------------
+    def _enter(self) -> None:
+        if self._closed:
+            raise ExecutorClosedError("service is shutting down")
+        self.stats.requests += 1
+
+    def _record_outcome(self, exc: BaseException | None) -> None:
+        from ..errors import AdmissionRejected, StaleCursorError
+
+        if exc is None:
+            self.stats.served += 1
+        elif isinstance(exc, AdmissionRejected):
+            self.stats.rejected += 1
+        elif isinstance(exc, DeadlineExceeded):
+            self.stats.timed_out += 1
+        elif isinstance(exc, asyncio.CancelledError):
+            self.stats.cancelled += 1
+        else:
+            self.stats.failed += 1
+            if isinstance(exc, StaleCursorError):
+                self.stats.stale_cursors += 1
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        column: str,
+        low,
+        high,
+        *,
+        mode: str = "auto",
+        limit: int | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Answer a range query, degrading the representation under load.
+
+        ``mode``:
+
+        * ``"auto"`` — full ids when healthy; first page + cursor when
+          degraded; count-only when shedding;
+        * ``"full"`` — always the full id list (opts out of degradation);
+        * ``"count"`` — count only (never materialises ids);
+        * ``"page"`` — first ``limit`` ids plus a resume cursor.
+        """
+        if mode not in QUERY_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {QUERY_MODES}"
+            )
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        limit = min(
+            limit or self.config.degraded_page_limit, self.config.max_page_limit
+        )
+        self._enter()
+        deadline = self.deadline_for(timeout)
+        exc: BaseException | None = None
+        try:
+            await self.admission.acquire(deadline)
+            try:
+                level = self.degradation_level if mode == "auto" else "ok"
+                predicate = self.executor.predicate(column, low, high)
+                if mode == "count" or (mode == "auto" and level == "shedding"):
+                    count = await asyncio.wait_for(
+                        asyncio.to_thread(
+                            self.executor.aggregate, column, predicate, "count"
+                        ),
+                        max(deadline - time.monotonic(), 0.001),
+                    )
+                    body = {"count": int(count), "ids": None, "cursor": None}
+                    served_as = "count"
+                elif mode == "page" or (mode == "auto" and level == "degraded"):
+                    future = self.executor.submit(
+                        column, predicate, deadline=deadline
+                    )
+                    result = await self._await_result(future, deadline)
+                    # count() and the first page are both O(limit +
+                    # ranges) on the compressed answer — the degraded
+                    # response never pays O(ids).
+                    ids, cursor = result.page(limit)
+                    body = {
+                        "count": int(result.count()),
+                        "ids": [int(i) for i in ids],
+                        "cursor": None if cursor is None else cursor.encode(),
+                    }
+                    served_as = "page"
+                else:
+                    future = self.executor.submit(
+                        column, predicate, deadline=deadline
+                    )
+                    result = await self._await_result(future, deadline)
+                    body = {
+                        "count": int(result.count()),
+                        "ids": [int(i) for i in result.ids],
+                        "cursor": None,
+                    }
+                    served_as = "full"
+                if mode == "auto" and served_as == "page":
+                    self.stats.degraded += 1
+                if mode == "auto" and served_as == "count":
+                    self.stats.shed += 1
+                return {
+                    "column": column,
+                    "low": low,
+                    "high": high,
+                    "mode": mode,
+                    "served_as": served_as,
+                    "degraded": mode == "auto" and served_as != "full",
+                    **body,
+                }
+            finally:
+                self.admission.release()
+        except asyncio.TimeoutError as timeout_exc:
+            exc = DeadlineExceeded("request budget exhausted")
+            raise exc from timeout_exc
+        except BaseException as raised:
+            exc = raised
+            raise
+        finally:
+            self._record_outcome(exc)
+
+    async def aggregate(
+        self,
+        column: str,
+        low,
+        high,
+        op: str,
+        *,
+        timeout: float | None = None,
+    ) -> dict:
+        """``COUNT``/``SUM``/``MIN``/``MAX`` of a range predicate."""
+        self._enter()
+        deadline = self.deadline_for(timeout)
+        exc: BaseException | None = None
+        try:
+            await self.admission.acquire(deadline)
+            try:
+                predicate = self.executor.predicate(column, low, high)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded("request budget exhausted")
+                value = await asyncio.wait_for(
+                    asyncio.to_thread(
+                        self.executor.aggregate, column, predicate, op
+                    ),
+                    remaining,
+                )
+                if value is not None:
+                    value = float(value) if isinstance(value, float) else int(value)
+                return {
+                    "column": column,
+                    "low": low,
+                    "high": high,
+                    "op": op,
+                    "value": value,
+                }
+            finally:
+                self.admission.release()
+        except asyncio.TimeoutError as timeout_exc:
+            exc = DeadlineExceeded("request budget exhausted")
+            raise exc from timeout_exc
+        except BaseException as raised:
+            exc = raised
+            raise
+        finally:
+            self._record_outcome(exc)
+
+    async def page(
+        self,
+        column: str,
+        low,
+        high,
+        *,
+        limit: int,
+        cursor: str | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """One page of a query answer; resumes from ``cursor``.
+
+        A cursor issued before an index mutation raises
+        :class:`~repro.errors.StaleCursorError` (HTTP 410): the client
+        must re-query, because continuing would stitch two snapshots.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        limit = min(limit, self.config.max_page_limit)
+        self._enter()
+        deadline = self.deadline_for(timeout)
+        exc: BaseException | None = None
+        try:
+            await self.admission.acquire(deadline)
+            try:
+                predicate = self.executor.predicate(column, low, high)
+                future = self.executor.submit_paged(
+                    column, predicate, limit, cursor, deadline=deadline
+                )
+                ids, next_cursor = await self._await_result(future, deadline)
+                return {
+                    "column": column,
+                    "low": low,
+                    "high": high,
+                    "ids": [int(i) for i in ids],
+                    "cursor": (
+                        None if next_cursor is None else next_cursor.encode()
+                    ),
+                    "exhausted": next_cursor is None,
+                }
+            finally:
+                self.admission.release()
+        except BaseException as raised:
+            exc = raised
+            raise
+        finally:
+            self._record_outcome(exc)
+
+    # ------------------------------------------------------------------
+    # health and introspection (never admission-controlled: these must
+    # answer precisely when the service is saturated)
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness + pressure.  Degrades, saturates, never blocks."""
+        snap = self.admission.snapshot()
+        if self._closed:
+            status = "closing"
+        elif snap.waiting >= snap.max_waiting:
+            status = "saturated"
+        elif self.degradation_level != "ok":
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "degradation": self.degradation_level,
+            "inflight": snap.inflight,
+            "waiting": snap.waiting,
+            "max_inflight": snap.max_inflight,
+            "max_waiting": snap.max_waiting,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "columns": self.executor.column_names,
+        }
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` body: service, admission, engine, cache."""
+        snap = self.admission.snapshot()
+        engine = self.executor.stats
+        cache = self.executor.cache
+        return {
+            "service": self.stats.as_dict(),
+            "admission": {
+                "inflight": snap.inflight,
+                "waiting": snap.waiting,
+                "admitted": snap.admitted,
+                "rejected": snap.rejected,
+                "timed_out": snap.timed_out,
+                "cancelled": snap.cancelled,
+                "released": snap.released,
+                "peak_waiting": snap.peak_waiting,
+            },
+            "engine": {
+                "submitted": engine.submitted,
+                "coalesced": engine.coalesced,
+                "cache_hits": engine.cache_hits,
+                "cache_misses": engine.cache_misses,
+                "batches": engine.batches,
+                "batched_queries": engine.batched_queries,
+                "expired": engine.expired,
+            },
+            "cache": {
+                "entries": len(cache),
+                "bytes": cache.bytes,
+                "hits": cache.hits,
+                "misses": cache.misses,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Refuse new work, fail queued waiters, close the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        self.admission.drain_waiters(
+            ExecutorClosedError("service shut down while queued")
+        )
+        await asyncio.to_thread(self.executor.close, drain=drain)
+
+    async def __aenter__(self) -> "ImprintService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import json
 import pathlib
+import zlib
 
 import numpy as np
 
+from ..errors import CorruptColumnError
 from .column import Column
 from .dictionary_encoding import StringDictionary
 from .types import type_by_name
@@ -35,6 +37,18 @@ from .types import type_by_name
 __all__ = ["ColumnStore"]
 
 _CATALOG = "_catalog.json"
+
+#: Read granularity for checksum verification (covers mmap loads too
+#: without pulling the whole file into one allocation).
+_CRC_CHUNK = 4 << 20
+
+
+def _crc32_of(path: pathlib.Path) -> int:
+    crc = 0
+    with path.open("rb") as handle:
+        while chunk := handle.read(_CRC_CHUNK):
+            crc = zlib.crc32(chunk, crc)
+    return crc
 
 
 class ColumnStore:
@@ -91,7 +105,8 @@ class ColumnStore:
         little = column.values.astype(
             column.values.dtype.newbyteorder("<"), copy=False
         )
-        data_path.write_bytes(little.tobytes())
+        payload = little.tobytes()
+        data_path.write_bytes(payload)
         if dictionary is not None:
             (directory / f"{name}.dict").write_text(
                 "\n".join(dictionary.strings)
@@ -106,6 +121,11 @@ class ColumnStore:
             "rows": len(column),
             "cacheline_bytes": column.geometry.cacheline_bytes,
             "has_dictionary": dictionary is not None,
+            # Integrity record: length + CRC of the exact bytes written,
+            # verified on every read so storage rot surfaces as
+            # CorruptColumnError instead of silently garbled arrays.
+            "nbytes": len(payload),
+            "crc32": zlib.crc32(payload),
         }
         self._save_catalog(table, catalog)
         return data_path
@@ -118,8 +138,17 @@ class ColumnStore:
         table: str,
         name: str,
         mmap: bool = False,
+        verify: bool = True,
     ) -> tuple[Column, StringDictionary | None]:
-        """Load one column, copied or memory-mapped read-only."""
+        """Load one column, copied or memory-mapped read-only.
+
+        ``verify=True`` (default) checks the file against the length
+        and CRC the catalog recorded at write time and raises
+        :class:`~repro.errors.CorruptColumnError` naming the offending
+        path on any mismatch — truncation, bit-flips, or a partially
+        overwritten file.  Catalogs written before checksums existed
+        (no ``crc32`` entry) get the length check only.
+        """
         catalog = self._load_catalog(table)
         try:
             meta = catalog["columns"][name]
@@ -130,13 +159,27 @@ class ColumnStore:
             ) from None
         ctype = type_by_name(meta["type"])
         path = self._table_dir(table) / f"{name}.bin"
+        if not path.exists():
+            raise CorruptColumnError(
+                path, "catalog lists the column but its data file is missing"
+            )
         expected = meta["rows"] * ctype.itemsize
         actual = path.stat().st_size
         if actual != expected:
-            raise ValueError(
-                f"{path} holds {actual} bytes but the catalog expects "
-                f"{expected} ({meta['rows']} x {ctype.itemsize})"
+            raise CorruptColumnError(
+                path,
+                f"holds {actual} bytes but the catalog expects "
+                f"{expected} ({meta['rows']} x {ctype.itemsize})",
             )
+        if verify and "crc32" in meta:
+            crc = _crc32_of(path)
+            if crc != meta["crc32"]:
+                raise CorruptColumnError(
+                    path,
+                    f"checksum mismatch: file crc32={crc:#010x}, catalog "
+                    f"recorded {meta['crc32']:#010x} — the stored bytes "
+                    f"changed since write_column",
+                )
         dtype = np.dtype(ctype.dtype).newbyteorder("<")
         if mmap:
             values = np.memmap(path, dtype=dtype, mode="r")
@@ -163,17 +206,46 @@ class ColumnStore:
         """Persist an imprint index next to its column."""
         from ..core.serialize import dump_imprints
 
-        if name not in self._load_catalog(table)["columns"]:
+        catalog = self._load_catalog(table)
+        if name not in catalog["columns"]:
             raise KeyError(f"table {table!r} has no column {name!r}")
         path = self._table_dir(table) / f"{name}.imprints"
-        path.write_bytes(dump_imprints(data))
+        payload = dump_imprints(data)
+        path.write_bytes(payload)
+        catalog["columns"][name]["imprints_nbytes"] = len(payload)
+        catalog["columns"][name]["imprints_crc32"] = zlib.crc32(payload)
+        self._save_catalog(table, catalog)
         return path
 
-    def read_imprints(self, table: str, name: str):
-        """Load a previously persisted imprint index."""
+    def read_imprints(self, table: str, name: str, verify: bool = True):
+        """Load a previously persisted imprint index.
+
+        Like :meth:`read_column`, the payload is checked against the
+        length and CRC recorded at write time before it is parsed — a
+        corrupt index file raises
+        :class:`~repro.errors.CorruptColumnError` up front instead of a
+        confusing deserialisation error (or, worse, a structurally
+        valid index over garbled vectors answering queries wrongly).
+        """
         from ..core.serialize import load_imprints
 
         path = self._table_dir(table) / f"{name}.imprints"
         if not path.exists():
             raise KeyError(f"no persisted imprints for {table}.{name}")
-        return load_imprints(path.read_bytes())
+        payload = path.read_bytes()
+        meta = self._load_catalog(table).get("columns", {}).get(name, {})
+        if verify and "imprints_crc32" in meta:
+            if len(payload) != meta.get("imprints_nbytes"):
+                raise CorruptColumnError(
+                    path,
+                    f"holds {len(payload)} bytes but the catalog expects "
+                    f"{meta.get('imprints_nbytes')}",
+                )
+            crc = zlib.crc32(payload)
+            if crc != meta["imprints_crc32"]:
+                raise CorruptColumnError(
+                    path,
+                    f"checksum mismatch: file crc32={crc:#010x}, catalog "
+                    f"recorded {meta['imprints_crc32']:#010x}",
+                )
+        return load_imprints(payload)

@@ -217,3 +217,140 @@ class TestParallelConjunctive:
         predicate = RangePredicate.range(0, 50_000, INT)
         with pytest.raises(ValueError, match="one precomputed candidate"):
             conjunctive_query([index], [predicate], candidates=[])
+
+
+# ----------------------------------------------------------------------
+# lifecycle: close() semantics and the typed closed error
+# ----------------------------------------------------------------------
+class TestCloseLifecycle:
+    def test_submit_after_close_raises_the_typed_error(self, column):
+        from repro.errors import ExecutorClosedError
+
+        executor = QueryExecutor({"c": ColumnImprints(column)})
+        executor.close()
+        with pytest.raises(ExecutorClosedError):
+            executor.submit("c", RangePredicate.range(0, 10, INT))
+        # and the typed error still satisfies pre-hierarchy catchers
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.submit("c", RangePredicate.range(0, 10, INT))
+
+    def test_close_is_idempotent(self, column):
+        executor = QueryExecutor({"c": ColumnImprints(column)})
+        executor.close()
+        executor.close()
+        executor.close(drain=False)  # any flavour of re-close is a no-op
+
+    def test_close_with_drain_answers_pending_futures(self, column):
+        oracle = ColumnImprints(column)
+        executor = QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=60.0, max_batch=10_000
+        )
+        predicate = RangePredicate.range(0, 8_000, INT)
+        future = executor.submit("c", predicate)
+        assert not future.done()
+        executor.close(drain=True)
+        assert_identical(oracle.query(predicate), future.result(timeout=5))
+
+    def test_close_without_drain_fails_pending_futures(self, column):
+        from repro.errors import ExecutorClosedError
+
+        executor = QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=60.0, max_batch=10_000
+        )
+        futures = [
+            executor.submit("c", RangePredicate.range(0, 5_000 + k, INT))
+            for k in range(4)
+        ]
+        executor.close(drain=False)
+        for future in futures:
+            with pytest.raises(ExecutorClosedError):
+                future.result(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# deadline propagation into the batch scheduler
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_already_expired_deadline_fails_at_submit(self, column):
+        import time
+
+        from repro.errors import DeadlineExceeded
+
+        with QueryExecutor({"c": ColumnImprints(column)}) as executor:
+            future = executor.submit(
+                "c",
+                RangePredicate.range(0, 10, INT),
+                deadline=time.monotonic() - 0.01,
+            )
+            assert future.done()
+            with pytest.raises(DeadlineExceeded):
+                future.result()
+            assert executor.stats.expired == 1
+
+    def test_deadline_expiring_while_coalesced_fails_only_that_waiter(
+        self, column
+    ):
+        import time
+
+        from repro.errors import DeadlineExceeded
+
+        oracle = ColumnImprints(column)
+        executor = QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=60.0, max_batch=10_000
+        )
+        try:
+            predicate = RangePredicate.range(0, 8_000, INT)
+            patient = executor.submit("c", predicate)
+            hurried = executor.submit(
+                "c", predicate, deadline=time.monotonic() + 0.01
+            )
+            time.sleep(0.05)  # let the hurried waiter's budget lapse
+            executor.flush()  # dispatch: both were coalesced in one batch
+            assert_identical(oracle.query(predicate), patient.result(timeout=5))
+            with pytest.raises(DeadlineExceeded):
+                hurried.result(timeout=5)
+            assert executor.stats.expired == 1
+        finally:
+            executor.close()
+
+    def test_batch_of_only_expired_waiters_skips_evaluation(self, column):
+        import time
+
+        from repro.errors import DeadlineExceeded
+
+        executor = QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=60.0, max_batch=10_000
+        )
+        try:
+            futures = [
+                executor.submit(
+                    "c",
+                    RangePredicate.range(0, 5_000 + k, INT),
+                    deadline=time.monotonic() + 0.01,
+                )
+                for k in range(3)
+            ]
+            time.sleep(0.05)
+            executor.flush()
+            for future in futures:
+                with pytest.raises(DeadlineExceeded):
+                    future.result(timeout=5)
+            assert executor.stats.expired == 3
+            # nothing was evaluated for the dead batch: no cache entry
+            assert executor.stats.batched_queries == 0
+        finally:
+            executor.close()
+
+    def test_live_deadline_still_gets_a_correct_answer(self, column):
+        import time
+
+        oracle = ColumnImprints(column)
+        with QueryExecutor(
+            {"c": ColumnImprints(column)}, batch_window=0.001
+        ) as executor:
+            predicate = RangePredicate.range(0, 9_000, INT)
+            future = executor.submit(
+                "c", predicate, deadline=time.monotonic() + 30.0
+            )
+            assert_identical(oracle.query(predicate), future.result(timeout=5))
+            assert executor.stats.expired == 0

@@ -1,0 +1,96 @@
+"""The shared exception hierarchy: one root, backward-compatible leaves.
+
+Every typed failure the system raises descends from
+:class:`repro.errors.ReproError`, so operators can catch "anything of
+ours" with one clause.  The leaves that predate the hierarchy keep
+their historical stdlib bases (``RuntimeError``, ``ValueError``,
+``TimeoutError``) so every ``except`` site written against the old
+types keeps working.
+"""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AdmissionRejected,
+    CorruptColumnError,
+    DeadlineExceeded,
+    ExecutorClosedError,
+    ReproError,
+    StaleCursorError,
+)
+
+
+class TestHierarchy:
+    def test_every_error_descends_from_the_root(self):
+        for leaf in (
+            StaleCursorError(1, 2),
+            ExecutorClosedError("closed"),
+            AdmissionRejected("full"),
+            DeadlineExceeded("late"),
+            CorruptColumnError("p.bin", "bad"),
+        ):
+            assert isinstance(leaf, ReproError)
+
+    def test_stale_cursor_is_still_a_runtime_error(self):
+        # pre-hierarchy callers wrote ``except RuntimeError``
+        with pytest.raises(RuntimeError):
+            raise StaleCursorError(3, 5)
+
+    def test_executor_closed_is_still_a_runtime_error(self):
+        with pytest.raises(RuntimeError, match="closed"):
+            raise ExecutorClosedError("executor is closed")
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        # so generic ``except TimeoutError`` timeout plumbing sees it
+        with pytest.raises(TimeoutError):
+            raise DeadlineExceeded("budget exhausted")
+
+    def test_corrupt_column_is_still_a_value_error(self):
+        with pytest.raises(ValueError):
+            raise CorruptColumnError("store/t/c.bin", "checksum mismatch")
+
+    def test_admission_rejected_is_ours_alone(self):
+        # new with the serving layer: no legacy base to honour
+        assert not isinstance(AdmissionRejected("full"), (RuntimeError, ValueError))
+
+
+class TestPayloads:
+    def test_stale_cursor_names_both_versions(self):
+        exc = StaleCursorError(3, 7)
+        assert exc.cursor_version == 3
+        assert exc.current_version == 7
+        assert "3" in str(exc) and "7" in str(exc)
+
+    def test_admission_rejected_carries_the_backoff_hint(self):
+        exc = AdmissionRejected("at capacity", retry_after=0.25)
+        assert exc.retry_after == 0.25
+        assert AdmissionRejected("at capacity").retry_after > 0
+
+    def test_corrupt_column_names_the_offending_path(self):
+        exc = CorruptColumnError("store/t/c.bin", "holds 12 bytes")
+        assert str(exc.path) == "store/t/c.bin"
+        assert exc.reason == "holds 12 bytes"
+        assert "store/t/c.bin" in str(exc)
+
+
+class TestReexports:
+    def test_package_root_reexports_the_hierarchy(self):
+        for name in (
+            "ReproError",
+            "StaleCursorError",
+            "ExecutorClosedError",
+            "AdmissionRejected",
+            "DeadlineExceeded",
+            "CorruptColumnError",
+        ):
+            assert getattr(repro, name) is getattr(
+                __import__("repro.errors", fromlist=[name]), name
+            )
+
+    def test_cursor_module_reexport_is_the_same_class(self):
+        # the class moved from core.cursor to errors; both names must
+        # refer to the one type or except-clauses would silently miss
+        from repro.core.cursor import StaleCursorError as moved
+
+        assert moved is StaleCursorError
