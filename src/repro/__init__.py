@@ -38,6 +38,7 @@ from .errors import (
     CorruptColumnError,
     DeadlineExceeded,
     ExecutorClosedError,
+    QuarantinedColumnError,
     ReproError,
     StaleCursorError,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "AdmissionRejected",
     "DeadlineExceeded",
     "CorruptColumnError",
+    "QuarantinedColumnError",
     "ColumnImprints",
     "Histogram",
     "ImprintsBuilder",

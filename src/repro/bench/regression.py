@@ -37,7 +37,8 @@ Usage (what CI runs after the full-size bench)::
 
     python -m repro.bench.regression FRESH.json --baseline BASELINE.json \
         --materialization MAT.json --materialization-baseline MAT_BASE.json \
-        --streaming STREAM.json --streaming-baseline STREAM_BASE.json
+        --streaming STREAM.json --streaming-baseline STREAM_BASE.json \
+        --durability DUR.json --durability-baseline DUR_BASE.json
 
 Exit status 0 means no regression; 1 lists the failures.
 """
@@ -57,6 +58,7 @@ __all__ = [
     "check_materialization_regression",
     "check_streaming_regression",
     "check_serving_regression",
+    "check_durability_regression",
     "main",
 ]
 
@@ -370,6 +372,89 @@ def check_serving_regression(
     return failures
 
 
+#: Config keys that must agree for durability ratios to compare.
+_DURABILITY_COMPARABLE_KEYS = ("n_rows", "n_mutations", "smoke")
+
+#: Headline ratios the durability gate tracks against a baseline, with
+#: the direction a regression moves each one: overhead ratios grow,
+#: speedups shrink.
+_DURABILITY_CEILING_KEYS = ("wal_overhead_ratio",)
+_DURABILITY_FLOOR_KEYS = ("group_commit_speedup",)
+
+
+def _durability_comparable(fresh: dict, baseline: dict) -> bool:
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _DURABILITY_COMPARABLE_KEYS
+    )
+
+
+def check_durability_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh ``BENCH_durability.json``; returns failures.
+
+    The hard invariant is correctness: the run must have verified every
+    recovered logical column **bit-identical** to the NumPy oracle —
+    overall and at every point on the recovery curve.  A fast recovery
+    of the wrong state gates immediately, no tolerance.
+
+    The soft invariants are the within-run cost ratios (wall-clock is
+    machine-specific; ratios between two phases of the same run are the
+    portable part), compared against a same-shape baseline on full-size
+    runs: the WAL-vs-memory overhead ratio must not grow more than the
+    tolerance, and the group-commit speedup over fsync-per-mutation
+    must not shrink more than it.  Smoke workloads fsync a few hundred
+    times in a few milliseconds, where filesystem jitter swamps any
+    tolerance — they check the hard invariant only.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+    if not fresh.get("verified_bit_identical"):
+        failures.append(
+            "durability run did not verify recovered state bit-identical "
+            "to the oracle"
+        )
+    for point in fresh.get("recovery", []):
+        if not point.get("bit_identical"):
+            failures.append(
+                f"recovery at log fraction {point.get('log_fraction')} was "
+                f"not bit-identical to the oracle"
+            )
+    smoke = fresh.get("config", {}).get("smoke")
+    if (
+        baseline is not None
+        and not smoke
+        and _durability_comparable(fresh, baseline)
+    ):
+        headline = fresh.get("headline", {})
+        base_headline = baseline.get("headline", {})
+        for key in _DURABILITY_CEILING_KEYS:
+            ceiling = base_headline.get(key, float("inf")) * (1.0 + tolerance)
+            got = headline.get(key, 0.0)
+            if got > ceiling:
+                failures.append(
+                    f"durability {key} grew: {got:.2f}x > {ceiling:.2f}x "
+                    f"(baseline {base_headline.get(key, 0.0):.2f}x + "
+                    f"{tolerance:.0%})"
+                )
+        for key in _DURABILITY_FLOOR_KEYS:
+            floor = base_headline.get(key, 0.0) * (1.0 - tolerance)
+            got = headline.get(key, 0.0)
+            if got < floor:
+                failures.append(
+                    f"durability {key} regressed: {got:.2f}x < {floor:.2f}x "
+                    f"(baseline {base_headline.get(key, 0.0):.2f}x - "
+                    f"{tolerance:.0%})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.regression", description=__doc__
@@ -409,6 +494,16 @@ def main(argv: list[str] | None = None) -> int:
         "--serving-baseline",
         default=None,
         help="committed baseline BENCH_serving.json (optional)",
+    )
+    parser.add_argument(
+        "--durability",
+        default=None,
+        help="fresh BENCH_durability.json to gate as well (optional)",
+    )
+    parser.add_argument(
+        "--durability-baseline",
+        default=None,
+        help="committed baseline BENCH_durability.json (optional)",
     )
     parser.add_argument(
         "--tolerance",
@@ -489,6 +584,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    if args.durability:
+        durability_fresh = load_result(args.durability)
+        durability_baseline = (
+            load_result(args.durability_baseline)
+            if args.durability_baseline
+            else None
+        )
+        if durability_baseline is not None and not _durability_comparable(
+            durability_fresh, durability_baseline
+        ):
+            print(
+                "note: durability baseline config differs; ratio "
+                "comparison skipped, bit-identical invariant still gates"
+            )
+        failures.extend(
+            check_durability_regression(
+                durability_fresh, durability_baseline,
+                tolerance=args.tolerance,
+            )
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -502,6 +618,7 @@ def main(argv: list[str] | None = None) -> int:
         + ("; materialisation gate passed" if args.materialization else "")
         + ("; streaming gate passed" if args.streaming else "")
         + ("; serving gate passed" if args.serving else "")
+        + ("; durability gate passed" if args.durability else "")
     )
     return 0
 

@@ -54,6 +54,11 @@ class DeltaAwareImprints(SecondaryIndex):
         self.base_index = ColumnImprints(column, **imprints_kwargs)
         self.delta = DeltaColumn(column)
         self.consolidations = 0
+        # Version counter for cursor/cache invalidation: every mutation
+        # and every consolidation bumps it, and recovery advances it by
+        # a whole epoch, so a page cursor can never silently span two
+        # logical states of the column (see StaleCursorError).
+        self.version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -74,14 +79,17 @@ class DeltaAwareImprints(SecondaryIndex):
     # ------------------------------------------------------------------
     def append(self, values) -> None:
         self.delta.append(values)
+        self.version += 1
         self._maybe_consolidate()
 
     def update(self, value_id: int, value) -> None:
         self.delta.update(value_id, value)
+        self.version += 1
         self._maybe_consolidate()
 
     def delete(self, value_id: int) -> None:
         self.delta.delete(value_id)
+        self.version += 1
         self._maybe_consolidate()
 
     def _maybe_consolidate(self) -> None:
@@ -96,6 +104,7 @@ class DeltaAwareImprints(SecondaryIndex):
         self.delta = DeltaColumn(merged)
         self.column = merged
         self.consolidations += 1
+        self.version += 1
 
     # ------------------------------------------------------------------
     # reads: base answer + merge
@@ -103,11 +112,13 @@ class DeltaAwareImprints(SecondaryIndex):
     def query(self, predicate: RangePredicate) -> QueryResult:
         base = self.base_index.query(predicate)
         if self.delta.n_pending == 0:
-            return base
+            # Re-stamp: cursors and cache keys must track *this* index's
+            # version, not the inner base imprint's.
+            return base.stamp_version(self.version)
         merged = self.delta.merge_result(base.ids, predicate.low, predicate.high)
         stats = base.stats
         stats.ids_materialized = int(merged.shape[0])
-        return QueryResult(ids=merged, stats=stats)
+        return QueryResult(ids=merged, stats=stats).stamp_version(self.version)
 
     def aggregate(self, predicate: RangePredicate, op: str):
         """``COUNT``/``SUM``/``MIN``/``MAX`` over the *logical* column.

@@ -18,10 +18,13 @@ unchanged:
 * :class:`DeadlineExceeded` — a request's time budget ran out before
   its answer was produced;
 * :class:`CorruptColumnError` — a persisted column or imprint file
-  failed its integrity check on read.
+  failed its integrity check on read;
+* :class:`QuarantinedColumnError` — startup recovery found a column
+  irreparably corrupt and fenced it off; the rest of the store keeps
+  serving (degraded, not dead).
 
 The serving layer (:mod:`repro.serving`) maps these onto HTTP statuses
-one-to-one: 410, 503, 429, 504 and 500 respectively — see
+one-to-one: 410, 503, 429, 504, 500 and 503 respectively — see
 ``docs/SERVING.md`` for the full table.
 """
 
@@ -34,6 +37,7 @@ __all__ = [
     "AdmissionRejected",
     "DeadlineExceeded",
     "CorruptColumnError",
+    "QuarantinedColumnError",
 ]
 
 
@@ -110,4 +114,27 @@ class CorruptColumnError(ReproError, ValueError):
     def __init__(self, path, reason: str) -> None:
         super().__init__(f"{path}: {reason}")
         self.path = path
+        self.reason = reason
+
+
+class QuarantinedColumnError(ReproError, RuntimeError):
+    """The column was quarantined by recovery and refuses to serve.
+
+    Raised when a query targets a column whose persisted state failed
+    its integrity checks at startup and could not be repaired from the
+    write-ahead log.  Quarantine is deliberately *per column*: one
+    rotted file must not take down the healthy rest of the store, so
+    the recovery manager fences the column off and every access raises
+    this instead of returning answers derived from corrupt bytes.  The
+    serving layer maps it to HTTP 503 (the store is degraded; the
+    column may return after a restore or re-ingest), and ``/healthz``
+    reports the quarantine roster.
+    """
+
+    def __init__(self, column: str, reason: str) -> None:
+        super().__init__(
+            f"column {column!r} is quarantined: {reason} — restore the "
+            f"file or re-ingest the column, then reopen the store"
+        )
+        self.column = column
         self.reason = reason

@@ -15,13 +15,16 @@ A deliberately small HTTP/1.1 server exposing the
 
 Error mapping (the contract ``docs/SERVING.md`` documents)::
 
-    AdmissionRejected   -> 429  + Retry-After header
-    DeadlineExceeded    -> 504
-    StaleCursorError    -> 410
-    ExecutorClosedError -> 503
-    unknown column      -> 404
-    bad parameters      -> 400
-    anything else       -> 500
+    AdmissionRejected      -> 429  + Retry-After header
+    DeadlineExceeded       -> 504
+    StaleCursorError       -> 410
+    ExecutorClosedError    -> 503
+    QuarantinedColumnError -> 503  (degraded, not dead: one corrupt
+                                    column is fenced off, the rest of
+                                    the store keeps answering)
+    unknown column         -> 404
+    bad parameters         -> 400
+    anything else          -> 500
 
 Responses are JSON.  Request lines, headers and bodies are
 size-capped; a malformed or oversized request gets a 400 and the
@@ -39,6 +42,7 @@ from ..errors import (
     AdmissionRejected,
     DeadlineExceeded,
     ExecutorClosedError,
+    QuarantinedColumnError,
     StaleCursorError,
 )
 from .service import ImprintService
@@ -69,7 +73,7 @@ def status_for_exception(exc: BaseException) -> int:
         return 504
     if isinstance(exc, StaleCursorError):
         return 410
-    if isinstance(exc, ExecutorClosedError):
+    if isinstance(exc, (ExecutorClosedError, QuarantinedColumnError)):
         return 503
     if isinstance(exc, KeyError):
         return 404

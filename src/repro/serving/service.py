@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from ..errors import (
     DeadlineExceeded,
     ExecutorClosedError,
+    QuarantinedColumnError,
 )
 from ..engine.executor import QueryExecutor
 from .admission import AdmissionController
@@ -152,6 +153,29 @@ class ImprintService:
         self.stats = ServingStats()
         self.started_at = time.monotonic()
         self._closed = False
+        self.durability = None
+
+    # ------------------------------------------------------------------
+    # durability surfacing
+    # ------------------------------------------------------------------
+    def attach_durability(self, durable) -> None:
+        """Attach a :class:`~repro.storage.durability.DurableStore`.
+
+        Once attached, requests against a quarantined column fail fast
+        with :class:`~repro.errors.QuarantinedColumnError` (HTTP 503)
+        *before* taking an admission slot, and ``/healthz`` + ``/stats``
+        surface the recovery report — the degraded-not-dead contract:
+        one corrupt column never takes the healthy rest of the store
+        off the air.
+        """
+        self.durability = durable
+
+    def _check_quarantine(self, column: str) -> None:
+        durable = self.durability
+        if durable is not None and column in durable.quarantined:
+            raise QuarantinedColumnError(
+                column, durable.quarantined[column]
+            )
 
     # ------------------------------------------------------------------
     # deadlines and degradation
@@ -258,6 +282,7 @@ class ImprintService:
         deadline = self.deadline_for(timeout)
         exc: BaseException | None = None
         try:
+            self._check_quarantine(column)
             await self.admission.acquire(deadline)
             try:
                 level = self.degradation_level if mode == "auto" else "ok"
@@ -335,6 +360,7 @@ class ImprintService:
         deadline = self.deadline_for(timeout)
         exc: BaseException | None = None
         try:
+            self._check_quarantine(column)
             await self.admission.acquire(deadline)
             try:
                 predicate = self.executor.predicate(column, low, high)
@@ -390,6 +416,7 @@ class ImprintService:
         deadline = self.deadline_for(timeout)
         exc: BaseException | None = None
         try:
+            self._check_quarantine(column)
             await self.admission.acquire(deadline)
             try:
                 predicate = self.executor.predicate(column, low, high)
@@ -420,17 +447,24 @@ class ImprintService:
     # answer precisely when the service is saturated)
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
-        """Liveness + pressure.  Degrades, saturates, never blocks."""
+        """Liveness + pressure + durability.  Never blocks.
+
+        A quarantined column reports the service ``degraded`` — the
+        store is impaired but answering — never dead: liveness stays
+        200 so orchestrators keep routing to the healthy columns.
+        """
         snap = self.admission.snapshot()
+        durable = self.durability
+        quarantined = sorted(durable.quarantined) if durable else []
         if self._closed:
             status = "closing"
         elif snap.waiting >= snap.max_waiting:
             status = "saturated"
-        elif self.degradation_level != "ok":
+        elif self.degradation_level != "ok" or quarantined:
             status = "degraded"
         else:
             status = "ok"
-        return {
+        payload = {
             "status": status,
             "degradation": self.degradation_level,
             "inflight": snap.inflight,
@@ -440,13 +474,23 @@ class ImprintService:
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "columns": self.executor.column_names,
         }
+        if durable is not None:
+            report = durable.report
+            payload["durability"] = {
+                "quarantined": quarantined,
+                "recovery_clean": report.clean,
+                "epoch": report.epoch,
+                "replayed_records": report.replayed_total,
+                "torn_bytes_truncated": report.torn_bytes,
+            }
+        return payload
 
     def stats_payload(self) -> dict:
         """The ``/stats`` body: service, admission, engine, cache."""
         snap = self.admission.snapshot()
         engine = self.executor.stats
         cache = self.executor.cache
-        return {
+        payload = {
             "service": self.stats.as_dict(),
             "admission": {
                 "inflight": snap.inflight,
@@ -474,6 +518,18 @@ class ImprintService:
                 "misses": cache.misses,
             },
         }
+        durable = self.durability
+        if durable is not None:
+            payload["durability"] = {
+                "recovery": durable.report.as_dict(),
+                "wal_seq": durable.wal.seq if durable.wal else None,
+                "wal_synced_seq": (
+                    durable.wal.synced_seq if durable.wal else None
+                ),
+                "wal_syncs": durable.wal.syncs if durable.wal else None,
+                "checkpoints": durable.checkpoints,
+            }
+        return payload
 
     # ------------------------------------------------------------------
     # lifecycle

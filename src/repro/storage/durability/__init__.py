@@ -1,0 +1,81 @@
+"""Crash-consistent durability: atomic writes, WAL, recovery, faults.
+
+The package splits durability into four pieces that compose:
+
+* :mod:`~repro.storage.durability.atomic` — the temp+fsync+rename
+  protocol and the :class:`FileSystem` seam everything writes through;
+* :mod:`~repro.storage.durability.wal` — the length- and CRC32-framed
+  write-ahead mutation log with group commit;
+* :mod:`~repro.storage.durability.recovery` — :class:`DurableStore`,
+  the mutation front-end that recovers (sweep, verify, scan, replay,
+  fence) on every open and quarantines irreparable columns;
+* :mod:`~repro.storage.durability.faultfs` — the deterministic
+  fault-injection filesystem that drives the crash-matrix tests.
+
+See ``docs/DURABILITY.md`` for the protocols and their proofs-by-test.
+"""
+
+from .atomic import (
+    FileHandle,
+    FileSystem,
+    OS_FS,
+    OsFileSystem,
+    TMP_SUFFIX,
+    atomic_write_bytes,
+)
+from .faultfs import (
+    FaultConfig,
+    FaultyFileSystem,
+    MemoryFileSystem,
+    PENDING_POLICIES,
+    PowerFailure,
+    SimulatedCrash,
+)
+from .wal import (
+    WAL_MAGIC,
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+    scan_wal,
+)
+
+__all__ = [
+    "FileHandle",
+    "FileSystem",
+    "OsFileSystem",
+    "OS_FS",
+    "TMP_SUFFIX",
+    "atomic_write_bytes",
+    "FaultConfig",
+    "FaultyFileSystem",
+    "MemoryFileSystem",
+    "PENDING_POLICIES",
+    "PowerFailure",
+    "SimulatedCrash",
+    "DurableStore",
+    "RecoveryReport",
+    "wal_name",
+    "WAL_MAGIC",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "decode_record",
+    "encode_record",
+    "scan_wal",
+]
+
+_LAZY = ("DurableStore", "RecoveryReport", "wal_name")
+
+
+def __getattr__(name: str):
+    # recovery.py pulls in the index layer (repro.core), which itself
+    # imports repro.storage — importing it eagerly here would close an
+    # import cycle through persist.py.  Resolved on first use instead.
+    if name in _LAZY:
+        from . import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+

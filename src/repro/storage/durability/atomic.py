@@ -1,0 +1,235 @@
+"""Atomic persistence primitives and the filesystem seam.
+
+Crash consistency is a protocol, not a property of any single call:
+*write to a temporary name, flush, ``fsync``, ``rename`` over the
+target, ``fsync`` the directory*.  A reader then only ever observes
+either the complete old file or the complete new file — never a
+half-written hybrid — and after a power cut the rename either happened
+durably or not at all.
+
+Everything in :mod:`repro.storage.durability` (and, through it,
+:class:`~repro.storage.persist.ColumnStore`) performs its I/O through
+the small :class:`FileSystem` interface defined here instead of
+calling ``os``/``pathlib`` directly.  That seam is what makes the
+crash-matrix property test possible: the production implementation
+(:class:`OsFileSystem`) does real I/O, while the fault-injection shim
+(:class:`~repro.storage.durability.faultfs.FaultyFileSystem`) simulates
+torn writes, dropped fsyncs and kill-at-syscall-N crashes with the
+exact same call sequence.
+"""
+
+from __future__ import annotations
+
+import os
+import posixpath
+
+__all__ = [
+    "FileHandle",
+    "FileSystem",
+    "OsFileSystem",
+    "OS_FS",
+    "atomic_write_bytes",
+    "TMP_SUFFIX",
+]
+
+#: Suffix of in-flight temporary files.  Recovery treats any leftover
+#: ``*.tmp`` as garbage from an interrupted atomic write and removes it.
+TMP_SUFFIX = ".tmp"
+
+#: Read granularity for streaming checksums over large files.
+READ_CHUNK = 4 << 20
+
+
+class FileHandle:
+    """A writable file: sequential ``write``/``sync``/``close``."""
+
+    def write(self, data: bytes) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sync(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FileSystem:
+    """The minimal file API durable storage needs.
+
+    Paths are plain strings (or ``os.PathLike``); implementations must
+    accept both.  Only sequential writes exist on purpose: every
+    durable structure in this package is either written whole
+    (temp + rename) or appended to (the WAL), which is the discipline
+    that makes crash states enumerable.
+    """
+
+    # -- reads ---------------------------------------------------------
+    def exists(self, path) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def is_dir(self, path) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def listdir(self, path) -> list[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def size(self, path) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def read_bytes(self, path) -> bytes:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def read_text(self, path) -> str:
+        return self.read_bytes(path).decode("utf-8")
+
+    def crc32(self, path) -> int:
+        """Streaming CRC32 of a file (chunked on the real filesystem)."""
+        import zlib
+
+        return zlib.crc32(self.read_bytes(path))
+
+    # -- mutations -----------------------------------------------------
+    def mkdir(self, path) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def create(self, path) -> FileHandle:  # pragma: no cover - interface
+        """Open ``path`` for writing from scratch (truncating)."""
+        raise NotImplementedError
+
+    def open_append(self, path) -> FileHandle:  # pragma: no cover
+        raise NotImplementedError
+
+    def replace(self, src, dst) -> None:  # pragma: no cover - interface
+        """Atomically rename ``src`` over ``dst`` (``os.replace``)."""
+        raise NotImplementedError
+
+    def remove(self, path) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def truncate(self, path, n: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def sync_dir(self, path) -> None:  # pragma: no cover - interface
+        """Make directory-entry changes (rename/unlink) durable."""
+        raise NotImplementedError
+
+    # -- path algebra (string-based, shared by all implementations) ----
+    @staticmethod
+    def join(*parts) -> str:
+        return posixpath.join(*(str(part).replace(os.sep, "/") for part in parts))
+
+    @staticmethod
+    def dirname(path) -> str:
+        return posixpath.dirname(str(path).replace(os.sep, "/"))
+
+    @staticmethod
+    def basename(path) -> str:
+        return posixpath.basename(str(path).replace(os.sep, "/"))
+
+
+class _OsFile(FileHandle):
+    def __init__(self, raw) -> None:
+        self._raw = raw
+
+    def write(self, data: bytes) -> None:
+        self._raw.write(data)
+
+    def sync(self) -> None:
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+
+    def close(self) -> None:
+        if not self._raw.closed:
+            self._raw.close()
+
+
+class OsFileSystem(FileSystem):
+    """The production implementation: real files, real ``fsync``."""
+
+    def exists(self, path) -> bool:
+        return os.path.exists(path)
+
+    def is_dir(self, path) -> bool:
+        return os.path.isdir(path)
+
+    def listdir(self, path) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def size(self, path) -> int:
+        return os.stat(path).st_size
+
+    def read_bytes(self, path) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def crc32(self, path) -> int:
+        import zlib
+
+        crc = 0
+        with open(path, "rb") as handle:
+            while chunk := handle.read(READ_CHUNK):
+                crc = zlib.crc32(chunk, crc)
+        return crc
+
+    def mkdir(self, path) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def create(self, path) -> FileHandle:
+        return _OsFile(open(path, "wb"))
+
+    def open_append(self, path) -> FileHandle:
+        return _OsFile(open(path, "ab"))
+
+    def replace(self, src, dst) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path) -> None:
+        os.remove(path)
+
+    def truncate(self, path, n: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(n)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def sync_dir(self, path) -> None:
+        # Windows cannot open directories; directory durability is a
+        # POSIX notion and this reproduction targets Linux containers.
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except (PermissionError, NotADirectoryError, OSError):
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+#: The shared production filesystem (stateless, safe to share).
+OS_FS = OsFileSystem()
+
+
+def atomic_write_bytes(fs: FileSystem, path, data: bytes) -> None:
+    """Write ``data`` to ``path`` crash-atomically.
+
+    Temp file → write → flush → ``fsync`` → ``rename`` over the target
+    → ``fsync`` of the containing directory.  After a crash the target
+    holds either its previous content or ``data``, never a mixture; a
+    leftover ``*.tmp`` is garbage recovery removes.
+    """
+    path = str(path)
+    tmp = path + TMP_SUFFIX
+    handle = fs.create(tmp)
+    try:
+        handle.write(data)
+        handle.sync()
+    finally:
+        handle.close()
+    fs.replace(tmp, path)
+    fs.sync_dir(fs.dirname(path) or ".")

@@ -1,0 +1,373 @@
+"""Filesystem fault injection — deterministic crash points for storage.
+
+The chaos harness of PR 6 (:mod:`repro.serving.chaos`) injects latency
+and stalls on an evaluation counter; this module extends the same idea
+one layer down, to the *file API*: a drop-in
+:class:`~repro.storage.durability.atomic.FileSystem` that models what a
+power cut actually does to files.
+
+:class:`MemoryFileSystem` keeps every file as two byte regions:
+
+* ``durable`` — bytes an ``fsync`` has confirmed; these survive a
+  crash unconditionally;
+* ``pending`` — bytes written but not yet synced; at crash time these
+  are resolved by policy (lost entirely, kept entirely, or *torn*:
+  only a prefix survives, which is how a half-flushed page looks).
+
+Directory-entry operations (``replace``/``remove``) are likewise
+volatile until ``sync_dir`` — a rename that was never followed by a
+directory sync is rolled back at crash time, exactly the failure the
+temp+rename+dirsync protocol exists to survive.
+
+:class:`FaultyFileSystem` adds the scheduler: every mutating call
+increments an operation counter, and when the counter hits
+``FaultConfig.crash_at`` the filesystem "powers off" — the op is not
+applied (a write may first deposit a torn prefix), every subsequent
+call raises, and :class:`SimulatedCrash` propagates to the writer.
+``survivor()`` then yields a fresh, fault-free filesystem holding
+exactly the bytes a reboot would find, which recovery reopens.  Because
+the counter is the only scheduling input, every crash point is
+enumerable and every run is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .atomic import FileHandle, FileSystem
+
+__all__ = [
+    "SimulatedCrash",
+    "PowerFailure",
+    "FaultConfig",
+    "MemoryFileSystem",
+    "FaultyFileSystem",
+]
+
+#: Crash-time fates of unsynced (pending) bytes.
+PENDING_POLICIES = ("none", "torn", "all")
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected kill-at-syscall-N fired; the process "died" here."""
+
+
+class PowerFailure(RuntimeError):
+    """An operation was attempted on a filesystem that already crashed."""
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to inject, and when.
+
+    Attributes
+    ----------
+    crash_at:
+        Crash when the ``crash_at``-th mutating operation *starts*
+        (1-based).  ``0`` disables the crash entirely.  The op itself
+        is not applied — except a ``write``, which first deposits a
+        torn prefix of its payload into the pending region, modelling
+        a write the kernel was mid-flight on.
+    pending:
+        Fate of unsynced bytes at crash time: ``"none"`` (all lost —
+        the adversarial default), ``"torn"`` (a prefix survives) or
+        ``"all"`` (the kernel happened to flush everything).  Frame
+        CRCs must make all three indistinguishable from a clean state
+        after recovery.
+    drop_syncs:
+        ``fsync`` lies: it returns success but leaves the data
+        volatile.  Used to prove the fsyncs are load-bearing — with
+        this fault an *acknowledged* mutation may genuinely be lost,
+        and the recovery invariant weakens to prefix consistency.
+    """
+
+    crash_at: int = 0
+    pending: str = "none"
+    drop_syncs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.crash_at < 0:
+            raise ValueError(f"crash_at must be >= 0, got {self.crash_at}")
+        if self.pending not in PENDING_POLICIES:
+            raise ValueError(
+                f"pending must be one of {PENDING_POLICIES}, got "
+                f"{self.pending!r}"
+            )
+
+
+class _MemFile:
+    __slots__ = ("durable", "pending")
+
+    def __init__(self, durable: bytes = b"", pending: bytes = b"") -> None:
+        self.durable = bytes(durable)
+        self.pending = bytes(pending)
+
+    @property
+    def content(self) -> bytes:
+        return self.durable + self.pending
+
+    def clone(self) -> "_MemFile":
+        return _MemFile(self.durable, self.pending)
+
+
+class _MemHandle(FileHandle):
+    def __init__(self, fs: "MemoryFileSystem", path: str) -> None:
+        self._fs = fs
+        self._path = path
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        self._fs._write(self._path, bytes(data))
+
+    def sync(self) -> None:
+        self._fs._sync_file(self._path)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class MemoryFileSystem(FileSystem):
+    """An in-memory :class:`FileSystem` with explicit durability state.
+
+    Fault-free on its own — :class:`FaultyFileSystem` adds the crash
+    scheduler.  Files live in a flat ``path -> _MemFile`` namespace;
+    directories are tracked as a set so ``listdir``/``is_dir`` behave.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, _MemFile] = {}
+        self._dirs: set[str] = {""}
+        # Volatile namespace ops awaiting sync_dir: (dir, undo) pairs,
+        # undone in reverse order at crash time.
+        self._pending_dir_ops: list[tuple[str, callable]] = []
+
+    # ------------------------------------------------------------------
+    # normalisation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _norm(path) -> str:
+        import posixpath
+
+        text = str(path).replace("\\", "/")
+        normed = posixpath.normpath(text)
+        return "" if normed == "." else normed.lstrip("/")
+
+    def _require(self, path: str) -> _MemFile:
+        normed = self._norm(path)
+        try:
+            return self._files[normed]
+        except KeyError:
+            raise FileNotFoundError(normed) from None
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def exists(self, path) -> bool:
+        normed = self._norm(path)
+        return normed in self._files or normed in self._dirs
+
+    def is_dir(self, path) -> bool:
+        return self._norm(path) in self._dirs
+
+    def listdir(self, path) -> list[str]:
+        prefix = self._norm(path)
+        if prefix not in self._dirs:
+            raise FileNotFoundError(prefix)
+        head = f"{prefix}/" if prefix else ""
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != prefix and candidate.startswith(head):
+                names.add(candidate[len(head):].split("/", 1)[0])
+        return sorted(names)
+
+    def size(self, path) -> int:
+        return len(self._require(path).content)
+
+    def read_bytes(self, path) -> bytes:
+        return self._require(path).content
+
+    # ------------------------------------------------------------------
+    # mutations (each routed through _mutation for fault scheduling)
+    # ------------------------------------------------------------------
+    def _mutation(self, op: str, path: str) -> bool:
+        """Fault hook: return ``True`` if the op should be applied."""
+        return True
+
+    def mkdir(self, path) -> None:
+        normed = self._norm(path)
+        if not self._mutation("mkdir", normed):
+            return
+        parts = normed.split("/") if normed else []
+        for depth in range(len(parts)):
+            self._dirs.add("/".join(parts[: depth + 1]))
+
+    def create(self, path) -> FileHandle:
+        normed = self._norm(path)
+        if self._mutation("create", normed):
+            # O_TRUNC: old content is gone immediately (pessimistic for
+            # the old bytes; our protocols only create fresh names).
+            self._files[normed] = _MemFile()
+        return _MemHandle(self, normed)
+
+    def open_append(self, path) -> FileHandle:
+        normed = self._norm(path)
+        if normed not in self._files:
+            if self._mutation("create", normed):
+                self._files[normed] = _MemFile()
+        return _MemHandle(self, normed)
+
+    def _write(self, path: str, data: bytes) -> None:
+        if not self._mutation("write", path):
+            return
+        record = self._files.setdefault(path, _MemFile())
+        record.pending += data
+
+    def _sync_file(self, path: str) -> None:
+        if not self._mutation("sync", path):
+            return
+        record = self._files.setdefault(path, _MemFile())
+        record.durable += record.pending
+        record.pending = b""
+
+    def replace(self, src, dst) -> None:
+        src_n, dst_n = self._norm(src), self._norm(dst)
+        if not self._mutation("replace", src_n):
+            return
+        moved = self._require(src_n)
+        displaced = self._files.get(dst_n)
+        del self._files[src_n]
+        self._files[dst_n] = moved
+
+        def undo(files=self._files, src=src_n, dst=dst_n,
+                 moved=moved, displaced=displaced) -> None:
+            files[src] = moved
+            if displaced is None:
+                files.pop(dst, None)
+            else:
+                files[dst] = displaced
+
+        self._pending_dir_ops.append((self.dirname(dst_n), undo))
+
+    def remove(self, path) -> None:
+        normed = self._norm(path)
+        if not self._mutation("remove", normed):
+            return
+        removed = self._require(normed)
+        del self._files[normed]
+
+        def undo(files=self._files, path=normed, removed=removed) -> None:
+            files[path] = removed
+
+        self._pending_dir_ops.append((self.dirname(normed), undo))
+
+    def truncate(self, path, n: int) -> None:
+        normed = self._norm(path)
+        if not self._mutation("truncate", normed):
+            return
+        record = self._require(normed)
+        # truncate + fsync in one call (mirrors OsFileSystem.truncate)
+        record.durable = record.content[:n]
+        record.pending = b""
+
+    def sync_dir(self, path) -> None:
+        normed = self._norm(path)
+        if not self._mutation("sync_dir", normed):
+            return
+        self._pending_dir_ops = [
+            (directory, undo)
+            for directory, undo in self._pending_dir_ops
+            if directory != normed
+        ]
+
+    # ------------------------------------------------------------------
+    # introspection / copying
+    # ------------------------------------------------------------------
+    def flush_all(self) -> None:
+        """Force everything durable (test setup convenience)."""
+        for record in self._files.values():
+            record.durable += record.pending
+            record.pending = b""
+        self._pending_dir_ops.clear()
+
+    def snapshot(self) -> dict[str, bytes]:
+        """Current *visible* content of every file."""
+        return {path: record.content for path, record in self._files.items()}
+
+
+class FaultyFileSystem(MemoryFileSystem):
+    """A :class:`MemoryFileSystem` with a deterministic crash scheduler.
+
+    ``ops`` counts mutating calls; a dry run (no crash configured)
+    reveals a schedule's total op count, after which the crash matrix
+    enumerates ``crash_at`` over ``1..ops`` — every possible kill point
+    of the schedule, each yielding a distinct surviving state.
+    """
+
+    def __init__(self, config: FaultConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or FaultConfig()
+        self.ops = 0
+        self.crashed = False
+        self.dropped_syncs = 0
+
+    @classmethod
+    def from_survivor(
+        cls, survivor: "MemoryFileSystem", config: FaultConfig
+    ) -> "FaultyFileSystem":
+        """A faulty fs seeded with another fs's durable state."""
+        fresh = cls(config)
+        for path, record in survivor._files.items():
+            fresh._files[path] = record.clone()
+        fresh._dirs = set(survivor._dirs)
+        fresh.flush_all()
+        return fresh
+
+    # ------------------------------------------------------------------
+    def _mutation(self, op: str, path: str) -> bool:
+        if self.crashed:
+            raise PowerFailure(
+                f"filesystem crashed; {op}({path!r}) arrived post-mortem"
+            )
+        self.ops += 1
+        if self.config.crash_at and self.ops == self.config.crash_at:
+            self._crash(op, path)
+            raise SimulatedCrash(
+                f"injected crash at op #{self.ops}: {op}({path!r})"
+            )
+        if op == "sync" and self.config.drop_syncs:
+            self.dropped_syncs += 1
+            return False  # fsync "succeeded" but persisted nothing
+        return True
+
+    def _crash(self, op: str, path: str) -> None:
+        # A write caught mid-flight may leave a torn prefix of its own
+        # payload; every other op simply never happens.
+        self.crashed = True
+        # 1. roll back namespace ops no directory sync made durable
+        for _, undo in reversed(self._pending_dir_ops):
+            undo()
+        self._pending_dir_ops.clear()
+        # 2. resolve unsynced bytes per policy
+        for record in self._files.values():
+            if self.config.pending == "all":
+                record.durable += record.pending
+            elif self.config.pending == "torn":
+                record.durable += record.pending[: len(record.pending) // 2]
+            record.pending = b""
+
+    # ------------------------------------------------------------------
+    def survivor(self) -> MemoryFileSystem:
+        """The post-reboot filesystem: durable state only, no faults."""
+        if not self.crashed:
+            # A clean shutdown still only keeps what was made durable.
+            for _, undo in reversed(self._pending_dir_ops):
+                undo()
+            self._pending_dir_ops.clear()
+            for record in self._files.values():
+                record.pending = b""
+            self.crashed = True
+        fresh = MemoryFileSystem()
+        for path, record in self._files.items():
+            fresh._files[path] = _MemFile(record.durable)
+        fresh._dirs = set(self._dirs)
+        return fresh

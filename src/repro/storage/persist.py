@@ -12,9 +12,28 @@ Layout::
 
     store/
       <table>/
-        _catalog.json     {"columns": {name: {"type": ..., "rows": ...}}}
-        <column>.bin      raw values, little endian
-        <column>.dict     optional: one dictionary string per line
+        _catalog.json     {"generation": G, "columns": {name: {...}}}
+        <column>.<G>.bin  raw values, little endian
+        <column>.<G>.dict optional: one dictionary string per line
+        <column>.imprints optional persisted index
+        wal.<W>.log       mutation log (managed by repro.storage.durability)
+
+Every write is **crash-atomic**: data files are written to a temporary
+name, flushed, ``fsync``-ed and renamed into place, and the catalog —
+the single commit point — is replaced the same way.  The catalog
+carries a monotonically increasing ``generation``; data files are
+generation-suffixed and never overwritten in place, so a reader
+resolving through the catalog can never observe a half-written table:
+it sees either the pre-write generation or the post-write one, each
+internally consistent (a crash can at worst strand orphan files of an
+uncommitted generation, which recovery removes).  Catalogs written by
+older versions (no ``generation``, bare ``<column>.bin`` files) still
+load.
+
+All I/O goes through a
+:class:`~repro.storage.durability.atomic.FileSystem`, so the
+fault-injection shim (:mod:`repro.storage.durability.faultfs`) can
+drive the same code through every crash point.
 
 Imprint indexes can be persisted next to the data via
 :mod:`repro.core.serialize` (``<column>.imprints``), so a restart pays
@@ -32,61 +51,81 @@ import numpy as np
 from ..errors import CorruptColumnError
 from .column import Column
 from .dictionary_encoding import StringDictionary
+from .durability.atomic import OS_FS, FileSystem, OsFileSystem, atomic_write_bytes
 from .types import type_by_name
 
-__all__ = ["ColumnStore"]
+__all__ = ["ColumnStore", "CATALOG_NAME"]
 
-_CATALOG = "_catalog.json"
-
-#: Read granularity for checksum verification (covers mmap loads too
-#: without pulling the whole file into one allocation).
-_CRC_CHUNK = 4 << 20
-
-
-def _crc32_of(path: pathlib.Path) -> int:
-    crc = 0
-    with path.open("rb") as handle:
-        while chunk := handle.read(_CRC_CHUNK):
-            crc = zlib.crc32(chunk, crc)
-    return crc
+CATALOG_NAME = "_catalog.json"
+_CATALOG = CATALOG_NAME
 
 
 class ColumnStore:
-    """A directory-backed column store."""
+    """A directory-backed column store with atomic, checksummed writes."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, fs: FileSystem | None = None) -> None:
+        self.fs = fs or OS_FS
         self.root = pathlib.Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.fs.mkdir(str(self.root))
 
     # ------------------------------------------------------------------
     # catalog plumbing
     # ------------------------------------------------------------------
-    def _table_dir(self, table: str) -> pathlib.Path:
+    def _table_dir(self, table: str) -> str:
         if not table or "/" in table or table.startswith("."):
             raise ValueError(f"invalid table name {table!r}")
-        return self.root / table
+        return self.fs.join(self.root, table)
 
     def _load_catalog(self, table: str) -> dict:
-        path = self._table_dir(table) / _CATALOG
-        if not path.exists():
+        path = self.fs.join(self._table_dir(table), _CATALOG)
+        if not self.fs.exists(path):
             raise KeyError(f"no table {table!r} in store {self.root}")
-        return json.loads(path.read_text())
+        return json.loads(self.fs.read_text(path))
 
     def _save_catalog(self, table: str, catalog: dict) -> None:
+        """Commit the catalog crash-atomically (temp + fsync + rename).
+
+        This is the *only* way catalogs reach disk: an in-place JSON
+        write could be torn by a crash into an unparseable file that
+        takes the whole table down with it.
+        """
         directory = self._table_dir(table)
-        directory.mkdir(parents=True, exist_ok=True)
-        (directory / _CATALOG).write_text(json.dumps(catalog, indent=2))
+        self.fs.mkdir(directory)
+        atomic_write_bytes(
+            self.fs,
+            self.fs.join(directory, _CATALOG),
+            json.dumps(catalog, indent=2).encode("utf-8"),
+        )
 
     def tables(self) -> list[str]:
         """Names of all stored tables."""
+        root = str(self.root)
+        if not self.fs.exists(root):
+            return []
         return sorted(
-            p.name for p in self.root.iterdir()
-            if p.is_dir() and (p / _CATALOG).exists()
+            name for name in self.fs.listdir(root)
+            if self.fs.is_dir(self.fs.join(root, name))
+            and self.fs.exists(self.fs.join(root, name, _CATALOG))
         )
 
     def columns(self, table: str) -> list[str]:
         """Column names of one table."""
         return sorted(self._load_catalog(table)["columns"])
+
+    def generation(self, table: str) -> int:
+        """The table's committed catalog generation (0 for legacy)."""
+        return int(self._load_catalog(table).get("generation", 0))
+
+    # ------------------------------------------------------------------
+    # file-name resolution (legacy catalogs have no ``file`` entries)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _data_name(meta: dict, name: str) -> str:
+        return meta.get("file", f"{name}.bin")
+
+    @staticmethod
+    def _dict_name(meta: dict, name: str) -> str:
+        return meta.get("dict_file", f"{name}.dict")
 
     # ------------------------------------------------------------------
     # write
@@ -97,38 +136,82 @@ class ColumnStore:
         name: str,
         column: Column,
         dictionary: StringDictionary | None = None,
+        wal_upto: int | None = None,
     ) -> pathlib.Path:
-        """Persist one column (overwrites an existing one)."""
-        directory = self._table_dir(table)
-        directory.mkdir(parents=True, exist_ok=True)
-        data_path = directory / f"{name}.bin"
-        little = column.values.astype(
-            column.values.dtype.newbyteorder("<"), copy=False
-        )
-        payload = little.tobytes()
-        data_path.write_bytes(payload)
-        if dictionary is not None:
-            (directory / f"{name}.dict").write_text(
-                "\n".join(dictionary.strings)
-            )
+        """Persist one column crash-atomically.
 
+        The value payload (and optional dictionary) land in fresh
+        generation-suffixed files via temp+fsync+rename; the catalog
+        replace is the commit point, after which the superseded
+        generation's files are unlinked (best effort — a crash in
+        between leaves orphans that recovery sweeps).  ``wal_upto``
+        records the WAL sequence number this base already incorporates
+        (used by checkpointing; replay skips records at or below it).
+        """
+        directory = self._table_dir(table)
+        self.fs.mkdir(directory)
         try:
             catalog = self._load_catalog(table)
         except KeyError:
             catalog = {"columns": {}}
-        catalog["columns"][name] = {
+        generation = int(catalog.get("generation", 0)) + 1
+        previous = catalog["columns"].get(name)
+
+        data_name = f"{name}.{generation}.bin"
+        data_path = self.fs.join(directory, data_name)
+        little = column.values.astype(
+            column.values.dtype.newbyteorder("<"), copy=False
+        )
+        payload = little.tobytes()
+        atomic_write_bytes(self.fs, data_path, payload)
+
+        entry = {
             "type": column.ctype.name,
             "rows": len(column),
             "cacheline_bytes": column.geometry.cacheline_bytes,
             "has_dictionary": dictionary is not None,
+            "file": data_name,
             # Integrity record: length + CRC of the exact bytes written,
             # verified on every read so storage rot surfaces as
             # CorruptColumnError instead of silently garbled arrays.
             "nbytes": len(payload),
             "crc32": zlib.crc32(payload),
         }
-        self._save_catalog(table, catalog)
-        return data_path
+        if dictionary is not None:
+            dict_name = f"{name}.{generation}.dict"
+            dict_payload = "\n".join(dictionary.strings).encode("utf-8")
+            atomic_write_bytes(
+                self.fs, self.fs.join(directory, dict_name), dict_payload
+            )
+            entry["dict_file"] = dict_name
+            # The dictionary decodes every string answer; an unverified
+            # sidecar would be the one file rot could garble silently.
+            entry["dict_nbytes"] = len(dict_payload)
+            entry["dict_crc32"] = zlib.crc32(dict_payload)
+        if wal_upto is not None:
+            entry["wal_upto"] = int(wal_upto)
+        elif previous and "wal_upto" in previous:
+            entry["wal_upto"] = previous["wal_upto"]
+
+        catalog["columns"][name] = entry
+        catalog["generation"] = generation
+        self._save_catalog(table, catalog)  # <- the commit point
+
+        # The old generation's files are now unreachable through any
+        # catalog; removing them is cleanup, not correctness.
+        if previous:
+            for stale in (
+                self._data_name(previous, name),
+                self._dict_name(previous, name) if previous.get("has_dictionary") else None,
+            ):
+                if stale and stale != data_name:
+                    stale_path = self.fs.join(directory, stale)
+                    if self.fs.exists(stale_path):
+                        try:
+                            self.fs.remove(stale_path)
+                        except OSError:  # pragma: no cover - best effort
+                            pass
+        return pathlib.Path(str(data_path))
 
     # ------------------------------------------------------------------
     # read
@@ -147,7 +230,8 @@ class ColumnStore:
         :class:`~repro.errors.CorruptColumnError` naming the offending
         path on any mismatch — truncation, bit-flips, or a partially
         overwritten file.  Catalogs written before checksums existed
-        (no ``crc32`` entry) get the length check only.
+        (no ``crc32`` entry) get the length check only; the same
+        applies to the dictionary sidecar (``dict_crc32``).
         """
         catalog = self._load_catalog(table)
         try:
@@ -158,13 +242,13 @@ class ColumnStore:
                 f"has {sorted(catalog['columns'])}"
             ) from None
         ctype = type_by_name(meta["type"])
-        path = self._table_dir(table) / f"{name}.bin"
-        if not path.exists():
+        path = self.fs.join(self._table_dir(table), self._data_name(meta, name))
+        if not self.fs.exists(path):
             raise CorruptColumnError(
                 path, "catalog lists the column but its data file is missing"
             )
         expected = meta["rows"] * ctype.itemsize
-        actual = path.stat().st_size
+        actual = self.fs.size(path)
         if actual != expected:
             raise CorruptColumnError(
                 path,
@@ -172,7 +256,7 @@ class ColumnStore:
                 f"{expected} ({meta['rows']} x {ctype.itemsize})",
             )
         if verify and "crc32" in meta:
-            crc = _crc32_of(path)
+            crc = self.fs.crc32(path)
             if crc != meta["crc32"]:
                 raise CorruptColumnError(
                     path,
@@ -181,10 +265,14 @@ class ColumnStore:
                     f"changed since write_column",
                 )
         dtype = np.dtype(ctype.dtype).newbyteorder("<")
-        if mmap:
+        if mmap and isinstance(self.fs, OsFileSystem):
             values = np.memmap(path, dtype=dtype, mode="r")
-        else:
+        elif isinstance(self.fs, OsFileSystem):
             values = np.fromfile(path, dtype=dtype).astype(ctype.dtype)
+        else:
+            values = np.frombuffer(
+                self.fs.read_bytes(path), dtype=dtype
+            ).astype(ctype.dtype)
         column = Column(
             values,
             ctype=ctype,
@@ -193,9 +281,31 @@ class ColumnStore:
         )
         dictionary = None
         if meta.get("has_dictionary"):
-            dict_path = self._table_dir(table) / f"{name}.dict"
+            dict_path = self.fs.join(
+                self._table_dir(table), self._dict_name(meta, name)
+            )
+            if not self.fs.exists(dict_path):
+                raise CorruptColumnError(
+                    dict_path,
+                    "catalog lists a dictionary but its file is missing",
+                )
+            dict_payload = self.fs.read_bytes(dict_path)
+            if verify and "dict_crc32" in meta:
+                if len(dict_payload) != meta.get("dict_nbytes"):
+                    raise CorruptColumnError(
+                        dict_path,
+                        f"holds {len(dict_payload)} bytes but the catalog "
+                        f"expects {meta.get('dict_nbytes')}",
+                    )
+                crc = zlib.crc32(dict_payload)
+                if crc != meta["dict_crc32"]:
+                    raise CorruptColumnError(
+                        dict_path,
+                        f"checksum mismatch: file crc32={crc:#010x}, "
+                        f"catalog recorded {meta['dict_crc32']:#010x}",
+                    )
             dictionary = StringDictionary(
-                dict_path.read_text().splitlines()
+                dict_payload.decode("utf-8").splitlines()
             )
         return column, dictionary
 
@@ -203,19 +313,19 @@ class ColumnStore:
     # imprint persistence alongside the data
     # ------------------------------------------------------------------
     def write_imprints(self, table: str, name: str, data) -> pathlib.Path:
-        """Persist an imprint index next to its column."""
+        """Persist an imprint index next to its column (atomically)."""
         from ..core.serialize import dump_imprints
 
         catalog = self._load_catalog(table)
         if name not in catalog["columns"]:
             raise KeyError(f"table {table!r} has no column {name!r}")
-        path = self._table_dir(table) / f"{name}.imprints"
+        path = self.fs.join(self._table_dir(table), f"{name}.imprints")
         payload = dump_imprints(data)
-        path.write_bytes(payload)
+        atomic_write_bytes(self.fs, path, payload)
         catalog["columns"][name]["imprints_nbytes"] = len(payload)
         catalog["columns"][name]["imprints_crc32"] = zlib.crc32(payload)
         self._save_catalog(table, catalog)
-        return path
+        return pathlib.Path(str(path))
 
     def read_imprints(self, table: str, name: str, verify: bool = True):
         """Load a previously persisted imprint index.
@@ -229,10 +339,10 @@ class ColumnStore:
         """
         from ..core.serialize import load_imprints
 
-        path = self._table_dir(table) / f"{name}.imprints"
-        if not path.exists():
+        path = self.fs.join(self._table_dir(table), f"{name}.imprints")
+        if not self.fs.exists(path):
             raise KeyError(f"no persisted imprints for {table}.{name}")
-        payload = path.read_bytes()
+        payload = self.fs.read_bytes(path)
         meta = self._load_catalog(table).get("columns", {}).get(name, {})
         if verify and "imprints_crc32" in meta:
             if len(payload) != meta.get("imprints_nbytes"):

@@ -1,0 +1,217 @@
+"""Tests for the write-ahead log: framing, group commit, torn tails."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.storage.durability import (
+    MemoryFileSystem,
+    WAL_MAGIC,
+    WalRecord,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+    scan_wal,
+)
+from repro.storage.durability.wal import _FRAME_HEAD, MAX_FRAME_BYTES
+
+
+@pytest.fixture
+def fs():
+    return MemoryFileSystem()
+
+
+class TestRecordCodec:
+    def test_append_roundtrip(self):
+        values = np.array([3, 1, 4, 1, 5], dtype="<i4")
+        record = WalRecord.append("x", values).with_seq(7)
+        decoded = decode_record(encode_record(record))
+        assert decoded.kind == "append"
+        assert decoded.column == "x" and decoded.seq == 7
+        assert decoded.dtype == "<i4"
+        assert np.array_equal(decoded.values, values)
+
+    def test_update_roundtrip(self):
+        record = WalRecord.update("col", 42, np.int64(-9), "<i8").with_seq(3)
+        decoded = decode_record(encode_record(record))
+        assert decoded.kind == "update"
+        assert decoded.row_id == 42 and decoded.value == -9
+        assert decoded.dtype == "<i8"
+
+    def test_delete_roundtrip(self):
+        decoded = decode_record(
+            encode_record(WalRecord.delete("col", 12).with_seq(9))
+        )
+        assert decoded.kind == "delete"
+        assert decoded.row_id == 12 and decoded.seq == 9
+
+    def test_every_width_roundtrips(self):
+        for dtype in ("<i1", "<i2", "<i4", "<i8", "<f4", "<f8"):
+            values = np.arange(4).astype(dtype)
+            decoded = decode_record(
+                encode_record(WalRecord.append("x", values).with_seq(1))
+            )
+            assert np.dtype(decoded.dtype) == np.dtype(dtype)
+            assert np.array_equal(decoded.values, values)
+
+    def test_malformed_payload_raises_value_error(self):
+        with pytest.raises(ValueError, match="malformed"):
+            decode_record(b"\x09garbage")  # unknown kind code
+        with pytest.raises(ValueError, match="malformed"):
+            decode_record(b"\x01\x02")  # truncated header
+
+    def test_append_shorter_than_declared_raises(self):
+        payload = encode_record(
+            WalRecord.append("x", np.arange(8, dtype="<i4")).with_seq(1)
+        )
+        with pytest.raises(ValueError, match="shorter than declared"):
+            decode_record(payload[:-4])
+
+
+class TestAppendAndScan:
+    def test_fresh_log_gets_a_durable_magic(self, fs):
+        WriteAheadLog("t/wal.1.log", fs=fs)
+        record = fs._files["t/wal.1.log"]
+        assert record.durable == WAL_MAGIC
+
+    def test_scan_empty_and_missing(self, fs):
+        scan = scan_wal(fs, "nope.log")
+        assert scan.records == [] and not scan.missing_magic
+        WriteAheadLog("wal.1.log", fs=fs)
+        scan = scan_wal(fs, "wal.1.log")
+        assert scan.records == [] and scan.last_seq == 0
+
+    def test_sequence_numbers_and_replay_order(self, fs):
+        wal = WriteAheadLog("wal.1.log", fs=fs)
+        assert wal.append(WalRecord.append("x", np.arange(3, dtype="<i4"))) == 1
+        assert wal.append(WalRecord.update("x", 0, np.int32(9), "<i4")) == 2
+        assert wal.append(WalRecord.delete("x", 1)) == 3
+        wal.sync()
+        scan = scan_wal(fs, "wal.1.log")
+        assert [r.kind for r in scan.records] == ["append", "update", "delete"]
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+        assert scan.last_seq == 3 and scan.torn_bytes == 0
+
+    def test_reopen_continues_the_sequence(self, fs):
+        wal = WriteAheadLog("wal.1.log", fs=fs)
+        wal.append(WalRecord.delete("x", 0))
+        wal.sync()
+        wal.close()
+        scan = scan_wal(fs, "wal.1.log")
+        reopened = WriteAheadLog("wal.1.log", fs=fs, start_seq=scan.last_seq)
+        assert reopened.append(WalRecord.delete("x", 1)) == 2
+        reopened.sync()
+        assert [r.seq for r in scan_wal(fs, "wal.1.log").records] == [1, 2]
+
+    def test_giant_declared_length_is_distrusted(self, fs):
+        wal = WriteAheadLog("wal.1.log", fs=fs)
+        wal.append(WalRecord.delete("x", 0))
+        wal.sync()
+        bogus = _FRAME_HEAD.pack(MAX_FRAME_BYTES + 1, 0)
+        fs.open_append("wal.1.log").write(bogus)
+        fs.flush_all()
+        scan = scan_wal(fs, "wal.1.log")
+        assert len(scan.records) == 1  # the valid prefix survives
+        assert scan.torn_bytes == len(bogus)
+
+
+class TestTornTails:
+    def build_log(self, fs, n=4):
+        wal = WriteAheadLog("wal.1.log", fs=fs)
+        for i in range(n):
+            wal.append(WalRecord.update("x", i, np.int32(i), "<i4"))
+        wal.sync()
+        return fs.read_bytes("wal.1.log")
+
+    def test_half_frame_is_cut_back(self, fs):
+        healthy = self.build_log(fs)
+        fs.truncate("wal.1.log", len(healthy) - 5)
+        scan = scan_wal(fs, "wal.1.log")
+        assert len(scan.records) == 3
+        assert scan.torn_bytes > 0
+        removed = WriteAheadLog.truncate_torn_tail(fs, "wal.1.log", scan)
+        assert removed == scan.torn_bytes
+        after = scan_wal(fs, "wal.1.log")
+        assert len(after.records) == 3 and after.torn_bytes == 0
+
+    def test_interior_bit_rot_ends_the_trusted_prefix(self, fs):
+        healthy = bytearray(self.build_log(fs))
+        # flip a byte inside the second frame's payload
+        frame_len = (len(healthy) - len(WAL_MAGIC)) // 4
+        healthy[len(WAL_MAGIC) + frame_len + _FRAME_HEAD.size + 2] ^= 0xFF
+        fs.create("wal.1.log").write(bytes(healthy))
+        fs.flush_all()
+        scan = scan_wal(fs, "wal.1.log")
+        assert len(scan.records) == 1  # only the frame before the rot
+
+    def test_missing_magic_resets_to_bare_header(self, fs):
+        fs.create("wal.1.log").write(b"not a log at all")
+        fs.flush_all()
+        scan = scan_wal(fs, "wal.1.log")
+        assert scan.missing_magic and scan.records == []
+        removed = WriteAheadLog.truncate_torn_tail(fs, "wal.1.log", scan)
+        assert removed == len(b"not a log at all")
+        assert fs.read_bytes("wal.1.log") == WAL_MAGIC
+
+    def test_crc_collision_with_garbage_payload_stops_scan(self, fs):
+        self.build_log(fs, n=1)
+        garbage = b"\x00" * 10  # kind 0 is invalid but the CRC matches
+        frame = _FRAME_HEAD.pack(len(garbage), zlib.crc32(garbage)) + garbage
+        fs.open_append("wal.1.log").write(frame)
+        fs.flush_all()
+        scan = scan_wal(fs, "wal.1.log")
+        assert len(scan.records) == 1
+        assert scan.torn_bytes == len(frame)
+
+
+class TestGroupCommit:
+    def test_window_zero_acks_every_commit(self, fs):
+        wal = WriteAheadLog("wal.1.log", fs=fs)
+        for i in range(5):
+            wal.append(WalRecord.delete("x", i))
+            assert wal.commit() is True
+            assert wal.unacknowledged == 0
+        assert wal.syncs == 5
+
+    def test_window_batches_fsyncs(self, fs):
+        wal = WriteAheadLog("wal.1.log", fs=fs, group_window=60.0)
+        for i in range(5):
+            wal.append(WalRecord.delete("x", i))
+            assert wal.commit() is False  # window never elapses in-test
+        assert wal.syncs == 0 and wal.unacknowledged == 5
+        wal.sync()
+        assert wal.syncs == 1 and wal.unacknowledged == 0
+
+    def test_sync_with_nothing_pending_is_free(self, fs):
+        wal = WriteAheadLog("wal.1.log", fs=fs)
+        wal.append(WalRecord.delete("x", 0))
+        wal.sync()
+        wal.sync()
+        assert wal.syncs == 1
+
+    def test_negative_window_rejected(self, fs):
+        with pytest.raises(ValueError, match="group_window"):
+            WriteAheadLog("wal.1.log", fs=fs, group_window=-0.1)
+
+    def test_unsynced_frames_are_lost_never_torn(self):
+        from repro.storage.durability import FaultConfig, FaultyFileSystem
+
+        fs = FaultyFileSystem(FaultConfig(pending="torn"))
+        wal = WriteAheadLog("wal.1.log", fs=fs, group_window=60.0)
+        for i in range(3):
+            wal.append(WalRecord.delete("x", i))
+            wal.commit()
+        wal.sync()
+        for i in range(3, 6):
+            wal.append(WalRecord.delete("x", i))
+            wal.commit()  # buffered only — the window never elapsed
+        fs.crashed = True
+        fs._crash("write", "wal.1.log")  # resolve pending: torn prefix
+        survivor = fs.survivor()
+        scan = scan_wal(survivor, "wal.1.log")
+        # the acked prefix replays whole; the torn tail is detected
+        assert [r.row_id for r in scan.records][:3] == [0, 1, 2]
+        assert len(scan.records) < 6
+        assert scan.torn_bytes > 0

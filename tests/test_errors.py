@@ -16,6 +16,7 @@ from repro.errors import (
     CorruptColumnError,
     DeadlineExceeded,
     ExecutorClosedError,
+    QuarantinedColumnError,
     ReproError,
     StaleCursorError,
 )
@@ -29,6 +30,7 @@ class TestHierarchy:
             AdmissionRejected("full"),
             DeadlineExceeded("late"),
             CorruptColumnError("p.bin", "bad"),
+            QuarantinedColumnError("x", "checksum mismatch"),
         ):
             assert isinstance(leaf, ReproError)
 
@@ -54,6 +56,11 @@ class TestHierarchy:
         # new with the serving layer: no legacy base to honour
         assert not isinstance(AdmissionRejected("full"), (RuntimeError, ValueError))
 
+    def test_quarantined_column_is_a_runtime_error(self):
+        # operational state, not bad input: RuntimeError, not ValueError
+        with pytest.raises(RuntimeError, match="quarantined"):
+            raise QuarantinedColumnError("x", "checksum mismatch")
+
 
 class TestPayloads:
     def test_stale_cursor_names_both_versions(self):
@@ -73,6 +80,13 @@ class TestPayloads:
         assert exc.reason == "holds 12 bytes"
         assert "store/t/c.bin" in str(exc)
 
+    def test_quarantined_column_names_column_reason_and_the_repair(self):
+        exc = QuarantinedColumnError("x", "checksum mismatch")
+        assert exc.column == "x"
+        assert exc.reason == "checksum mismatch"
+        # the message tells the operator how to get out of quarantine
+        assert "re-ingest" in str(exc)
+
 
 class TestReexports:
     def test_package_root_reexports_the_hierarchy(self):
@@ -83,6 +97,7 @@ class TestReexports:
             "AdmissionRejected",
             "DeadlineExceeded",
             "CorruptColumnError",
+            "QuarantinedColumnError",
         ):
             assert getattr(repro, name) is getattr(
                 __import__("repro.errors", fromlist=[name]), name

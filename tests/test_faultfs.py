@@ -1,0 +1,219 @@
+"""Tests for the fault-injection filesystem (the crash-matrix substrate).
+
+:class:`MemoryFileSystem` must model durability honestly — unsynced
+bytes and unsynced directory entries are volatile — and
+:class:`FaultyFileSystem` must crash deterministically at the N-th
+mutating operation, because the whole crash matrix enumerates N.
+"""
+
+import pytest
+
+from repro.storage.durability import (
+    FaultConfig,
+    FaultyFileSystem,
+    MemoryFileSystem,
+    PowerFailure,
+    SimulatedCrash,
+)
+
+
+@pytest.fixture
+def fs():
+    return MemoryFileSystem()
+
+
+class TestMemoryFileSystem:
+    def test_write_then_read_sees_pending_bytes(self, fs):
+        handle = fs.create("d/f")
+        handle.write(b"abc")
+        assert fs.read_bytes("d/f") == b"abc"
+        assert fs.size("d/f") == 3
+
+    def test_unsynced_bytes_are_volatile(self, fs):
+        handle = fs.create("f")
+        handle.write(b"abc")
+        handle.sync()
+        handle.write(b"def")  # never synced
+        assert fs._files[fs._norm("f")].durable == b"abc"
+        assert fs._files[fs._norm("f")].pending == b"def"
+
+    def test_sync_promotes_pending_to_durable(self, fs):
+        handle = fs.create("f")
+        handle.write(b"abc")
+        handle.sync()
+        record = fs._files[fs._norm("f")]
+        assert record.durable == b"abc" and record.pending == b""
+
+    def test_open_append_extends(self, fs):
+        fs.create("f").write(b"ab")
+        fs.open_append("f").write(b"cd")
+        assert fs.read_bytes("f") == b"abcd"
+
+    def test_create_truncates_immediately(self, fs):
+        handle = fs.create("f")
+        handle.write(b"old old old")
+        handle.sync()
+        fs.create("f")
+        assert fs.read_bytes("f") == b""
+
+    def test_mkdir_listdir(self, fs):
+        fs.mkdir("a/b")
+        fs.create("a/b/x").write(b"1")
+        fs.create("a/y").write(b"2")
+        assert fs.is_dir("a/b")
+        assert fs.listdir("a") == ["b", "y"]
+        assert fs.listdir("a/b") == ["x"]
+        with pytest.raises(FileNotFoundError):
+            fs.listdir("missing")
+
+    def test_replace_is_atomic_rename(self, fs):
+        fs.create("f.tmp").write(b"new")
+        fs.create("f").write(b"old")
+        fs.replace("f.tmp", "f")
+        assert fs.read_bytes("f") == b"new"
+        assert not fs.exists("f.tmp")
+
+    def test_remove_and_missing_file_errors(self, fs):
+        fs.create("f")
+        fs.remove("f")
+        assert not fs.exists("f")
+        with pytest.raises(FileNotFoundError):
+            fs.read_bytes("f")
+        with pytest.raises(FileNotFoundError):
+            fs.remove("f")
+
+    def test_truncate_cuts_and_syncs(self, fs):
+        handle = fs.create("f")
+        handle.write(b"abcdef")
+        fs.truncate("f", 4)
+        record = fs._files[fs._norm("f")]
+        assert record.durable == b"abcd" and record.pending == b""
+
+    def test_snapshot_shows_visible_content(self, fs):
+        fs.create("f").write(b"abc")
+        assert fs.snapshot() == {"f": b"abc"}
+
+    def test_path_helpers_are_posix(self, fs):
+        assert fs.join("a", "b") == "a/b"
+        assert fs.dirname("a/b") == "a"
+        assert fs.basename("a/b") == "b"
+
+
+class TestCrashScheduler:
+    def test_crash_fires_exactly_at_op_n(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=4))
+        fs.mkdir("d")                      # op 1
+        fs.create("d/f").write(b"a")       # ops 2 + 3
+        with pytest.raises(SimulatedCrash):
+            fs.open_append("d/f").write(b"b")  # existing file: write is op 4
+        assert fs.crashed and fs.ops == 4
+
+    def test_post_crash_operations_raise_power_failure(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=1))
+        with pytest.raises(SimulatedCrash):
+            fs.mkdir("d")
+        with pytest.raises(PowerFailure):
+            fs.create("f")
+
+    def test_crash_at_zero_never_crashes(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=0))
+        for i in range(50):
+            fs.create(f"f{i}").write(b"x")
+        assert not fs.crashed
+
+    def test_pending_none_loses_unsynced_bytes(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=5, pending="none"))
+        handle = fs.create("f")            # op 1
+        handle.write(b"durable")           # op 2
+        handle.sync()                      # op 3
+        handle.write(b"volatile")      # op 4 (buffered, unsynced)
+        with pytest.raises(SimulatedCrash):
+            handle.sync()                  # op 5 -> crash before persisting
+        assert fs.survivor().read_bytes("f") == b"durable"
+
+    def test_pending_all_keeps_unsynced_bytes(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=5, pending="all"))
+        handle = fs.create("f")
+        handle.write(b"durable")
+        handle.sync()
+        handle.write(b"volatile")
+        with pytest.raises(SimulatedCrash):
+            handle.sync()
+        assert fs.survivor().read_bytes("f") == b"durablevolatile"
+
+    def test_pending_torn_keeps_a_strict_prefix(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=5, pending="torn"))
+        handle = fs.create("f")
+        handle.write(b"durable")
+        handle.sync()
+        handle.write(b"volatile")
+        with pytest.raises(SimulatedCrash):
+            handle.sync()
+        survived = fs.survivor().read_bytes("f")
+        assert survived.startswith(b"durable")
+        tail = survived[len(b"durable"):]
+        assert b"volatile".startswith(tail) and tail != b"volatile"
+
+    def test_unsynced_rename_rolls_back_at_crash(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=7))
+        fs.create("f").sync()              # ops 1, 2
+        handle = fs.create("f.tmp")        # op 3
+        handle.write(b"new")               # op 4
+        handle.sync()                      # op 5
+        fs.replace("f.tmp", "f")           # op 6: applied...
+        # ...but the crash arrives before any sync_dir, so the rename
+        # was never durable: the survivor sees the pre-rename namespace.
+        with pytest.raises(SimulatedCrash):
+            fs.create("g")                 # op 7
+        survivor = fs.survivor()
+        assert survivor.read_bytes("f") == b""
+        assert survivor.read_bytes("f.tmp") == b"new"
+
+    def test_synced_rename_survives(self):
+        fs = FaultyFileSystem(FaultConfig(crash_at=0))
+        handle = fs.create("f.tmp")
+        handle.write(b"new")
+        handle.sync()
+        fs.replace("f.tmp", "f")
+        fs.sync_dir("")
+        survivor = fs.survivor()
+        assert survivor.read_bytes("f") == b"new"
+        assert not survivor.exists("f.tmp")
+
+    def test_drop_syncs_counts_and_persists_nothing(self):
+        fs = FaultyFileSystem(FaultConfig(drop_syncs=True))
+        handle = fs.create("f")
+        handle.write(b"abc")
+        handle.sync()  # lies
+        assert fs.dropped_syncs == 1
+        assert fs.survivor().read_bytes("f") == b""
+
+    def test_survivor_of_clean_run_keeps_durable_only(self):
+        fs = FaultyFileSystem(FaultConfig())
+        handle = fs.create("f")
+        handle.write(b"abc")
+        handle.sync()
+        handle.write(b"tail")
+        survivor = fs.survivor()
+        assert survivor.read_bytes("f") == b"abc"
+        # the survivor is fault-free and fully usable
+        survivor.create("g").write(b"x")
+        assert survivor.read_bytes("g") == b"x"
+
+    def test_from_survivor_rearms_the_fault(self):
+        first = FaultyFileSystem(FaultConfig(crash_at=0))
+        handle = first.create("f")
+        handle.write(b"abc")
+        handle.sync()
+        second = FaultyFileSystem.from_survivor(
+            first.survivor(), FaultConfig(crash_at=1)
+        )
+        assert second.read_bytes("f") == b"abc"
+        with pytest.raises(SimulatedCrash):
+            second.create("g")
+
+    def test_config_is_validated(self):
+        with pytest.raises(ValueError, match="crash_at"):
+            FaultConfig(crash_at=-1)
+        with pytest.raises(ValueError, match="pending"):
+            FaultConfig(pending="half")

@@ -221,3 +221,142 @@ class TestIntegrity:
         imprints_path.write_bytes(imprints_path.read_bytes()[:-16])
         with pytest.raises(CorruptColumnError, match="bytes"):
             store.read_imprints("t", "x")
+
+
+class TestAtomicGenerations:
+    """PR 7: every write is temp+fsync+rename; files are generation-named."""
+
+    def test_no_tmp_files_survive_a_write(self, store):
+        path = store.write_column(
+            "t", "x", Column(make_random(100, np.int32, seed=30))
+        )
+        leftovers = [
+            name for name in path.parent.iterdir() if name.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_files_are_generation_suffixed(self, store):
+        import json
+
+        path = store.write_column(
+            "t", "x", Column(make_random(50, np.int32, seed=31))
+        )
+        assert path.name == "x.1.bin"
+        catalog = json.loads((path.parent / "_catalog.json").read_text())
+        assert catalog["generation"] == 1
+        assert catalog["columns"]["x"]["file"] == "x.1.bin"
+        assert store.generation("t") == 1
+
+    def test_rewrite_bumps_generation_and_removes_superseded(self, store):
+        first = store.write_column(
+            "t", "x", Column(make_random(50, np.int32, seed=32))
+        )
+        second = store.write_column(
+            "t", "x", Column(make_random(80, np.int32, seed=33))
+        )
+        assert second.name == "x.2.bin"
+        assert not first.exists()  # superseded generation unlinked
+        loaded, _ = store.read_column("t", "x")
+        assert len(loaded) == 80
+
+    def test_generations_are_table_wide(self, store):
+        store.write_column("t", "x", Column(make_random(10, np.int32, seed=34)))
+        path = store.write_column(
+            "t", "y", Column(make_random(10, np.int32, seed=35))
+        )
+        assert path.name == "y.2.bin"
+        assert store.generation("t") == 2
+
+    def test_dictionary_sidecar_is_checksummed(self, store):
+        import json
+
+        codes, dictionary = encode_strings(["SEA", "ATL", "DEN"])
+        path = store.write_column("t", "origin", codes, dictionary=dictionary)
+        catalog = json.loads((path.parent / "_catalog.json").read_text())
+        meta = catalog["columns"]["origin"]
+        sidecar = path.parent / meta["dict_file"]
+        assert meta["dict_nbytes"] == len(sidecar.read_bytes())
+        import zlib
+
+        assert meta["dict_crc32"] == zlib.crc32(sidecar.read_bytes())
+
+    def test_corrupt_dictionary_raises_corrupt_column(self, store):
+        from repro.errors import CorruptColumnError
+
+        codes, dictionary = encode_strings(["SEA", "ATL", "DEN"])
+        path = store.write_column("t", "origin", codes, dictionary=dictionary)
+        import json
+
+        meta = json.loads((path.parent / "_catalog.json").read_text())
+        sidecar = path.parent / meta["columns"]["origin"]["dict_file"]
+        payload = bytearray(sidecar.read_bytes())
+        payload[0] ^= 0x20
+        sidecar.write_bytes(bytes(payload))
+        with pytest.raises(CorruptColumnError, match="dictionary"):
+            store.read_column("t", "origin")
+
+    def test_legacy_catalog_without_generation_still_loads(self, store):
+        """Pre-PR-7 stores name files ``<column>.bin`` and record no
+        generation; resolution must fall back, not explode."""
+        import json
+
+        column = Column(make_random(64, np.int32, seed=36))
+        path = store.write_column("t", "x", column)
+        table_dir = path.parent
+        catalog = json.loads((table_dir / "_catalog.json").read_text())
+        meta = catalog["columns"]["x"]
+        legacy_data = table_dir / "x.bin"
+        (table_dir / meta["file"]).rename(legacy_data)
+        del meta["file"]
+        del catalog["generation"]
+        (table_dir / "_catalog.json").write_text(json.dumps(catalog))
+
+        assert store.generation("t") == 0
+        loaded, _ = store.read_column("t", "x")
+        assert np.array_equal(loaded.values, column.values)
+
+
+class TestStoreEdgeCases:
+    """The inputs a long-lived store directory accumulates."""
+
+    def test_zero_row_column_round_trips(self, store):
+        column = Column(np.array([], dtype=np.int32), name="t.empty")
+        store.write_column("t", "empty", column)
+        loaded, _ = store.read_column("t", "empty")
+        assert len(loaded) == 0
+        assert loaded.ctype.name == "int"
+
+    def test_orphan_bin_does_not_confuse_the_catalog(self, store):
+        path = store.write_column(
+            "t", "x", Column(make_random(10, np.int32, seed=37))
+        )
+        (path.parent / "ghost.7.bin").write_bytes(b"\x00" * 40)
+        assert store.columns("t") == ["x"]
+        loaded, _ = store.read_column("t", "x")
+        assert len(loaded) == 10
+
+    def test_empty_table_dir_is_not_a_table(self, store, tmp_path):
+        store.write_column("t", "x", Column(make_random(10, np.int32, seed=38)))
+        (store.root / "scratch").mkdir()
+        assert store.tables() == ["t"]
+        with pytest.raises(KeyError, match="no table"):
+            store.read_column("scratch", "x")
+
+    def test_stray_files_in_table_dir_are_untouched(self, store):
+        path = store.write_column(
+            "t", "x", Column(make_random(10, np.int32, seed=39))
+        )
+        notes = path.parent / "README.txt"
+        notes.write_text("operator notes")
+        store.write_column("t", "x", Column(make_random(20, np.int32, seed=40)))
+        assert notes.read_text() == "operator notes"
+
+    def test_catalog_entry_with_missing_file_names_the_catalog_gap(self, store):
+        from repro.errors import CorruptColumnError
+
+        path = store.write_column(
+            "t", "x", Column(make_random(10, np.int32, seed=41))
+        )
+        path.unlink()
+        with pytest.raises(CorruptColumnError, match="catalog lists"):
+            store.read_column("t", "x")
