@@ -38,7 +38,8 @@ Usage (what CI runs after the full-size bench)::
     python -m repro.bench.regression FRESH.json --baseline BASELINE.json \
         --materialization MAT.json --materialization-baseline MAT_BASE.json \
         --streaming STREAM.json --streaming-baseline STREAM_BASE.json \
-        --durability DUR.json --durability-baseline DUR_BASE.json
+        --durability DUR.json --durability-baseline DUR_BASE.json \
+        --replication REPL.json --replication-baseline REPL_BASE.json
 
 Exit status 0 means no regression; 1 lists the failures.
 """
@@ -59,6 +60,7 @@ __all__ = [
     "check_streaming_regression",
     "check_serving_regression",
     "check_durability_regression",
+    "check_replication_regression",
     "main",
 ]
 
@@ -455,6 +457,79 @@ def check_durability_regression(
     return failures
 
 
+#: Config keys that must agree for replication ratios to compare.
+_REPLICATION_COMPARABLE_KEYS = ("n_rows", "n_mutations", "smoke")
+
+#: Headline ratios the replication gate tracks against a baseline: the
+#: steady-state shipping overhead grows on regression.
+_REPLICATION_CEILING_KEYS = ("ship_overhead_ratio",)
+
+
+def _replication_comparable(fresh: dict, baseline: dict) -> bool:
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _REPLICATION_COMPARABLE_KEYS
+    )
+
+
+def check_replication_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh ``BENCH_replication.json``; returns failures.
+
+    The hard invariants are correctness and convergence, both
+    machine-portable: the run must have verified the follower's
+    materialised column **bit-identical** to the NumPy oracle *and* its
+    local WAL a byte prefix of the primary's (a fast replica of the
+    wrong state gates immediately, no tolerance), and the follower must
+    have finished the run fully caught up (``final_lag == 0`` — a
+    follower that cannot drain a finite stream will never serve within
+    any staleness bound).
+
+    The soft invariant is the steady-state shipping overhead — the
+    within-run ratio of follower-side ship+apply time to primary-side
+    apply time for the same records — which must not grow more than the
+    tolerance over a same-shape baseline on full-size runs.  Smoke
+    workloads ship a few hundred frames in milliseconds, where scan
+    jitter swamps any tolerance; they check the hard invariants only.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+    if not fresh.get("verified_bit_identical"):
+        failures.append(
+            "replication run did not verify follower state bit-identical "
+            "(oracle match + WAL byte-prefix)"
+        )
+    if fresh.get("headline", {}).get("final_lag", 1) != 0:
+        failures.append(
+            f"follower finished lagging: final_lag="
+            f"{fresh.get('headline', {}).get('final_lag')}"
+        )
+    smoke = fresh.get("config", {}).get("smoke")
+    if (
+        baseline is not None
+        and not smoke
+        and _replication_comparable(fresh, baseline)
+    ):
+        headline = fresh.get("headline", {})
+        base_headline = baseline.get("headline", {})
+        for key in _REPLICATION_CEILING_KEYS:
+            ceiling = base_headline.get(key, float("inf")) * (1.0 + tolerance)
+            got = headline.get(key, 0.0)
+            if got > ceiling:
+                failures.append(
+                    f"replication {key} grew: {got:.2f}x > {ceiling:.2f}x "
+                    f"(baseline {base_headline.get(key, 0.0):.2f}x + "
+                    f"{tolerance:.0%})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.regression", description=__doc__
@@ -504,6 +579,16 @@ def main(argv: list[str] | None = None) -> int:
         "--durability-baseline",
         default=None,
         help="committed baseline BENCH_durability.json (optional)",
+    )
+    parser.add_argument(
+        "--replication",
+        default=None,
+        help="fresh BENCH_replication.json to gate as well (optional)",
+    )
+    parser.add_argument(
+        "--replication-baseline",
+        default=None,
+        help="committed baseline BENCH_replication.json (optional)",
     )
     parser.add_argument(
         "--tolerance",
@@ -605,6 +690,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    if args.replication:
+        replication_fresh = load_result(args.replication)
+        replication_baseline = (
+            load_result(args.replication_baseline)
+            if args.replication_baseline
+            else None
+        )
+        if replication_baseline is not None and not _replication_comparable(
+            replication_fresh, replication_baseline
+        ):
+            print(
+                "note: replication baseline config differs; ratio "
+                "comparison skipped, bit-identical invariant still gates"
+            )
+        failures.extend(
+            check_replication_regression(
+                replication_fresh, replication_baseline,
+                tolerance=args.tolerance,
+            )
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -619,6 +725,7 @@ def main(argv: list[str] | None = None) -> int:
         + ("; streaming gate passed" if args.streaming else "")
         + ("; serving gate passed" if args.serving else "")
         + ("; durability gate passed" if args.durability else "")
+        + ("; replication gate passed" if args.replication else "")
     )
     return 0
 

@@ -43,10 +43,19 @@ Commands
     Durability study: WAL overhead per mutation across group-commit
     windows, and recovery time against log length (recovery verified
     bit-identical before any timing is recorded).
+``replication``
+    Replication study: WAL-shipping throughput, apply lag behind an
+    acknowledged primary, bootstrap and catch-up cost (follower state
+    verified bit-identical before any timing is recorded).
+``replicate``
+    Run a warm follower: poll a primary's ``/replicate/*`` endpoints,
+    apply shipped WAL frames, optionally promote.
 ``serve``
     Run the HTTP serving layer (``/query`` ``/aggregate`` ``/page``
     ``/healthz`` ``/stats``) over a dataset's columns — or a synthetic
-    demo column — until interrupted.
+    demo column — until interrupted.  With ``--store ROOT`` the server
+    fronts a ``DurableStore`` as a replication primary and the
+    ``/replicate/*`` ship endpoints come alive.
 
 Global options: ``--scale`` (dataset scale factor, default from
 ``REPRO_SCALE`` or 1.0) and ``--seed``.
@@ -188,6 +197,40 @@ def build_parser() -> argparse.ArgumentParser:
     durability.add_argument("--json", metavar="PATH", default=None,
                             help="also write the machine-readable result")
 
+    replication = commands.add_parser(
+        "replication",
+        help="WAL-shipping throughput / apply-lag / catch-up study",
+    )
+    replication.add_argument("--rows", type=int, default=None,
+                             help="base column length (default: 200k * scale)")
+    replication.add_argument("--mutations", type=int, default=None,
+                             help="mutation stream length (default: 4k * scale)")
+    replication.add_argument("--smoke", action="store_true",
+                             help="shrunken CI-sized workload")
+    replication.add_argument("--json", metavar="PATH", default=None,
+                             help="also write the machine-readable result")
+
+    replicate = commands.add_parser(
+        "replicate",
+        help="run a warm follower against a primary's /replicate endpoints",
+    )
+    replicate.add_argument("--follow", required=True, metavar="HOST:PORT",
+                           help="the primary's serving address")
+    replicate.add_argument("--root", required=True,
+                           help="the follower's own column-store root")
+    replicate.add_argument("--table", required=True,
+                           help="the table to replicate")
+    replicate.add_argument("--poll", type=float, default=0.5,
+                           help="seconds between catch-up passes")
+    replicate.add_argument("--max-lag", type=int, default=None,
+                           help="bounded-staleness read gate (records)")
+    replicate.add_argument("--once", action="store_true",
+                           help="one catch-up pass, report, exit")
+    replicate.add_argument("--promote", action="store_true",
+                           help="catch up, promote to primary, report, exit")
+    replicate.add_argument("--json", action="store_true",
+                           help="print a machine-readable report")
+
     serve = commands.add_parser(
         "serve", help="run the HTTP serving layer until interrupted"
     )
@@ -198,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: one synthetic demo column 'serve')")
     serve.add_argument("--rows", type=int, default=1_000_000,
                        help="demo column length when no --dataset is given")
+    serve.add_argument("--store", metavar="ROOT", default=None,
+                       help="serve a DurableStore at this root as a "
+                            "replication primary (/replicate/* comes "
+                            "alive; an empty store is seeded with the "
+                            "demo column)")
+    serve.add_argument("--table", default="t",
+                       help="table name within --store (default: t)")
     serve.add_argument("--max-inflight", type=int, default=8)
     serve.add_argument("--max-waiting", type=int, default=32)
     serve.add_argument("--timeout", type=float, default=1.0,
@@ -501,6 +551,100 @@ def _cmd_durability(args) -> str:
     return render_durability_study(result)
 
 
+def _cmd_replication(args) -> str:
+    from .bench.replication import (
+        render_replication_study,
+        run_replication_study,
+        scaled_defaults,
+        write_replication_json,
+    )
+
+    sizes = scaled_defaults(_scale(args))
+    result = run_replication_study(
+        n_rows=args.rows if args.rows else sizes["n_rows"],
+        n_mutations=args.mutations if args.mutations else sizes["n_mutations"],
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_replication_json(result, args.json)
+    return render_replication_study(result)
+
+
+def _cmd_replicate(args) -> str:
+    import json as json_module
+    import time as time_module
+
+    from .errors import DivergenceError
+    from .storage.durability.replication import (
+        HttpShipSource,
+        ReplicaStore,
+        ReplicationPartition,
+    )
+
+    address = args.follow
+    if address.startswith("http://"):
+        address = address[len("http://"):]
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"--follow must be HOST:PORT, got {args.follow!r}")
+    source = HttpShipSource(host, int(port_text))
+    replica = ReplicaStore(
+        args.root, args.table, source,
+        max_lag_seq=args.max_lag,
+    )
+
+    def describe(report) -> list[str]:
+        lines = []
+        if report.bootstrapped:
+            lines.append(
+                f"bootstrapped ({replica.files_fetched} fetched so far, "
+                f"{replica.files_reused} reused)"
+            )
+        if report.frames_applied:
+            lines.append(f"applied {report.frames_applied} frames")
+        for reason in report.divergences:
+            lines.append(f"diverged: {reason}")
+        return lines
+
+    try:
+        if args.once or args.promote:
+            try:
+                report = replica.catch_up()
+            except ReplicationPartition as exc:
+                raise SystemExit(f"primary unreachable: {exc}") from exc
+            payload = replica.replication_info()
+            payload["last_pass"] = report.as_dict()
+            if args.promote:
+                replica.promote()
+                payload = replica.replication_info()
+                payload["last_pass"] = report.as_dict()
+            if args.json:
+                return json_module.dumps(payload, indent=2)
+            lines = describe(report) or ["caught up, nothing to apply"]
+            lines.append(
+                f"role={payload['role']} epoch={payload['epoch']} "
+                f"applied_seq={payload['applied_seq']} lag={payload['lag']}"
+            )
+            return "\n".join(lines)
+        while True:
+            try:
+                report = replica.catch_up()
+            except ReplicationPartition as exc:
+                print(f"partition: {exc}; retrying", flush=True)
+            except DivergenceError as exc:
+                print(f"diverged: {exc}; re-bootstrapping", flush=True)
+            else:
+                for line in describe(report):
+                    print(line, flush=True)
+            time_module.sleep(args.poll)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        replica.close()
+    return "stopped"
+
+
 def _build_serve_indexes(args) -> dict:
     from .core import ColumnImprints
 
@@ -528,7 +672,20 @@ def _cmd_serve(args) -> str:
     from .serving.http import ServingHTTPServer
     from .serving.service import ImprintService, ServingConfig
 
-    indexes = _build_serve_indexes(args)
+    store = primary = None
+    if args.store:
+        from .storage.durability.recovery import DurableStore
+        from .storage.durability.replication import ReplicationPrimary
+
+        store = DurableStore(args.store, args.table)
+        if not store.columns():
+            rng = np.random.default_rng(args.seed)
+            walk = np.cumsum(rng.normal(0.0, 25.0, args.rows)) + 50_000.0
+            store.create_column("serve", walk.astype(np.int32))
+        primary = ReplicationPrimary(store)
+        indexes = {name: store.index(name) for name in store.columns()}
+    else:
+        indexes = _build_serve_indexes(args)
     config = ServingConfig(
         max_inflight=args.max_inflight,
         max_waiting=args.max_waiting,
@@ -538,6 +695,8 @@ def _cmd_serve(args) -> str:
     async def run() -> None:
         executor = QueryExecutor(indexes)
         service = ImprintService(executor, config)
+        if primary is not None:
+            service.attach_replication(primary)
         try:
             async with ServingHTTPServer(
                 service, host=args.host, port=args.port
@@ -545,12 +704,18 @@ def _cmd_serve(args) -> str:
                 host, port = server.address
                 print(f"serving {sorted(indexes)} on http://{host}:{port}",
                       flush=True)
+                if primary is not None:
+                    print(f"  replication primary: table "
+                          f"'{args.table}' at {args.store}, "
+                          f"epoch {primary.epoch}", flush=True)
                 print(f"  in flight <= {config.max_inflight}, "
                       f"waiting <= {config.max_waiting}, "
                       f"budget {config.default_timeout:.3g}s", flush=True)
                 await server.serve_forever()
         finally:
             await service.close()
+            if store is not None:
+                store.close()
 
     try:
         asyncio.run(run())
@@ -573,6 +738,8 @@ _COMMANDS = {
     "serving": _cmd_serving,
     "recover": _cmd_recover,
     "durability": _cmd_durability,
+    "replication": _cmd_replication,
+    "replicate": _cmd_replicate,
     "serve": _cmd_serve,
 }
 

@@ -21,7 +21,13 @@ unchanged:
   failed its integrity check on read;
 * :class:`QuarantinedColumnError` — startup recovery found a column
   irreparably corrupt and fenced it off; the rest of the store keeps
-  serving (degraded, not dead).
+  serving (degraded, not dead);
+* :class:`ReplicationError` and its family —
+  :class:`DivergenceError` (the follower's shipped state failed
+  verification and must re-bootstrap), :class:`StalePrimaryError` (a
+  fenced primary epoch tried to keep shipping), :class:`NotPrimaryError`
+  (a write reached a read-only follower) and :class:`FollowerLagging`
+  (a bounded-staleness read refused; HTTP 503 + ``Retry-After``).
 
 The serving layer (:mod:`repro.serving`) maps these onto HTTP statuses
 one-to-one: 410, 503, 429, 504, 500 and 503 respectively — see
@@ -38,6 +44,11 @@ __all__ = [
     "DeadlineExceeded",
     "CorruptColumnError",
     "QuarantinedColumnError",
+    "ReplicationError",
+    "DivergenceError",
+    "StalePrimaryError",
+    "NotPrimaryError",
+    "FollowerLagging",
 ]
 
 
@@ -138,3 +149,84 @@ class QuarantinedColumnError(ReproError, RuntimeError):
         )
         self.column = column
         self.reason = reason
+
+
+class ReplicationError(ReproError):
+    """Base class of every deliberate replication-layer failure."""
+
+
+class DivergenceError(ReplicationError):
+    """The follower detected it can no longer trust its shipped state.
+
+    Raised on a sequence gap, a segment or frame checksum mismatch, a
+    generation skew (the primary checkpointed or rebased a column since
+    the follower last synced), or a frame for a column the follower has
+    never seen.  Divergence is never served: the follower's response is
+    to re-bootstrap from the primary's last checkpoint manifest rather
+    than answer queries from state that is not a verified prefix of the
+    primary's.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"replication diverged: {reason} — resync required")
+        self.reason = reason
+
+
+class StalePrimaryError(ReplicationError):
+    """A fenced (superseded) primary epoch tried to keep shipping.
+
+    After a follower is promoted, the cluster's primary epoch advances;
+    segments and manifests stamped with an older epoch come from a
+    primary that lost its lease.  Followers refuse them (never resync
+    *backwards* onto a deposed primary), and a primary that learns of a
+    higher epoch fences itself so subsequent writes fail loudly instead
+    of diverging silently.
+    """
+
+    def __init__(self, seen_epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"primary epoch {seen_epoch} is fenced: the cluster has "
+            f"advanced to epoch {current_epoch} (a follower was promoted) "
+            f"— this primary must stop accepting writes"
+        )
+        self.seen_epoch = int(seen_epoch)
+        self.current_epoch = int(current_epoch)
+
+
+class NotPrimaryError(ReplicationError):
+    """A mutation (or ship request) reached a node that is not primary.
+
+    Followers are read-only: accepting a local write would fork history
+    from the primary's WAL.  Promotion (:meth:`ReplicaStore.promote`)
+    is the supported way to start writing to a follower.
+    """
+
+    def __init__(self, role: str, what: str = "write") -> None:
+        super().__init__(
+            f"refusing {what}: this node's role is {role!r}, not 'primary'"
+        )
+        self.role = role
+        self.what = what
+
+
+class FollowerLagging(ReplicationError):
+    """A bounded-staleness read refused: the follower is too far behind.
+
+    Carries the observed ``lag`` (acknowledged primary sequence minus
+    applied follower sequence), the configured bound ``max_lag_seq``,
+    and a ``retry_after`` hint.  The HTTP layer maps this to 503 with
+    the lag in the body and a ``Retry-After`` header, which the retry
+    client honours — stale-bounded reads degrade to waiting, never to
+    silently stale answers.
+    """
+
+    def __init__(
+        self, lag: int, max_lag_seq: int, retry_after: float = 0.05
+    ) -> None:
+        super().__init__(
+            f"follower is {lag} acknowledged records behind the primary "
+            f"(bound: {max_lag_seq}) — retry once replication catches up"
+        )
+        self.lag = int(lag)
+        self.max_lag_seq = int(max_lag_seq)
+        self.retry_after = float(retry_after)

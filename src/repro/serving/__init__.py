@@ -14,7 +14,9 @@ Modules:
 * :mod:`~repro.serving.service` — :class:`ImprintService`, the async
   facade (deadlines, degradation, health, stats);
 * :mod:`~repro.serving.http` — the stdlib HTTP/1.1 front end
-  (``/query`` ``/aggregate`` ``/page`` ``/healthz`` ``/stats``);
+  (``/query`` ``/aggregate`` ``/page`` ``/healthz`` ``/stats``
+  ``/replicate/*``), with connection-level cancellation: a dead client
+  socket cancels its in-flight request and frees its admission slot;
 * :mod:`~repro.serving.chaos` — deterministic fault injection
   (stalls, latency, eviction storms, mid-page mutations);
 * :mod:`~repro.serving.client` — asyncio client with jittered-backoff

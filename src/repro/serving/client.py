@@ -24,7 +24,10 @@ from dataclasses import dataclass, field
 
 __all__ = ["ClientResponse", "ServingClient", "retry_with_backoff"]
 
-#: Statuses worth retrying: shed load and shutdown races.
+#: Statuses worth retrying: shed load, shutdown races, and a lagging
+#: replication follower (``FollowerLagging`` → 503 with the lag in the
+#: body and a ``Retry-After`` hint the backoff floor honours — by the
+#: next attempt the follower has usually applied the missing frames).
 RETRYABLE_STATUSES = frozenset({429, 503})
 
 

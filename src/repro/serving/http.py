@@ -3,15 +3,25 @@
 A deliberately small HTTP/1.1 server exposing the
 :class:`~repro.serving.service.ImprintService` endpoints:
 
-====================  =====================================================
-``GET /query``        ``column``, ``low``, ``high`` (+ ``mode``, ``limit``,
-                      ``timeout_ms``) — range query, degradable
-``GET /aggregate``    ``column``, ``low``, ``high``, ``op`` — scalar pushdown
-``GET /page``         ``column``, ``low``, ``high``, ``limit``
-                      (+ ``cursor``, ``timeout_ms``) — cursor paging
-``GET /healthz``      liveness + pressure (never admission-controlled)
-``GET /stats``        service / admission / engine / cache counters
-====================  =====================================================
+=========================  ================================================
+``GET /query``             ``column``, ``low``, ``high`` (+ ``mode``,
+                           ``limit``, ``timeout_ms``) — range query,
+                           degradable
+``GET /aggregate``         ``column``, ``low``, ``high``, ``op`` — scalar
+                           pushdown
+``GET /page``              ``column``, ``low``, ``high``, ``limit``
+                           (+ ``cursor``, ``timeout_ms``) — cursor paging
+``GET /healthz``           liveness + pressure (never admission-controlled)
+``GET /stats``             service / admission / engine / cache counters
+``GET /replicate/manifest``  bootstrap manifest (primary role only)
+``GET /replicate/wal``     ``generation``, ``after`` (+ ``limit``,
+                           ``follower``) — acknowledged WAL frames, base64
+``GET /replicate/file``    ``name`` — one base file, base64 + CRC32
+=========================  ================================================
+
+The ``/replicate/*`` endpoints are never admission-controlled: shipping
+to a follower must keep working precisely when read traffic saturates
+the admission queue (otherwise load converts into replica lag).
 
 Error mapping (the contract ``docs/SERVING.md`` documents)::
 
@@ -22,6 +32,10 @@ Error mapping (the contract ``docs/SERVING.md`` documents)::
     QuarantinedColumnError -> 503  (degraded, not dead: one corrupt
                                     column is fenced off, the rest of
                                     the store keeps answering)
+    FollowerLagging        -> 503  + Retry-After header, lag in body
+    DivergenceError        -> 503  (the follower is re-bootstrapping)
+    NotPrimaryError        -> 409  (wrong role for the request)
+    StalePrimaryError      -> 409  (fenced epoch; epochs in body)
     unknown column         -> 404
     bad parameters         -> 400
     anything else          -> 500
@@ -30,6 +44,15 @@ Responses are JSON.  Request lines, headers and bodies are
 size-capped; a malformed or oversized request gets a 400 and the
 connection is closed — a network-facing parser must never allocate
 proportionally to hostile input.
+
+Connection-level cancellation: while a request is being served the
+connection is watched for client death.  If the socket reaches EOF (or
+resets) before the response is written, the in-flight dispatch task is
+**cancelled** — the service's ``try/finally`` releases the admission
+slot immediately and the engine-side future is cancelled — instead of
+the abandoned request holding capacity until its batch completes.
+Bytes a pipelining client sends early are buffered, not mistaken for a
+disconnect.
 """
 
 from __future__ import annotations
@@ -41,9 +64,13 @@ import urllib.parse
 from ..errors import (
     AdmissionRejected,
     DeadlineExceeded,
+    DivergenceError,
     ExecutorClosedError,
+    FollowerLagging,
+    NotPrimaryError,
     QuarantinedColumnError,
     StaleCursorError,
+    StalePrimaryError,
 )
 from .service import ImprintService
 
@@ -52,17 +79,25 @@ __all__ = ["ServingHTTPServer", "status_for_exception", "error_body"]
 #: Upper bound on the request head (request line + headers).
 MAX_HEAD_BYTES = 16 * 1024
 
+#: How much the connection loop reads per call while buffering.
+_READ_CHUNK = 64 * 1024
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     410: "Gone",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+class _ClientDisconnected(Exception):
+    """The client's socket died mid-request; the dispatch was cancelled."""
 
 
 def status_for_exception(exc: BaseException) -> int:
@@ -73,7 +108,17 @@ def status_for_exception(exc: BaseException) -> int:
         return 504
     if isinstance(exc, StaleCursorError):
         return 410
-    if isinstance(exc, (ExecutorClosedError, QuarantinedColumnError)):
+    if isinstance(exc, (NotPrimaryError, StalePrimaryError)):
+        return 409
+    if isinstance(
+        exc,
+        (
+            ExecutorClosedError,
+            QuarantinedColumnError,
+            FollowerLagging,
+            DivergenceError,
+        ),
+    ):
         return 503
     if isinstance(exc, KeyError):
         return 404
@@ -91,6 +136,15 @@ def error_body(exc: BaseException, status: int) -> dict:
     }
     if isinstance(exc, AdmissionRejected):
         body["retry_after"] = exc.retry_after
+    if isinstance(exc, FollowerLagging):
+        body["retry_after"] = exc.retry_after
+        body["lag"] = exc.lag
+        body["max_lag_seq"] = exc.max_lag_seq
+    if isinstance(exc, StalePrimaryError):
+        body["seen_epoch"] = exc.seen_epoch
+        body["current_epoch"] = exc.current_epoch
+    if isinstance(exc, NotPrimaryError):
+        body["role"] = exc.role
     return body
 
 
@@ -148,13 +202,23 @@ class ServingHTTPServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # The loop buffers reads itself (instead of readuntil) so the
+        # same stream can be watched for EOF *while* a request is being
+        # served — see _dispatch_watched.  Pipelined bytes the watcher
+        # swallows land back in this buffer.
+        buffer = bytearray()
         try:
             while True:
-                try:
-                    head = await reader.readuntil(b"\r\n\r\n")
-                except asyncio.IncompleteReadError:
-                    return  # client closed between requests
-                except asyncio.LimitOverrunError:
+                head_end = buffer.find(b"\r\n\r\n")
+                while head_end == -1:
+                    if len(buffer) > MAX_HEAD_BYTES:
+                        break
+                    chunk = await reader.read(_READ_CHUNK)
+                    if not chunk:
+                        return  # client closed between requests
+                    buffer += chunk
+                    head_end = buffer.find(b"\r\n\r\n")
+                if head_end == -1 or head_end + 4 > MAX_HEAD_BYTES:
                     await self._respond(
                         writer, 400,
                         {"error": "RequestTooLarge", "status": 400,
@@ -162,17 +226,15 @@ class ServingHTTPServer:
                         close=True,
                     )
                     return
-                if len(head) > MAX_HEAD_BYTES:
-                    await self._respond(
-                        writer, 400,
-                        {"error": "RequestTooLarge", "status": 400,
-                         "detail": "request head exceeds limit"},
-                        close=True,
-                    )
-                    return
-                keep_alive = await self._handle_request(head, reader, writer)
+                head = bytes(buffer[:head_end + 4])
+                del buffer[:head_end + 4]
+                keep_alive = await self._handle_request(
+                    head, reader, writer, buffer
+                )
                 if not keep_alive:
                     return
+        except _ClientDisconnected:
+            return  # the dispatch was cancelled; nothing left to write
         except (
             ConnectionResetError,
             BrokenPipeError,
@@ -189,7 +251,7 @@ class ServingHTTPServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _handle_request(self, head, reader, writer) -> bool:
+    async def _handle_request(self, head, reader, writer, buffer) -> bool:
         try:
             request_line, *header_lines = (
                 head.decode("latin-1").split("\r\n")
@@ -219,7 +281,12 @@ class ServingHTTPServer:
                     close=True,
                 )
                 return False
-            await reader.readexactly(length)
+            while len(buffer) < length:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    return False  # body truncated by a disconnect
+                buffer += chunk
+            del buffer[:length]
         keep_alive = headers.get("connection", "").lower() != "close"
 
         if method != "GET":
@@ -236,14 +303,77 @@ class ServingHTTPServer:
             key: values[-1]
             for key, values in urllib.parse.parse_qs(parsed.query).items()
         }
-        status, payload, extra_headers = await self._dispatch(
-            parsed.path, params
+        status, payload, extra_headers = await self._dispatch_watched(
+            parsed.path, params, reader, buffer
         )
         await self._respond(
             writer, status, payload,
             close=not keep_alive, extra_headers=extra_headers,
         )
         return keep_alive
+
+    # ------------------------------------------------------------------
+    # dispatch with client-death watching
+    # ------------------------------------------------------------------
+    async def _dispatch_watched(
+        self, path: str, params: dict[str, str], reader, buffer
+    ) -> tuple[int, dict, dict]:
+        """Run ``_dispatch`` while watching the socket for client death.
+
+        A concurrent read on the connection distinguishes three cases:
+
+        * it yields bytes — a pipelining client sent its next request
+          early; the bytes go back into the connection buffer and the
+          watch continues;
+        * it yields EOF (or resets) — the client is gone: the dispatch
+          task is **cancelled**, which unwinds the service coroutine's
+          ``try/finally`` (releasing the admission slot now, not when
+          the batch completes) and cancels the engine-side future;
+        * the dispatch finishes first — the watch read is cancelled
+          (an un-consumed read leaves the stream intact) and the
+          response is returned normally.
+        """
+        dispatch = asyncio.ensure_future(self._dispatch(path, params))
+        try:
+            while True:
+                watch = asyncio.ensure_future(reader.read(_READ_CHUNK))
+                await asyncio.wait(
+                    {dispatch, watch}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if dispatch.done():
+                    if watch.done():
+                        try:
+                            chunk = watch.result()
+                        except (ConnectionResetError, BrokenPipeError, OSError):
+                            chunk = b""
+                        buffer += chunk
+                    else:
+                        watch.cancel()
+                        try:
+                            await watch
+                        except (asyncio.CancelledError, ConnectionResetError,
+                                BrokenPipeError, OSError):
+                            pass
+                    return await dispatch
+                try:
+                    chunk = watch.result()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    chunk = b""
+                if chunk:
+                    buffer += chunk  # pipelined early bytes, keep serving
+                    continue
+                # EOF mid-dispatch: the client died.  Cancel the work.
+                dispatch.cancel()
+                try:
+                    await dispatch
+                except asyncio.CancelledError:
+                    pass
+                raise _ClientDisconnected()
+        except asyncio.CancelledError:
+            # The server itself is shutting down: take the dispatch
+            # task down with the connection handler.
+            dispatch.cancel()
+            raise
 
     # ------------------------------------------------------------------
     # routing
@@ -285,6 +415,26 @@ class ServingHTTPServer:
                     timeout=_timeout(params),
                 )
                 return 200, payload, {}
+            if path == "/replicate/manifest":
+                payload = self.service.replication_manifest(
+                    epoch=_optional_int(params, "epoch")
+                )
+                return 200, payload, {}
+            if path == "/replicate/wal":
+                payload = self.service.replication_wal(
+                    _optional_int(params, "generation") or 1,
+                    _optional_int(params, "after") or 0,
+                    _optional_int(params, "limit") or 256,
+                    params.get("follower"),
+                    epoch=_optional_int(params, "epoch"),
+                )
+                return 200, payload, {}
+            if path == "/replicate/file":
+                payload = self.service.replication_file(
+                    _required(params, "name"),
+                    epoch=_optional_int(params, "epoch"),
+                )
+                return 200, payload, {}
             return 404, {
                 "error": "NotFound", "status": 404,
                 "detail": f"no route {path!r}",
@@ -294,7 +444,7 @@ class ServingHTTPServer:
         except BaseException as exc:  # noqa: BLE001 - becomes the response
             status = status_for_exception(exc)
             extra = {}
-            if isinstance(exc, AdmissionRejected):
+            if isinstance(exc, (AdmissionRejected, FollowerLagging)):
                 extra["Retry-After"] = f"{exc.retry_after:.3f}"
             return status, error_body(exc, status), extra
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from ..errors import (
     DeadlineExceeded,
     ExecutorClosedError,
+    NotPrimaryError,
     QuarantinedColumnError,
 )
 from ..engine.executor import QueryExecutor
@@ -154,6 +155,7 @@ class ImprintService:
         self.started_at = time.monotonic()
         self._closed = False
         self.durability = None
+        self.replication = None
 
     # ------------------------------------------------------------------
     # durability surfacing
@@ -176,6 +178,88 @@ class ImprintService:
             raise QuarantinedColumnError(
                 column, durable.quarantined[column]
             )
+
+    # ------------------------------------------------------------------
+    # replication surfacing
+    # ------------------------------------------------------------------
+    def attach_replication(self, node) -> None:
+        """Attach this node's replication role.
+
+        ``node`` is either a
+        :class:`~repro.storage.durability.replication.ReplicationPrimary`
+        (the ``/replicate/*`` ship endpoints come alive) or a
+        :class:`~repro.storage.durability.replication.ReplicaStore`
+        (reads gain the bounded-staleness / divergence gate:
+        :class:`~repro.errors.FollowerLagging` → 503 + ``Retry-After``,
+        :class:`~repro.errors.DivergenceError` → 503).  Either way
+        ``/healthz`` and ``/stats`` grow a ``replication`` section.
+        """
+        self.replication = node
+
+    def _check_replication(self, column: str) -> None:
+        node = self.replication
+        if node is None:
+            return
+        check = getattr(node, "check_read", None)
+        if check is not None:
+            check(column)
+
+    def _require_shipper(self):
+        """The attached primary, or a typed refusal for the role we are."""
+        node = self.replication
+        if node is None or not hasattr(node, "wal_frames"):
+            role = getattr(node, "role", "standalone") if node else "standalone"
+            raise NotPrimaryError(role, "ship")
+        return node
+
+    def _note_peer_epoch(self, shipper, epoch: int | None) -> None:
+        """A request carrying a higher cluster epoch fences this primary."""
+        if epoch is not None:
+            shipper.note_epoch(int(epoch))
+
+    def replication_manifest(self, epoch: int | None = None) -> dict:
+        """``/replicate/manifest``: the bootstrap manifest (primary only)."""
+        shipper = self._require_shipper()
+        self._note_peer_epoch(shipper, epoch)
+        return shipper.manifest()
+
+    def replication_wal(
+        self,
+        generation: int,
+        after: int,
+        limit: int,
+        follower: str | None,
+        epoch: int | None = None,
+    ) -> dict:
+        """``/replicate/wal``: one acknowledged frame batch, base64-coded."""
+        import base64
+
+        shipper = self._require_shipper()
+        self._note_peer_epoch(shipper, epoch)
+        body = shipper.wal_frames(generation, after, limit, follower)
+        body["frames"] = [
+            {
+                "seq": entry["seq"],
+                "data": base64.b64encode(entry["data"]).decode("ascii"),
+            }
+            for entry in body["frames"]
+        ]
+        return body
+
+    def replication_file(self, name: str, epoch: int | None = None) -> dict:
+        """``/replicate/file``: one base file, base64-coded + checksummed."""
+        import base64
+        import zlib
+
+        shipper = self._require_shipper()
+        self._note_peer_epoch(shipper, epoch)
+        data = shipper.fetch_file(name)
+        return {
+            "name": name,
+            "nbytes": len(data),
+            "crc32": zlib.crc32(data),
+            "data": base64.b64encode(data).decode("ascii"),
+        }
 
     # ------------------------------------------------------------------
     # deadlines and degradation
@@ -283,6 +367,7 @@ class ImprintService:
         exc: BaseException | None = None
         try:
             self._check_quarantine(column)
+            self._check_replication(column)
             await self.admission.acquire(deadline)
             try:
                 level = self.degradation_level if mode == "auto" else "ok"
@@ -361,6 +446,7 @@ class ImprintService:
         exc: BaseException | None = None
         try:
             self._check_quarantine(column)
+            self._check_replication(column)
             await self.admission.acquire(deadline)
             try:
                 predicate = self.executor.predicate(column, low, high)
@@ -417,6 +503,7 @@ class ImprintService:
         exc: BaseException | None = None
         try:
             self._check_quarantine(column)
+            self._check_replication(column)
             await self.admission.acquire(deadline)
             try:
                 predicate = self.executor.predicate(column, low, high)
@@ -456,11 +543,24 @@ class ImprintService:
         snap = self.admission.snapshot()
         durable = self.durability
         quarantined = sorted(durable.quarantined) if durable else []
+        replication = (
+            self.replication.replication_info()
+            if self.replication is not None
+            else None
+        )
+        impaired = replication is not None and (
+            replication.get("needs_resync")
+            or replication.get("role") == "fenced"
+            or (
+                replication.get("max_lag_seq") is not None
+                and replication.get("lag", 0) > replication["max_lag_seq"]
+            )
+        )
         if self._closed:
             status = "closing"
         elif snap.waiting >= snap.max_waiting:
             status = "saturated"
-        elif self.degradation_level != "ok" or quarantined:
+        elif self.degradation_level != "ok" or quarantined or impaired:
             status = "degraded"
         else:
             status = "ok"
@@ -483,6 +583,8 @@ class ImprintService:
                 "replayed_records": report.replayed_total,
                 "torn_bytes_truncated": report.torn_bytes,
             }
+        if replication is not None:
+            payload["replication"] = replication
         return payload
 
     def stats_payload(self) -> dict:
@@ -529,6 +631,8 @@ class ImprintService:
                 "wal_syncs": durable.wal.syncs if durable.wal else None,
                 "checkpoints": durable.checkpoints,
             }
+        if self.replication is not None:
+            payload["replication"] = self.replication.replication_info()
         return payload
 
     # ------------------------------------------------------------------

@@ -10,9 +10,14 @@ The package splits durability into four pieces that compose:
   the mutation front-end that recovers (sweep, verify, scan, replay,
   fence) on every open and quarantines irreparable columns;
 * :mod:`~repro.storage.durability.faultfs` — the deterministic
-  fault-injection filesystem that drives the crash-matrix tests.
+  fault-injection filesystem that drives the crash-matrix tests;
+* :mod:`~repro.storage.durability.replication` — WAL-shipping
+  replication: :class:`ReplicationPrimary` ships acknowledged frames
+  and checkpoint manifests, :class:`ReplicaStore` maintains a verified
+  bit-identical prefix (or refuses, typed) and can be promoted.
 
-See ``docs/DURABILITY.md`` for the protocols and their proofs-by-test.
+See ``docs/DURABILITY.md`` and ``docs/REPLICATION.md`` for the
+protocols and their proofs-by-test.
 """
 
 from .atomic import (
@@ -38,6 +43,7 @@ from .wal import (
     WriteAheadLog,
     decode_record,
     encode_record,
+    parse_frame,
     scan_wal,
 )
 
@@ -56,6 +62,7 @@ __all__ = [
     "SimulatedCrash",
     "DurableStore",
     "RecoveryReport",
+    "replay_record",
     "wal_name",
     "WAL_MAGIC",
     "WalRecord",
@@ -63,19 +70,43 @@ __all__ = [
     "WriteAheadLog",
     "decode_record",
     "encode_record",
+    "parse_frame",
     "scan_wal",
+    "ChaosShipSource",
+    "HttpShipSource",
+    "LocalShipSource",
+    "ReplicaStore",
+    "ReplicationChaosConfig",
+    "ReplicationPartition",
+    "ReplicationPrimary",
+    "ShipSource",
 ]
 
-_LAZY = ("DurableStore", "RecoveryReport", "wal_name")
+_LAZY_RECOVERY = ("DurableStore", "RecoveryReport", "replay_record", "wal_name")
+_LAZY_REPLICATION = (
+    "ChaosShipSource",
+    "HttpShipSource",
+    "LocalShipSource",
+    "ReplicaStore",
+    "ReplicationChaosConfig",
+    "ReplicationPartition",
+    "ReplicationPrimary",
+    "ShipSource",
+)
 
 
 def __getattr__(name: str):
-    # recovery.py pulls in the index layer (repro.core), which itself
-    # imports repro.storage — importing it eagerly here would close an
-    # import cycle through persist.py.  Resolved on first use instead.
-    if name in _LAZY:
+    # recovery.py (and replication.py through it) pulls in the index
+    # layer (repro.core), which itself imports repro.storage —
+    # importing them eagerly here would close an import cycle through
+    # persist.py.  Resolved on first use instead.
+    if name in _LAZY_RECOVERY:
         from . import recovery
 
         return getattr(recovery, name)
+    if name in _LAZY_REPLICATION:
+        from . import replication
+
+        return getattr(replication, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 

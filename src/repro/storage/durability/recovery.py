@@ -56,13 +56,31 @@ from ..persist import CATALOG_NAME, ColumnStore
 from .atomic import FileSystem, OS_FS, TMP_SUFFIX
 from .wal import WalRecord, WriteAheadLog, scan_wal
 
-__all__ = ["DurableStore", "RecoveryReport", "wal_name"]
+__all__ = ["DurableStore", "RecoveryReport", "replay_record", "wal_name"]
 
 _WAL_RE = re.compile(r"^wal\.(\d+)\.log$")
 
 
 def wal_name(generation: int) -> str:
     return f"wal.{generation}.log"
+
+
+def replay_record(index: DeltaAwareImprints, record: WalRecord) -> None:
+    """Apply one decoded WAL record to a live index.
+
+    The single apply path shared by startup replay and the replication
+    follower (:mod:`.replication`): a shipped frame must mutate the
+    delta exactly the way local recovery would, or the follower's state
+    stops being a prefix of the primary's.  Bumps the index version on
+    success (cursors spanning the mutation go stale, as always).
+    """
+    if record.kind == "append":
+        index.delta.append(record.values)
+    elif record.kind == "update":
+        index.delta.update(record.row_id, record.value)
+    else:
+        index.delta.delete(record.row_id)
+    index.version += 1
 
 
 @dataclass
@@ -153,6 +171,11 @@ class DurableStore:
         self.indexes: dict[str, DeltaAwareImprints] = {}
         self.quarantined: dict[str, str] = {}
         self.checkpoints = 0
+        #: Columns with WAL records since the last checkpoint.  The
+        #: checkpoint snapshots *only* these; a clean column's base file
+        #: stays byte-identical across checkpoints (cheap incremental
+        #: checkpoints, and followers re-fetch only what changed).
+        self.dirty: set[str] = set()
         self.wal: WriteAheadLog | None = None
         self.report = self._recover()
 
@@ -255,12 +278,7 @@ class DurableStore:
                 continue
             index = self.indexes[name]
             try:
-                if record.kind == "append":
-                    index.delta.append(record.values)
-                elif record.kind == "update":
-                    index.delta.update(record.row_id, record.value)
-                else:
-                    index.delta.delete(record.row_id)
+                replay_record(index, record)
             except (IndexError, ValueError) as exc:
                 # A logically impossible record (only reachable when
                 # fsyncs were dropped or files rotted in concert):
@@ -273,8 +291,11 @@ class DurableStore:
                     report.columns.remove(name)
                 report.replayed.pop(name, None)
                 continue
-            index.version += 1
             report.replayed[name] = report.replayed.get(name, 0) + 1
+
+        # Replayed records are WAL state not yet folded into any base:
+        # exactly the columns the next checkpoint must snapshot.
+        self.dirty = set(report.replayed)
 
         # -- fence ------------------------------------------------------
         catalog["epoch"] = epoch
@@ -319,6 +340,9 @@ class DurableStore:
             previous.version + 1 if previous else self.report.epoch << 32
         )
         self.indexes[name] = index
+        # The fresh base already incorporates everything up to wal_upto,
+        # and nothing after it targets this column yet: it is clean.
+        self.dirty.discard(name)
         self.quarantined.pop(name, None)
         self.report.quarantined.pop(name, None)
         if name not in self.report.columns:
@@ -358,6 +382,7 @@ class DurableStore:
             )
         self.wal.append(WalRecord.append(name, batch))
         acked = self.wal.commit()
+        self.dirty.add(name)
         index.delta.append(batch)
         index.version += 1
         self._maybe_checkpoint()
@@ -375,6 +400,7 @@ class DurableStore:
         cast_value = np.asarray(value, dtype=dtype)[()]
         self.wal.append(WalRecord.update(name, row_id, cast_value, dtype))
         acked = self.wal.commit()
+        self.dirty.add(name)
         delta.update(row_id, cast_value)
         index.version += 1
         self._maybe_checkpoint()
@@ -389,6 +415,7 @@ class DurableStore:
             )
         self.wal.append(WalRecord.delete(name, row_id))
         acked = self.wal.commit()
+        self.dirty.add(name)
         index.delta.delete(row_id)
         index.version += 1
         self._maybe_checkpoint()
@@ -409,7 +436,15 @@ class DurableStore:
                 return
 
     def checkpoint(self) -> None:
-        """Snapshot every healthy column and rotate the WAL.
+        """Snapshot every *dirty* column and rotate the WAL.
+
+        Incremental: only columns with WAL records since the last
+        checkpoint (``self.dirty``) are re-materialised and rewritten —
+        a clean column keeps its generation file byte-identical, its
+        live index object, and its cursors.  Correctness is unchanged:
+        a clean column's base already incorporates everything the old
+        WAL could replay into it, so resetting its ``wal_upto`` against
+        the empty new WAL is still a no-op fence.
 
         See the module docstring for why each step may crash safely.
         """
@@ -422,7 +457,12 @@ class DurableStore:
         new_wal = WriteAheadLog(                  # 2. next WAL, durable magic
             new_wal_path, fs=self.fs, group_window=self.group_window
         )
-        for name, index in sorted(self.indexes.items()):
+        stale = {
+            name for name, index in self.indexes.items()
+            if name in self.dirty or index.delta.n_pending > 0
+        }
+        for name in sorted(stale):
+            index = self.indexes[name]
             merged = index.delta.materialize()    # 3. snapshot + fence
             self.store.write_column(self.table, name, merged, wal_upto=ckpt_seq)
             fresh = DeltaAwareImprints(
@@ -435,6 +475,7 @@ class DurableStore:
         for meta in catalog["columns"].values():
             meta["wal_upto"] = 0                  # new WAL numbers from 1
         self._save_catalog(catalog)
+        self.dirty.clear()
         old_wal = self.wal
         self.wal = new_wal
         old_wal.close()                           # 5. cleanup, crash-safe

@@ -1,0 +1,1057 @@
+"""WAL-shipping replication: warm follower, divergence detection, promotion.
+
+One :class:`DurableStore` (the **primary**) streams its durability
+artifacts to a warm standby (the **follower**); the follower maintains
+the invariant this module's chaos suite proves:
+
+    *the follower's state is always a bit-identical prefix of the
+    primary's acknowledged state, or a typed refusal — never a wrong
+    answer.*
+
+Two artifact kinds ship, matching the two tiers of the durable layout:
+
+* **checkpoint manifests + base files** — the catalog's
+  generation-suffixed column snapshots, copied verbatim and verified
+  byte-for-byte against the catalog's recorded length + CRC32.  Used
+  for the initial bootstrap and for catch-up after the primary rotates
+  its WAL (a checkpoint folds frames the follower may not have seen
+  into new bases; the old sequence numbering is gone, so the follower
+  re-bases rather than guess);
+* **raw WAL frames** — the length- and CRC32-framed record bytes from
+  the primary's live log, shipped *verbatim* and appended verbatim
+  (:meth:`~.wal.WriteAheadLog.append_frame`), so the follower's log is
+  literally a byte prefix of the primary's.  Only **acknowledged**
+  frames ship (``seq <= synced_seq``): an unsynced frame may still
+  vanish in a primary crash, and a follower must never hold state the
+  primary could disown.
+
+Frames are applied through :func:`~.recovery.replay_record` — the same
+code path startup recovery replays with — after three checks per frame
+(primary's CRC via :func:`~.wal.parse_frame`, exact sequence
+continuity, epoch/generation match) plus a whole-batch CRC.  Any
+failure raises :class:`~repro.errors.DivergenceError` and flags the
+follower for re-bootstrap; divergent state is *never* served.
+
+Roles and fencing: a node is ``"primary"``, ``"follower"`` or
+``"promoting"``.  :meth:`ReplicaStore.promote` reopens the local store
+(running the full recovery state machine — sweep, verify, scan,
+replay, fence — so a promoted store passes exactly the invariants a
+restarted primary does), advances the cluster epoch past the old
+primary's, and returns a :class:`ReplicationPrimary` ready to ship to
+the next follower.  A deposed primary that learns of the higher epoch
+(:meth:`ReplicationPrimary.note_epoch`) fences itself: every
+subsequent write or ship raises
+:class:`~repro.errors.StalePrimaryError`.
+
+Bounded staleness: follower reads pass :meth:`ReplicaStore.check_read`
+first; when the applied sequence trails the primary's acknowledged
+sequence by more than ``max_lag_seq`` the read refuses with
+:class:`~repro.errors.FollowerLagging` (HTTP 503 + ``Retry-After``)
+instead of silently serving stale rows.
+
+Transport is a three-call seam (:class:`ShipSource`):
+``manifest()`` / ``wal_frames()`` / ``fetch_file()`` — implemented
+in-process (:class:`LocalShipSource`), over the serving layer's HTTP
+endpoints (:class:`HttpShipSource` against ``/replicate/*``), and by
+the deterministic fault wrapper (:class:`ChaosShipSource`: partitions,
+torn / duplicated / reordered / corrupted transfers) the chaos suite
+drives.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from ...errors import (
+    DivergenceError,
+    FollowerLagging,
+    NotPrimaryError,
+    ReplicationError,
+    StalePrimaryError,
+)
+from ..persist import CATALOG_NAME, ColumnStore
+from .atomic import FileSystem, OS_FS, atomic_write_bytes
+from .recovery import DurableStore, replay_record, wal_name
+from .wal import parse_frame, scan_wal
+
+__all__ = [
+    "ChaosShipSource",
+    "HttpShipSource",
+    "LocalShipSource",
+    "ReplicaStore",
+    "ReplicationChaosConfig",
+    "ReplicationPartition",
+    "ReplicationPrimary",
+    "ShipSource",
+]
+
+#: Frames per ship batch when the caller names no limit.
+DEFAULT_BATCH_FRAMES = 256
+
+
+class ReplicationPartition(ReplicationError, ConnectionError):
+    """The ship transport failed mid-call (network partition).
+
+    Purely transient: no state on either side changed, the follower
+    simply retries.  ``ConnectionError`` stays in the bases so generic
+    socket handling catches it too.
+    """
+
+
+def batch_crc32(frames: list[bytes]) -> int:
+    """CRC32 over a whole frame batch (transfer-level integrity)."""
+    crc = 0
+    for frame in frames:
+        crc = zlib.crc32(frame, crc)
+    return crc
+
+
+class ShipSource:
+    """The transport seam a :class:`ReplicaStore` pulls from.
+
+    Three calls, all idempotent, all safe to retry after a partition:
+
+    ``manifest()``
+        The primary's current checkpoint manifest: epoch, catalog +
+        WAL generation, per-column catalog entries (file name, length,
+        CRC32, ``wal_upto`` fence), and the acknowledged sequence.
+    ``wal_frames(wal_generation, after_seq, limit, follower)``
+        Acknowledged raw frames with ``after_seq < seq <= acked_seq``
+        of the named WAL generation, plus a batch CRC.  When the
+        primary has rotated past ``wal_generation`` the response says
+        ``resync`` instead — the sequence numbering restarted and the
+        follower must re-bootstrap from the new manifest.
+    ``fetch_file(name)``
+        Raw bytes of one catalog-referenced base file.
+    """
+
+    def manifest(self) -> dict:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def wal_frames(
+        self,
+        wal_generation: int,
+        after_seq: int,
+        limit: int = DEFAULT_BATCH_FRAMES,
+        follower: str | None = None,
+    ) -> dict:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def fetch_file(self, name: str) -> bytes:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def advertise_epoch(self, epoch: int) -> None:
+        """Best-effort: tell the source's primary the highest cluster
+        epoch we know, so a deposed primary fences itself.  Never
+        raises — an unreachable or already-fenced primary is fine; the
+        refusal surfaces on its next ship call."""
+
+
+# ----------------------------------------------------------------------
+# the primary side
+# ----------------------------------------------------------------------
+class ReplicationPrimary:
+    """Ship-side wrapper around one :class:`DurableStore`.
+
+    Serves manifests, base files and acknowledged WAL frames; guards
+    the store's mutation API behind the epoch fence.  The wrapped
+    store stays fully usable — ``primary.append`` is ``store.append``
+    plus the fence check.
+    """
+
+    def __init__(self, store: DurableStore, epoch: int | None = None) -> None:
+        self.store = store
+        #: The cluster epoch this primary believes it owns.  Seeded
+        #: from the recovery epoch (strictly increasing across opens),
+        #: so a restarted primary always presents a higher epoch.
+        self.epoch = int(store.report.epoch if epoch is None else epoch)
+        #: Set to the higher epoch once this primary learns it was
+        #: superseded; every write and ship refuses from then on.
+        self.fenced_by: int | None = None
+        #: Last ``after_seq`` each follower id reported (visibility).
+        self.followers: dict[str, int] = {}
+        self.manifest_ships = 0
+        self.file_ships = 0
+        self.frame_batches = 0
+        self.frames_shipped = 0
+        self.bytes_shipped = 0
+        # Frame cache for the live WAL generation: entry i holds the
+        # raw frame with seq i+1 (sequences restart at 1 per
+        # generation).  Refreshed by rescanning the log only when a
+        # follower asks past the cached tail.
+        self._cache_generation: int | None = None
+        self._cache_frames: list[bytes] = []
+
+    # -- role / fencing -------------------------------------------------
+    @property
+    def role(self) -> str:
+        return "primary" if self.fenced_by is None else "fenced"
+
+    def _check_fence(self, what: str = "write") -> None:
+        if self.fenced_by is not None:
+            raise StalePrimaryError(self.epoch, self.fenced_by)
+
+    def note_epoch(self, seen_epoch: int) -> None:
+        """Learn of another node's epoch; fence if it supersedes ours."""
+        if seen_epoch > self.epoch:
+            self.fenced_by = int(seen_epoch)
+            raise StalePrimaryError(self.epoch, self.fenced_by)
+
+    # -- guarded mutation API -------------------------------------------
+    def append(self, name: str, values) -> bool:
+        self._check_fence("append")
+        return self.store.append(name, values)
+
+    def update(self, name: str, row_id: int, value) -> bool:
+        self._check_fence("update")
+        return self.store.update(name, row_id, value)
+
+    def delete(self, name: str, row_id: int) -> bool:
+        self._check_fence("delete")
+        return self.store.delete(name, row_id)
+
+    def create_column(self, name: str, values, **kwargs) -> None:
+        self._check_fence("create_column")
+        self.store.create_column(name, values, **kwargs)
+
+    def checkpoint(self) -> None:
+        self._check_fence("checkpoint")
+        self.store.checkpoint()
+
+    def sync(self) -> None:
+        self.store.sync()
+
+    # -- shipping -------------------------------------------------------
+    def manifest(self) -> dict:
+        """The current checkpoint manifest a follower bootstraps from."""
+        self._check_fence("ship a manifest")
+        catalog = self.store._catalog()
+        self.manifest_ships += 1
+        return {
+            "table": self.store.table,
+            "epoch": self.epoch,
+            "generation": int(catalog.get("generation", 0)),
+            "wal_generation": int(catalog.get("wal_generation", 1)),
+            "acked_seq": self.store.wal.synced_seq,
+            "columns": catalog.get("columns", {}),
+        }
+
+    def fetch_file(self, name: str) -> bytes:
+        """Raw bytes of one base file the current catalog references."""
+        self._check_fence("ship a file")
+        catalog = self.store._catalog()
+        referenced = set()
+        for column, meta in catalog.get("columns", {}).items():
+            referenced.add(ColumnStore._data_name(meta, column))
+            if meta.get("has_dictionary"):
+                referenced.add(ColumnStore._dict_name(meta, column))
+        if name not in referenced:
+            # Unknown names are refused (a traversal guard), including
+            # files of a generation a checkpoint just superseded — the
+            # follower re-fetches the manifest and retries.
+            raise KeyError(
+                f"{name!r} is not a base file of the current catalog"
+            )
+        data = self.store.fs.read_bytes(
+            self.store.fs.join(self.store.directory, name)
+        )
+        self.file_ships += 1
+        self.bytes_shipped += len(data)
+        return data
+
+    def _frames_through(self, upto_seq: int) -> list[bytes]:
+        """The live generation's raw frames with seq 1..upto_seq."""
+        catalog = self.store._catalog()
+        generation = int(catalog.get("wal_generation", 1))
+        if self._cache_generation != generation:
+            self._cache_generation = generation
+            self._cache_frames = []
+        if len(self._cache_frames) < upto_seq:
+            path = self.store.fs.join(
+                self.store.directory, wal_name(generation)
+            )
+            scan = scan_wal(self.store.fs, path)
+            self._cache_frames = scan.frames
+            # Sequences within a generation are dense from 1, so frame
+            # i carries seq i+1; anything else means the local log was
+            # tampered with mid-flight.
+            for i, record in enumerate(scan.records):
+                if record.seq != i + 1:
+                    raise ReplicationError(
+                        f"primary WAL generation {generation} is not "
+                        f"densely numbered at frame {i} (seq {record.seq})"
+                    )
+        return self._cache_frames[:upto_seq]
+
+    def wal_frames(
+        self,
+        wal_generation: int,
+        after_seq: int,
+        limit: int = DEFAULT_BATCH_FRAMES,
+        follower: str | None = None,
+    ) -> dict:
+        """Acknowledged frames past ``after_seq``, or a resync order."""
+        self._check_fence("ship WAL frames")
+        if follower is not None:
+            self.followers[follower] = int(after_seq)
+        catalog = self.store._catalog()
+        generation = int(catalog.get("wal_generation", 1))
+        acked = self.store.wal.synced_seq
+        base = {
+            "epoch": self.epoch,
+            "wal_generation": generation,
+            "acked_seq": acked,
+        }
+        if int(wal_generation) != generation:
+            # The WAL rotated (a checkpoint folded frames into new
+            # bases); the old numbering is gone.  The follower
+            # re-bootstraps from the current manifest.
+            return {**base, "resync": True, "frames": [], "batch_crc32": 0}
+        frames = self._frames_through(acked)[after_seq:after_seq + max(0, limit)]
+        shipped = [
+            {"seq": after_seq + i + 1, "data": frame}
+            for i, frame in enumerate(frames)
+        ]
+        self.frame_batches += 1
+        self.frames_shipped += len(frames)
+        self.bytes_shipped += sum(len(frame) for frame in frames)
+        return {
+            **base,
+            "resync": False,
+            "frames": shipped,
+            "batch_crc32": batch_crc32(frames),
+        }
+
+    # -- visibility -----------------------------------------------------
+    def replication_info(self) -> dict:
+        """The ``replication`` section ``/healthz`` and ``/stats`` show."""
+        return {
+            "role": self.role,
+            "epoch": self.epoch,
+            "fenced_by": self.fenced_by,
+            "last_acked_seq": self.store.wal.synced_seq if self.store.wal else 0,
+            "applied_seq": self.store.wal.seq if self.store.wal else 0,
+            "lag": 0,
+            "followers": len(self.followers),
+            "manifest_ships": self.manifest_ships,
+            "file_ships": self.file_ships,
+            "frame_batches": self.frame_batches,
+            "frames_shipped": self.frames_shipped,
+            "bytes_shipped": self.bytes_shipped,
+        }
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+class LocalShipSource(ShipSource):
+    """In-process transport: direct calls against the primary object."""
+
+    def __init__(self, primary: ReplicationPrimary) -> None:
+        self.primary = primary
+
+    def manifest(self) -> dict:
+        return self.primary.manifest()
+
+    def wal_frames(
+        self,
+        wal_generation: int,
+        after_seq: int,
+        limit: int = DEFAULT_BATCH_FRAMES,
+        follower: str | None = None,
+    ) -> dict:
+        return self.primary.wal_frames(
+            wal_generation, after_seq, limit, follower
+        )
+
+    def fetch_file(self, name: str) -> bytes:
+        return self.primary.fetch_file(name)
+
+    def advertise_epoch(self, epoch: int) -> None:
+        try:
+            self.primary.note_epoch(epoch)
+        except StalePrimaryError:
+            pass  # the fence landed — that was the point
+
+
+class HttpShipSource(ShipSource):
+    """Blocking HTTP transport against ``/replicate/*`` endpoints.
+
+    Stdlib ``http.client`` only; one connection per call (ship calls
+    are chunky, and a follower's poll cadence dwarfs connection
+    setup).  Transport-level failures surface as
+    :class:`ReplicationPartition`; replication-typed refusals the
+    server sent as JSON (``StalePrimaryError``, ``NotPrimaryError``)
+    are re-raised as their local types.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        follower_id: str = "follower",
+        timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.follower_id = follower_id
+        self.timeout = timeout
+        #: Highest cluster epoch this side has verified; attached to
+        #: every request so a deposed primary fences on first contact.
+        self.known_epoch: int | None = None
+
+    def _get(self, path: str, params: dict | None = None) -> dict:
+        import http.client
+        import json
+        import urllib.parse
+
+        merged = dict(params or {})
+        merged.setdefault("epoch", self.known_epoch)
+        query = urllib.parse.urlencode(
+            {k: v for k, v in merged.items() if v is not None}
+        )
+        target = f"{path}?{query}" if query else path
+        try:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request("GET", target)
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+            finally:
+                conn.close()
+        except OSError as exc:
+            raise ReplicationPartition(
+                f"ship transport to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ReplicationPartition(
+                f"ship response was not JSON ({status})"
+            ) from exc
+        if status != 200:
+            error = body.get("error") if isinstance(body, dict) else None
+            detail = body.get("detail", "") if isinstance(body, dict) else ""
+            if error == "StalePrimaryError":
+                raise StalePrimaryError(
+                    body.get("seen_epoch", -1), body.get("current_epoch", -1)
+                )
+            if error == "NotPrimaryError":
+                raise NotPrimaryError(body.get("role", "unknown"), "ship")
+            raise ReplicationPartition(
+                f"ship request {path} answered {status}: {error}: {detail}"
+            )
+        return body
+
+    def manifest(self) -> dict:
+        return self._get("/replicate/manifest")
+
+    def wal_frames(
+        self,
+        wal_generation: int,
+        after_seq: int,
+        limit: int = DEFAULT_BATCH_FRAMES,
+        follower: str | None = None,
+    ) -> dict:
+        import base64
+
+        body = self._get(
+            "/replicate/wal",
+            {
+                "generation": wal_generation,
+                "after": after_seq,
+                "limit": limit,
+                "follower": follower or self.follower_id,
+            },
+        )
+        body["frames"] = [
+            {"seq": int(entry["seq"]),
+             "data": base64.b64decode(entry["data"])}
+            for entry in body.get("frames", [])
+        ]
+        return body
+
+    def fetch_file(self, name: str) -> bytes:
+        import base64
+
+        body = self._get("/replicate/file", {"name": name})
+        return base64.b64decode(body["data"])
+
+    def advertise_epoch(self, epoch: int) -> None:
+        self.known_epoch = int(epoch)
+        try:
+            self._get("/replicate/manifest")
+        except StalePrimaryError:
+            pass  # the fence landed — that was the point
+        except (NotPrimaryError, ReplicationPartition):
+            pass  # already demoted or unreachable; nothing to fence
+
+
+@dataclass
+class ReplicationChaosConfig:
+    """Deterministic transport-fault schedule for :class:`ChaosShipSource`.
+
+    All faults key off call counters, never wall clocks or RNGs, so a
+    chaos run replays identically.  ``partition_every=N`` makes every
+    Nth transport call (and the ``partition_burst - 1`` after it) raise
+    :class:`ReplicationPartition`; the ``*_every`` batch faults mutate
+    every Nth *frame batch* in the named way before the follower sees
+    it — the batch CRC is recomputed so the per-frame checks (not the
+    cheap envelope check) must catch the damage.
+    """
+
+    partition_every: int = 0
+    partition_burst: int = 1
+    tear_every: int = 0        # truncate the last frame mid-byte
+    duplicate_every: int = 0   # re-append the batch's first frame
+    reorder_every: int = 0     # reverse the batch
+    corrupt_every: int = 0     # flip one payload bit in the first frame
+    tear_files_every: int = 0  # truncate a fetched base file
+
+
+class ChaosShipSource(ShipSource):
+    """A :class:`ShipSource` proxy injecting deterministic transport faults."""
+
+    def __init__(
+        self, inner: ShipSource, config: ReplicationChaosConfig
+    ) -> None:
+        self.inner = inner
+        self.config = config
+        self.calls = 0
+        self.batches = 0
+        self.file_fetches = 0
+        self.injected: dict[str, int] = {}
+        self._partition_left = 0
+
+    def _note(self, fault: str) -> None:
+        self.injected[fault] = self.injected.get(fault, 0) + 1
+
+    def _transport(self) -> None:
+        self.calls += 1
+        if self._partition_left > 0:
+            self._partition_left -= 1
+            self._note("partition")
+            raise ReplicationPartition("injected partition (burst)")
+        every = self.config.partition_every
+        if every and self.calls % every == 0:
+            self._partition_left = max(0, self.config.partition_burst - 1)
+            self._note("partition")
+            raise ReplicationPartition("injected partition")
+
+    def _due(self, counter: int, every: int) -> bool:
+        return bool(every) and counter % every == 0
+
+    def manifest(self) -> dict:
+        self._transport()
+        return self.inner.manifest()
+
+    def advertise_epoch(self, epoch: int) -> None:
+        self.inner.advertise_epoch(epoch)
+
+    def fetch_file(self, name: str) -> bytes:
+        self._transport()
+        data = self.inner.fetch_file(name)
+        self.file_fetches += 1
+        if self._due(self.file_fetches, self.config.tear_files_every):
+            self._note("torn_file")
+            return data[: max(0, len(data) - 3)]
+        return data
+
+    def wal_frames(
+        self,
+        wal_generation: int,
+        after_seq: int,
+        limit: int = DEFAULT_BATCH_FRAMES,
+        follower: str | None = None,
+    ) -> dict:
+        self._transport()
+        body = self.inner.wal_frames(
+            wal_generation, after_seq, limit, follower
+        )
+        frames = list(body.get("frames", []))
+        if not frames:
+            return body
+        self.batches += 1
+        mutated = False
+        if self._due(self.batches, self.config.tear_every):
+            last = dict(frames[-1])
+            last["data"] = last["data"][: len(last["data"]) // 2]
+            frames[-1] = last
+            mutated = True
+            self._note("torn_batch")
+        if self._due(self.batches, self.config.duplicate_every):
+            frames.append(dict(frames[0]))
+            mutated = True
+            self._note("duplicated")
+        if self._due(self.batches, self.config.reorder_every) and len(frames) > 1:
+            frames.reverse()
+            mutated = True
+            self._note("reordered")
+        if self._due(self.batches, self.config.corrupt_every):
+            first = dict(frames[0])
+            payload = bytearray(first["data"])
+            payload[-1] ^= 0x40  # flip a payload bit, keep the length
+            first["data"] = bytes(payload)
+            frames[0] = first
+            mutated = True
+            self._note("corrupted")
+        if mutated:
+            body = dict(body)
+            body["frames"] = frames
+            # An adversarial relay would fix up the envelope too; the
+            # per-frame CRC + sequence checks still have to catch it.
+            body["batch_crc32"] = batch_crc32(
+                [entry["data"] for entry in frames]
+            )
+        return body
+
+
+# ----------------------------------------------------------------------
+# the follower side
+# ----------------------------------------------------------------------
+@dataclass
+class SyncReport:
+    """What one :meth:`ReplicaStore.catch_up` pass did."""
+
+    frames_applied: int = 0
+    bootstrapped: bool = False
+    divergences: list[str] = field(default_factory=list)
+    lag: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "frames_applied": self.frames_applied,
+            "bootstrapped": self.bootstrapped,
+            "divergences": list(self.divergences),
+            "lag": self.lag,
+        }
+
+
+class ReplicaStore:
+    """A warm follower: bootstrapped from a manifest, fed raw WAL frames.
+
+    Parameters
+    ----------
+    root / table:
+        The follower's *own* column-store root (never the primary's
+        directory) and the table name being replicated.
+    source:
+        The :class:`ShipSource` to pull from.
+    fs:
+        The follower's filesystem (the fault shim in the crash matrix).
+    max_lag_seq:
+        Bounded-staleness read gate: :meth:`check_read` refuses with
+        :class:`~repro.errors.FollowerLagging` when the follower is
+        more than this many acknowledged records behind.  ``None``
+        serves at any staleness.
+    node_id:
+        How this follower introduces itself to the primary.
+
+    If the directory already holds a replicated table (a follower
+    restarting after a crash), the constructor re-opens it through the
+    standard recovery state machine and resumes from the surviving
+    sequence — otherwise the first :meth:`bootstrap` / :meth:`catch_up`
+    fetches everything.
+    """
+
+    def __init__(
+        self,
+        root,
+        table: str,
+        source: ShipSource,
+        fs: FileSystem | None = None,
+        max_lag_seq: int | None = None,
+        node_id: str = "follower",
+        **imprints_kwargs,
+    ) -> None:
+        self.fs = fs or OS_FS
+        self.table = table
+        self.root = root
+        self.source = source
+        self.max_lag_seq = max_lag_seq
+        self.node_id = node_id
+        self._imprints_kwargs = imprints_kwargs
+        self._cstore = ColumnStore(root, fs=self.fs)
+        self.directory = self.fs.join(str(self._cstore.root), table)
+
+        self.role = "follower"
+        self.store: DurableStore | None = None
+        self.epoch = 0                 # last verified primary epoch
+        self.wal_generation = 0        # generation the local log mirrors
+        self.applied_seq = 0           # last frame applied locally
+        self.acked_seq = 0             # primary's ack high-water, last seen
+        self._fences: dict[str, int] = {}
+        self._needs_resync = False
+        self._resync_reason: str | None = None
+
+        self.bootstraps = 0
+        self.divergences = 0
+        self.frames_applied = 0
+        self.files_fetched = 0
+        self.files_reused = 0
+
+        catalog_path = self.fs.join(self.directory, CATALOG_NAME)
+        if self.fs.exists(catalog_path):
+            self._attach()
+
+    # -- local (re)open -------------------------------------------------
+    def _open_store(self) -> DurableStore:
+        # A follower never checkpoints on its own: rotating the local
+        # WAL would fork the sequence numbering away from the
+        # primary's.  Rotation happens only by re-bootstrapping after
+        # the *primary* checkpoints.
+        return DurableStore(
+            self.root,
+            self.table,
+            fs=self.fs,
+            checkpoint_threshold=float("inf"),
+            **self._imprints_kwargs,
+        )
+
+    def _attach(self) -> None:
+        """(Re)open the local store and resume replication bookkeeping."""
+        self.store = self._open_store()
+        catalog = self.store._catalog()
+        marker = catalog.get("replication", {})
+        self.epoch = max(self.epoch, int(marker.get("source_epoch", 0)))
+        self.wal_generation = int(catalog.get("wal_generation", 1))
+        self._fences = {
+            name: int(meta.get("wal_upto", 0))
+            for name, meta in catalog.get("columns", {}).items()
+        }
+        self.applied_seq = self.store.wal.seq
+        self.acked_seq = max(self.acked_seq, self.applied_seq)
+
+    # -- state ----------------------------------------------------------
+    @property
+    def lag(self) -> int:
+        """Acknowledged primary records the follower has not applied."""
+        return max(0, self.acked_seq - self.applied_seq)
+
+    @property
+    def needs_resync(self) -> bool:
+        return self._needs_resync or self.store is None
+
+    def _diverge(self, reason: str) -> DivergenceError:
+        self._needs_resync = True
+        self._resync_reason = reason
+        self.divergences += 1
+        return DivergenceError(reason)
+
+    def check_read(self, column: str | None = None) -> None:
+        """Gate one read: typed refusal instead of a wrong answer.
+
+        Raises :class:`~repro.errors.DivergenceError` while the local
+        state is flagged for resync, and
+        :class:`~repro.errors.FollowerLagging` when bounded staleness
+        is configured and exceeded.  Promoted nodes serve unconditionally.
+        """
+        if self.role == "primary":
+            return
+        if self._needs_resync:
+            raise DivergenceError(
+                self._resync_reason or "follower state awaiting re-bootstrap"
+            )
+        if self.store is None:
+            raise DivergenceError("follower has not bootstrapped yet")
+        if self.max_lag_seq is not None and self.lag > self.max_lag_seq:
+            raise FollowerLagging(self.lag, self.max_lag_seq)
+
+    def index(self, name: str):
+        """The live index for one column, staleness-gated."""
+        self.check_read(name)
+        if self.store is None:  # pragma: no cover - check_read refused
+            raise DivergenceError("follower has not bootstrapped yet")
+        return self.store.index(name)
+
+    def columns(self) -> list[str]:
+        return self.store.columns() if self.store is not None else []
+
+    # -- read-only guard ------------------------------------------------
+    def _refuse_write(self, what: str):
+        raise NotPrimaryError(self.role, what)
+
+    def append(self, name: str, values) -> bool:
+        if self.role != "primary":
+            self._refuse_write("append")
+        return self.store.append(name, values)
+
+    def update(self, name: str, row_id: int, value) -> bool:
+        if self.role != "primary":
+            self._refuse_write("update")
+        return self.store.update(name, row_id, value)
+
+    def delete(self, name: str, row_id: int) -> bool:
+        if self.role != "primary":
+            self._refuse_write("delete")
+        return self.store.delete(name, row_id)
+
+    # -- bootstrap ------------------------------------------------------
+    def bootstrap(self) -> dict:
+        """Fetch the manifest + base files and open the local mirror.
+
+        Byte-for-byte verification: every fetched file must match the
+        manifest's recorded length and CRC32 (a torn transfer raises
+        :class:`~repro.errors.DivergenceError` before anything is
+        written).  Files already present locally with the right name,
+        length and CRC are reused — incremental checkpoints keep clean
+        columns' generation files byte-identical, so a re-bootstrap
+        after a checkpoint re-fetches only what actually changed.
+
+        The local catalog commit is the atomic cut-over; a crash at any
+        point leaves either the old state or the new, and the standard
+        recovery sweep collects stragglers.
+        """
+        manifest = self.source.manifest()
+        epoch = int(manifest["epoch"])
+        if epoch < self.epoch:
+            raise StalePrimaryError(epoch, self.epoch)
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+        self.fs.mkdir(self.directory)
+        fetched = reused = 0
+        for name, meta in manifest["columns"].items():
+            specs = [("file", "nbytes", "crc32")]
+            if meta.get("has_dictionary"):
+                specs.append(("dict_file", "dict_nbytes", "dict_crc32"))
+            for file_key, nbytes_key, crc_key in specs:
+                fname = ColumnStore._data_name(meta, name) if (
+                    file_key == "file"
+                ) else ColumnStore._dict_name(meta, name)
+                want_nbytes = int(meta[nbytes_key])
+                want_crc = int(meta[crc_key])
+                path = self.fs.join(self.directory, fname)
+                if (
+                    self.fs.exists(path)
+                    and self.fs.size(path) == want_nbytes
+                    and self.fs.crc32(path) == want_crc
+                ):
+                    reused += 1
+                    continue
+                try:
+                    data = self.source.fetch_file(fname)
+                except (KeyError, OSError) as exc:
+                    # The primary checkpointed between our manifest and
+                    # this fetch; the file is gone.  Retry from the top.
+                    raise self._diverge(
+                        f"base file {fname!r} vanished mid-bootstrap: {exc}"
+                    ) from exc
+                if len(data) != want_nbytes or zlib.crc32(data) != want_crc:
+                    raise self._diverge(
+                        f"shipped base file {fname!r} failed verification "
+                        f"({len(data)} bytes vs {want_nbytes} recorded) — "
+                        f"torn transfer"
+                    )
+                atomic_write_bytes(self.fs, path, data)
+                fetched += 1
+        catalog = {
+            "columns": manifest["columns"],
+            "generation": int(manifest["generation"]),
+            "wal_generation": int(manifest["wal_generation"]),
+            "epoch": epoch,
+            "replication": {"role": "follower", "source_epoch": epoch},
+        }
+        self._cstore._save_catalog(self.table, catalog)  # the cut-over
+        self._needs_resync = False
+        self._resync_reason = None
+        self._attach()
+        self.epoch = epoch
+        self.acked_seq = max(int(manifest["acked_seq"]), self.applied_seq)
+        self.bootstraps += 1
+        self.files_fetched += fetched
+        self.files_reused += reused
+        return {
+            "epoch": epoch,
+            "wal_generation": self.wal_generation,
+            "applied_seq": self.applied_seq,
+            "files_fetched": fetched,
+            "files_reused": reused,
+        }
+
+    # -- frame apply ----------------------------------------------------
+    def poll(self, limit: int = DEFAULT_BATCH_FRAMES) -> int:
+        """Pull and apply one batch of acknowledged frames.
+
+        Returns the number applied.  Raises
+        :class:`~repro.errors.DivergenceError` (and flags the follower
+        for re-bootstrap) on *any* verification failure — batch CRC,
+        per-frame CRC, sequence continuity, generation skew, an
+        unknown column — and
+        :class:`~repro.errors.StalePrimaryError` when the source's
+        epoch went backwards.
+        """
+        if self.role == "primary":
+            raise NotPrimaryError(self.role, "poll (promoted nodes ship, not pull)")
+        if self.needs_resync:
+            raise DivergenceError(
+                self._resync_reason or "follower must bootstrap before polling"
+            )
+        response = self.source.wal_frames(
+            self.wal_generation, self.applied_seq, limit, self.node_id
+        )
+        epoch = int(response["epoch"])
+        if epoch < self.epoch:
+            raise StalePrimaryError(epoch, self.epoch)
+        self.epoch = max(self.epoch, epoch)
+        if response.get("resync"):
+            raise self._diverge(
+                f"primary rotated to WAL generation "
+                f"{response['wal_generation']} (ours: {self.wal_generation})"
+            )
+        frames = response.get("frames", [])
+        declared = int(response.get("batch_crc32", 0))
+        actual = batch_crc32([entry["data"] for entry in frames])
+        if frames and declared != actual:
+            raise self._diverge(
+                f"frame batch CRC mismatch ({actual:#010x} vs "
+                f"{declared:#010x} declared)"
+            )
+        applied = 0
+        for entry in frames:
+            seq, frame = int(entry["seq"]), entry["data"]
+            try:
+                record = parse_frame(frame)
+            except ValueError as exc:
+                raise self._diverge(
+                    f"shipped frame at seq {seq} failed verification: {exc}"
+                ) from exc
+            if record.seq != seq:
+                raise self._diverge(
+                    f"frame carries seq {record.seq} but was shipped as {seq}"
+                )
+            if seq != self.applied_seq + 1:
+                kind = "duplicated or reordered" if (
+                    seq <= self.applied_seq
+                ) else "gapped"
+                raise self._diverge(
+                    f"{kind} frame sequence: expected "
+                    f"{self.applied_seq + 1}, got {seq}"
+                )
+            if record.column not in self.store.indexes:
+                raise self._diverge(
+                    f"frame {seq} mutates unknown column {record.column!r} "
+                    f"(created on the primary after our bootstrap)"
+                )
+            # WAL first, exactly like the primary's mutation path: the
+            # frame bytes land verbatim, keeping the local log a byte
+            # prefix of the primary's.
+            self.store.wal.append_frame(frame, seq)
+            try:
+                if seq > self._fences.get(record.column, 0):
+                    replay_record(self.store.indexes[record.column], record)
+                    self.store.dirty.add(record.column)
+            except (IndexError, ValueError) as exc:
+                raise self._diverge(
+                    f"frame {seq} failed to apply: {exc}"
+                ) from exc
+            self.applied_seq = seq
+            applied += 1
+        if applied:
+            # One fsync per batch: the follower acknowledges durability
+            # at batch granularity (group commit across the wire).
+            self.store.wal.sync()
+        self.frames_applied += applied
+        self.acked_seq = max(self.applied_seq, int(response["acked_seq"]))
+        return applied
+
+    def catch_up(
+        self,
+        limit: int = DEFAULT_BATCH_FRAMES,
+        max_rounds: int = 10_000,
+    ) -> SyncReport:
+        """Drive :meth:`poll` (re-bootstrapping on divergence) until
+        the follower has applied everything the primary acknowledged.
+
+        Partitions (:class:`ReplicationPartition`) propagate to the
+        caller — transient transport loss is the *caller's* retry
+        policy; this loop only absorbs divergence, which has a
+        deterministic local remedy.
+        """
+        report = SyncReport()
+        for _ in range(max_rounds):
+            try:
+                if self.needs_resync:
+                    self.bootstrap()
+                    report.bootstrapped = True
+                    continue
+                applied = self.poll(limit)
+            except DivergenceError as exc:
+                report.divergences.append(str(exc))
+                if len(report.divergences) > max_rounds:  # pragma: no cover
+                    raise
+                continue
+            report.frames_applied += applied
+            if applied == 0:
+                break
+        report.lag = self.lag
+        return report
+
+    # -- promotion ------------------------------------------------------
+    def promote(self) -> ReplicationPrimary:
+        """Take over as primary after the old one is lost.
+
+        Reopens the local store through the full recovery state machine
+        (sweep, verify, scan, replay, **fence**) — a promoted store
+        passes exactly the invariants a restarted primary does, and the
+        epoch fence invalidates every cursor minted while following.
+        The cluster epoch advances past the old primary's, so a deposed
+        primary that calls :meth:`ReplicationPrimary.note_epoch` (or
+        receives our epoch on any channel) fences itself.
+        """
+        if self.store is None:
+            raise ReplicationError(
+                "cannot promote a follower that never bootstrapped"
+            )
+        if self._needs_resync:
+            raise DivergenceError(
+                self._resync_reason or "refusing to promote divergent state"
+            )
+        self.role = "promoting"
+        self.store.close()
+        self.store = self._open_store()   # recovery: sweep/verify/replay/fence
+        new_epoch = self.epoch + 1
+        catalog = self.store._catalog()
+        catalog["replication"] = {"role": "primary", "source_epoch": new_epoch}
+        self.store._save_catalog(catalog)
+        self.epoch = new_epoch
+        self.applied_seq = self.store.wal.seq
+        self.acked_seq = self.applied_seq
+        self.role = "primary"
+        self.source.advertise_epoch(new_epoch)  # fence the old primary
+        return ReplicationPrimary(self.store, epoch=new_epoch)
+
+    # -- visibility -----------------------------------------------------
+    def replication_info(self) -> dict:
+        """The ``replication`` section ``/healthz`` and ``/stats`` show."""
+        return {
+            "role": self.role,
+            "epoch": self.epoch,
+            "wal_generation": self.wal_generation,
+            "last_acked_seq": self.acked_seq,
+            "applied_seq": self.applied_seq,
+            "lag": self.lag,
+            "max_lag_seq": self.max_lag_seq,
+            "needs_resync": self.needs_resync,
+            "bootstraps": self.bootstraps,
+            "divergences": self.divergences,
+            "frames_applied": self.frames_applied,
+            "files_fetched": self.files_fetched,
+            "files_reused": self.files_reused,
+            "followers": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "ReplicaStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

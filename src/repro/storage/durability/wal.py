@@ -45,7 +45,7 @@ from __future__ import annotations
 import struct
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -58,6 +58,7 @@ __all__ = [
     "WriteAheadLog",
     "encode_record",
     "decode_record",
+    "parse_frame",
     "scan_wal",
 ]
 
@@ -171,6 +172,30 @@ def decode_record(payload: bytes) -> WalRecord:
         raise ValueError(f"malformed WAL payload: {exc}") from exc
 
 
+def parse_frame(frame: bytes) -> WalRecord:
+    """Validate one raw frame (head + payload) and decode its record.
+
+    The replication follower runs every *shipped* frame through this
+    before appending it to its own WAL: the declared length must match
+    the frame exactly and the payload must pass the primary's CRC —
+    the same two checks :func:`scan_wal` applies to local frames.
+    Raises ``ValueError`` on any malformation.
+    """
+    if len(frame) < _FRAME_HEAD.size:
+        raise ValueError("frame shorter than its header")
+    length, crc = _FRAME_HEAD.unpack_from(frame, 0)
+    payload = frame[_FRAME_HEAD.size:]
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame declares {length} bytes (> MAX_FRAME_BYTES)")
+    if len(payload) != length:
+        raise ValueError(
+            f"frame declares {length} payload bytes but carries {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise ValueError("frame payload fails its CRC32")
+    return decode_record(payload)
+
+
 @dataclass
 class WalScan:
     """What :func:`scan_wal` found in one log file."""
@@ -179,6 +204,9 @@ class WalScan:
     valid_bytes: int       # offset of the end of the last valid frame
     torn_bytes: int        # bytes discarded past that point
     missing_magic: bool    # the file did not even start with the magic
+    #: Raw frame bytes (head + payload) per record, verbatim — what a
+    #: replication primary ships so followers hold bit-identical logs.
+    frames: list[bytes] = field(default_factory=list)
 
     @property
     def last_seq(self) -> int:
@@ -200,6 +228,7 @@ def scan_wal(fs: FileSystem, path) -> WalScan:
         # this file; everything in it is discardable noise.
         return WalScan([], 0, len(data), missing_magic=True)
     records: list[WalRecord] = []
+    frames: list[bytes] = []
     offset = len(WAL_MAGIC)
     while offset + _FRAME_HEAD.size <= len(data):
         length, crc = _FRAME_HEAD.unpack_from(data, offset)
@@ -214,12 +243,14 @@ def scan_wal(fs: FileSystem, path) -> WalScan:
         except ValueError:
             break  # CRC collided with garbage; stop trusting the tail
         records.append(record)
+        frames.append(data[offset:start + length])
         offset = start + length
     return WalScan(
         records=records,
         valid_bytes=offset,
         torn_bytes=len(data) - offset,
         missing_magic=False,
+        frames=frames,
     )
 
 
@@ -288,6 +319,24 @@ class WriteAheadLog:
         self._handle.write(
             _FRAME_HEAD.pack(len(payload), zlib.crc32(payload)) + payload
         )
+        self.appended_frames += 1
+        return self.seq
+
+    def append_frame(self, frame: bytes, seq: int) -> int:
+        """Append one already-framed record verbatim (replication apply).
+
+        The follower ships raw frame bytes from the primary's WAL and
+        appends them unmodified, so the follower's log is a bit-identical
+        prefix of the primary's.  The caller is responsible for having
+        validated the frame (:func:`parse_frame`) and its sequence
+        continuity; this only refuses a non-advancing ``seq``.
+        """
+        if seq <= self.seq:
+            raise ValueError(
+                f"append_frame seq {seq} does not advance past {self.seq}"
+            )
+        self._handle.write(frame)
+        self.seq = seq
         self.appended_frames += 1
         return self.seq
 

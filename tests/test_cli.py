@@ -57,3 +57,93 @@ class TestCommands:
     def test_figures_without_sweep(self, capsys, number):
         assert main(SCALE + ["figure", number]) == 0
         assert f"Figure {number}" in capsys.readouterr().out
+
+
+class TestReplicationCommands:
+    def test_replication_study_smoke(self, capsys):
+        assert main(SCALE + ["replication", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "replication study" in out
+        assert "verified bit-identical: True" in out
+
+    def test_replicate_bad_follow_address(self, tmp_path):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main([
+                "replicate", "--follow", "nonsense", "--root",
+                str(tmp_path), "--table", "t", "--once",
+            ])
+
+    def test_replicate_once_then_promote(self, capsys, tmp_path):
+        import asyncio
+        import json
+        import threading
+
+        import numpy as np
+
+        from repro.engine import QueryExecutor
+        from repro.serving import (
+            ImprintService,
+            ServingConfig,
+            ServingHTTPServer,
+        )
+        from repro.storage.durability import DurableStore
+        from repro.storage.durability.replication import ReplicationPrimary
+
+        store = DurableStore(
+            tmp_path / "primary", "t", group_window=0.0,
+            checkpoint_threshold=10.0**9,
+        )
+        store.create_column("x", np.arange(64, dtype=np.int32))
+        store.append("x", np.asarray([100, 101], dtype=np.int32))
+        store.sync()
+        primary = ReplicationPrimary(store)
+
+        ready = threading.Event()
+        address = {}
+
+        def serve():
+            async def run():
+                executor = QueryExecutor({"x": store.index("x")})
+                service = ImprintService(executor, ServingConfig())
+                service.attach_replication(primary)
+                try:
+                    async with ServingHTTPServer(service) as server:
+                        address["addr"] = server.address
+                        address["loop"] = asyncio.get_running_loop()
+                        address["stop"] = asyncio.Event()
+                        ready.set()
+                        await address["stop"].wait()
+                finally:
+                    await service.close()
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(5.0)
+        host, port = address["addr"]
+        follower_root = str(tmp_path / "follower")
+        try:
+            code = main([
+                "replicate", "--follow", f"{host}:{port}",
+                "--root", follower_root, "--table", "t", "--once", "--json",
+            ])
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["role"] == "follower"
+            assert payload["applied_seq"] == 1
+            assert payload["lag"] == 0
+            assert payload["last_pass"]["bootstrapped"] is True
+
+            code = main([
+                "replicate", "--follow", f"{host}:{port}",
+                "--root", follower_root, "--table", "t", "--promote",
+                "--json",
+            ])
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["role"] == "primary"
+            assert payload["epoch"] > primary.epoch
+        finally:
+            address["loop"].call_soon_threadsafe(address["stop"].set)
+            thread.join(timeout=5.0)

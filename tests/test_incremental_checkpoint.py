@@ -1,0 +1,113 @@
+"""Incremental checkpoints: clean columns keep their bytes, verbatim.
+
+Satellite of the replication PR — a follower re-bootstrapping after the
+primary checkpoints reuses any local base file whose name, length and
+CRC still match the manifest.  That only works if
+:meth:`DurableStore.checkpoint` rewrites *dirty* columns only: a column
+untouched since the last checkpoint must keep its generation file
+**byte-identical** (same name, same bytes), while mutated columns get a
+fresh snapshot.  The replication-facing payoff is asserted too: after a
+checkpoint on the primary, the follower's forced re-bootstrap fetches
+only what actually changed.
+"""
+
+import numpy as np
+
+from repro.storage.durability import DurableStore, MemoryFileSystem
+from repro.storage.durability.replication import (
+    LocalShipSource,
+    ReplicaStore,
+    ReplicationPrimary,
+)
+
+from .conftest import make_clustered
+
+BASE = make_clustered(2_000, np.int32, seed=53)
+
+
+def make_store(fs):
+    store = DurableStore(
+        "store", "t", fs=fs, group_window=0.0, checkpoint_threshold=10.0**9
+    )
+    store.create_column("clean", BASE)
+    store.create_column("hot", (BASE * 2).astype(np.int32))
+    return store
+
+
+def file_of(store, column):
+    catalog = store._catalog()
+    meta = catalog["columns"][column]
+    name = meta["file"]
+    path = store.fs.join(store.directory, name)
+    return name, store.fs.read_bytes(path)
+
+
+class TestIncrementalCheckpoint:
+    def test_clean_column_file_is_byte_identical_across_checkpoint(self):
+        fs = MemoryFileSystem()
+        store = make_store(fs)
+        store.checkpoint()  # both columns land their first snapshot
+        clean_name, clean_bytes = file_of(store, "clean")
+        hot_name, hot_bytes = file_of(store, "hot")
+
+        store.append("hot", np.asarray([1, 2, 3], dtype=np.int32))
+        store.update("hot", 0, 7)
+        assert "hot" in store.dirty and "clean" not in store.dirty
+        store.checkpoint()
+
+        # the untouched column kept its exact file: same name, same bytes
+        name_after, bytes_after = file_of(store, "clean")
+        assert name_after == clean_name
+        assert bytes_after == clean_bytes
+
+        # the mutated column was re-snapshotted
+        hot_name_after, hot_bytes_after = file_of(store, "hot")
+        assert hot_name_after != hot_name or hot_bytes_after != hot_bytes
+        assert store.dirty == set()
+
+    def test_dirty_set_survives_recovery_replay(self):
+        fs = MemoryFileSystem()
+        store = make_store(fs)
+        store.checkpoint()
+        store.append("hot", np.asarray([9], dtype=np.int32))
+        store.close()
+        fs.flush_all()
+
+        # recovery replays the WAL; the replayed column must be dirty so
+        # the next checkpoint snapshots it (and only it)
+        reopened = DurableStore(
+            "store", "t", fs=fs, group_window=0.0,
+            checkpoint_threshold=10.0**9,
+        )
+        assert reopened.dirty == {"hot"}
+        clean_name, clean_bytes = file_of(reopened, "clean")
+        reopened.checkpoint()
+        assert file_of(reopened, "clean") == (clean_name, clean_bytes)
+
+    def test_rebootstrap_after_checkpoint_fetches_only_the_dirty_column(self):
+        primary_fs = MemoryFileSystem()
+        store = make_store(primary_fs)
+        store.checkpoint()
+        primary = ReplicationPrimary(store)
+
+        replica = ReplicaStore(
+            "follower", "t", LocalShipSource(primary), fs=MemoryFileSystem()
+        )
+        replica.catch_up()
+        fetched_initial = replica.files_fetched
+        assert fetched_initial == 2  # both base files shipped once
+
+        # mutate one column and checkpoint: the WAL rotates, the
+        # follower re-bootstraps — and re-fetches exactly one file
+        primary.append("hot", np.asarray([5, 6], dtype=np.int32))
+        primary.sync()
+        replica.catch_up()
+        primary.checkpoint()
+        report = replica.catch_up()
+        assert report.bootstrapped
+        assert replica.files_fetched == fetched_initial + 1
+        assert replica.files_reused >= 1
+        assert np.array_equal(
+            replica.index("hot").delta.materialize().values,
+            primary.store.index("hot").delta.materialize().values,
+        )
