@@ -33,13 +33,23 @@ first-page latency staying near O(page) instead of O(answer) is the
 whole point of the pipeline, so losing it is a regression even without
 a baseline to compare against.
 
+The planner study (``--planner``) gates the self-tuning access-path
+planner: the bit-identical verification (every answer of every mode —
+four forced static backends plus the free planner — against the serial
+imprints oracle) is a hard invariant, and full-size runs must keep the
+two headline claims that justify the planner's existence: within 10%
+of the best static backend on every segment (plus tolerance), and
+faster than always-imprints on the low-selectivity segment where the
+paper's Section 6.3 cost model says a scan must win.
+
 Usage (what CI runs after the full-size bench)::
 
     python -m repro.bench.regression FRESH.json --baseline BASELINE.json \
         --materialization MAT.json --materialization-baseline MAT_BASE.json \
         --streaming STREAM.json --streaming-baseline STREAM_BASE.json \
         --durability DUR.json --durability-baseline DUR_BASE.json \
-        --replication REPL.json --replication-baseline REPL_BASE.json
+        --replication REPL.json --replication-baseline REPL_BASE.json \
+        --planner PLAN.json --planner-baseline PLAN_BASE.json
 
 Exit status 0 means no regression; 1 lists the failures.
 """
@@ -61,6 +71,9 @@ __all__ = [
     "check_serving_regression",
     "check_durability_regression",
     "check_replication_regression",
+    "check_planner_regression",
+    "MAX_PLANNER_VS_BEST_STATIC",
+    "MIN_UNSELECTIVE_SPEEDUP",
     "main",
 ]
 
@@ -530,6 +543,109 @@ def check_replication_regression(
     return failures
 
 
+#: Config keys that must agree for planner ratios to compare.
+_PLANNER_COMPARABLE_KEYS = ("n_rows", "queries_per_segment", "seed", "smoke")
+
+#: Acceptance ceiling: the planner must land within 10% of the best
+#: static backend on every segment of a full-size run (the tolerance is
+#: applied on top — wall-clock ratios on shared runners wobble).
+MAX_PLANNER_VS_BEST_STATIC = 1.10
+
+#: Acceptance floor: on the low-selectivity segment the planner must
+#: beat always-imprints — the paper's Section 6.3 claim made a gate.
+MIN_UNSELECTIVE_SPEEDUP = 1.0
+
+#: Headline keys the planner gate tracks against a baseline, with the
+#: direction a regression moves each one.
+_PLANNER_CEILING_KEYS = ("max_planner_vs_best_static",)
+_PLANNER_FLOOR_KEYS = ("low_selectivity_speedup_vs_imprints",)
+
+
+def _planner_comparable(fresh: dict, baseline: dict) -> bool:
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _PLANNER_COMPARABLE_KEYS
+    )
+
+
+def check_planner_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh ``BENCH_planner.json``; returns failures.
+
+    The hard invariant is plan-equivalence: the run must have verified
+    every answer of every mode — the four forced static backends *and*
+    the free-routing planner — bit-identical to the serial imprints
+    oracle.  A fast planner that changes answers gates immediately, no
+    tolerance.
+
+    The wall-clock invariants apply to full-size runs only (smoke
+    segments finish in single-digit milliseconds, where timer jitter
+    exceeds any tolerance): the planner must land within
+    :data:`MAX_PLANNER_VS_BEST_STATIC` of the best static backend on
+    its worst segment, and must beat always-imprints on the
+    low-selectivity segment — the self-tuning loop's whole reason to
+    exist.  Against a same-shape baseline the headline ratios must not
+    drift more than the tolerance in the regression direction.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+    if not fresh.get("verified_bit_identical"):
+        failures.append(
+            "planner run did not verify all modes bit-identical to the "
+            "imprints oracle"
+        )
+    headline = fresh.get("headline", {})
+    if not fresh.get("config", {}).get("smoke"):
+        ceiling = MAX_PLANNER_VS_BEST_STATIC * (1.0 + tolerance)
+        got = headline.get("max_planner_vs_best_static", float("inf"))
+        if got > ceiling:
+            failures.append(
+                f"planner strayed from the best static backend: worst "
+                f"segment {got:.2f}x > {ceiling:.2f}x "
+                f"({MAX_PLANNER_VS_BEST_STATIC:.2f}x + {tolerance:.0%})"
+            )
+        floor = MIN_UNSELECTIVE_SPEEDUP * (1.0 - tolerance)
+        got = headline.get("low_selectivity_speedup_vs_imprints", 0.0)
+        if got < floor:
+            failures.append(
+                f"planner no longer beats always-imprints on the "
+                f"low-selectivity segment: {got:.2f}x < {floor:.2f}x "
+                f"({MIN_UNSELECTIVE_SPEEDUP:.2f}x - {tolerance:.0%})"
+            )
+    smoke = fresh.get("config", {}).get("smoke")
+    if (
+        baseline is not None
+        and not smoke
+        and _planner_comparable(fresh, baseline)
+    ):
+        base_headline = baseline.get("headline", {})
+        for key in _PLANNER_CEILING_KEYS:
+            ceiling = base_headline.get(key, float("inf")) * (1.0 + tolerance)
+            got = headline.get(key, 0.0)
+            if got > ceiling:
+                failures.append(
+                    f"planner {key} grew: {got:.2f}x > {ceiling:.2f}x "
+                    f"(baseline {base_headline.get(key, 0.0):.2f}x + "
+                    f"{tolerance:.0%})"
+                )
+        for key in _PLANNER_FLOOR_KEYS:
+            floor = base_headline.get(key, 0.0) * (1.0 - tolerance)
+            got = headline.get(key, 0.0)
+            if got < floor:
+                failures.append(
+                    f"planner {key} regressed: {got:.2f}x < {floor:.2f}x "
+                    f"(baseline {base_headline.get(key, 0.0):.2f}x - "
+                    f"{tolerance:.0%})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.regression", description=__doc__
@@ -589,6 +705,16 @@ def main(argv: list[str] | None = None) -> int:
         "--replication-baseline",
         default=None,
         help="committed baseline BENCH_replication.json (optional)",
+    )
+    parser.add_argument(
+        "--planner",
+        default=None,
+        help="fresh BENCH_planner.json to gate as well (optional)",
+    )
+    parser.add_argument(
+        "--planner-baseline",
+        default=None,
+        help="committed baseline BENCH_planner.json (optional)",
     )
     parser.add_argument(
         "--tolerance",
@@ -711,6 +837,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    if args.planner:
+        planner_fresh = load_result(args.planner)
+        planner_baseline = (
+            load_result(args.planner_baseline)
+            if args.planner_baseline
+            else None
+        )
+        if planner_baseline is not None and not _planner_comparable(
+            planner_fresh, planner_baseline
+        ):
+            print(
+                "note: planner baseline config differs; ratio "
+                "comparison skipped, bit-identical invariant still gates"
+            )
+        failures.extend(
+            check_planner_regression(
+                planner_fresh, planner_baseline,
+                tolerance=args.tolerance,
+            )
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -726,6 +873,7 @@ def main(argv: list[str] | None = None) -> int:
         + ("; serving gate passed" if args.serving else "")
         + ("; durability gate passed" if args.durability else "")
         + ("; replication gate passed" if args.replication else "")
+        + ("; planner gate passed" if args.planner else "")
     )
     return 0
 

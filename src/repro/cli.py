@@ -35,6 +35,11 @@ Commands
     Open-loop serving load study: overload the asyncio HTTP front end
     at a multiple of its admission capacity and check the overload
     contract (every request accounted for, fast 429s, correct answers).
+``planner``
+    Self-tuning planner study: a mixed-selectivity stream over a
+    clustered and an unclustered column through every forced static
+    backend and through the free-routing planner, every answer
+    verified bit-identical against the imprints oracle before timing.
 ``recover``
     Open a durable column store, replay its write-ahead log, and print
     the recovery report (replayed records, truncated torn tails,
@@ -169,6 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument("--smoke", action="store_true",
                          help="shrunken CI-sized workload")
     serving.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the machine-readable result")
+
+    planner = commands.add_parser(
+        "planner",
+        help="self-tuning planner vs static access paths study",
+    )
+    planner.add_argument("--rows", type=int, default=None,
+                         help="rows per column (default: 400k * scale)")
+    planner.add_argument("--queries", type=int, default=None,
+                         help="queries per segment weight unit (default: 64)")
+    planner.add_argument("--smoke", action="store_true",
+                         help="shrunken CI-sized workload")
+    planner.add_argument("--json", metavar="PATH", default=None,
                          help="also write the machine-readable result")
 
     recover = commands.add_parser(
@@ -486,6 +504,30 @@ def _cmd_serving(args) -> str:
     return render_serving_study(result)
 
 
+def _cmd_planner(args) -> str:
+    from .bench.planner import (
+        DEFAULT_QUERIES_PER_SEGMENT,
+        DEFAULT_ROWS,
+        render_planner_study,
+        run_planner_study,
+        write_planner_json,
+    )
+
+    result = run_planner_study(
+        n_rows=args.rows
+        if args.rows
+        else max(50_000, int(DEFAULT_ROWS * _scale(args))),
+        queries_per_segment=args.queries
+        if args.queries
+        else DEFAULT_QUERIES_PER_SEGMENT,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_planner_json(result, args.json)
+    return render_planner_study(result)
+
+
 def _cmd_recover(args) -> str:
     import json as json_module
 
@@ -736,6 +778,7 @@ _COMMANDS = {
     "aggregates": _cmd_aggregates,
     "streaming": _cmd_streaming,
     "serving": _cmd_serving,
+    "planner": _cmd_planner,
     "recover": _cmd_recover,
     "durability": _cmd_durability,
     "replication": _cmd_replication,

@@ -16,12 +16,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..index_base import QueryResult, QueryStats
+from ..index_base import QueryResult, QueryStats, SecondaryIndex
 from ..predicate import RangePredicate
 from ..sim import DEFAULT_COST_MODEL, CostModel
 from .index import ColumnImprints
 
-__all__ = ["AccessPlan", "plan_query", "execute_with_plan"]
+__all__ = [
+    "AccessPlan",
+    "plan_query",
+    "execute_with_plan",
+    "predict_backend_stats",
+    "predict_backend_seconds",
+    "price_backends",
+]
 
 
 @dataclass(frozen=True)
@@ -95,3 +102,153 @@ def execute_with_plan(
     ids = np.flatnonzero(predicate.matches(values)).astype(np.int64)
     stats.ids_materialized = int(ids.shape[0])
     return QueryResult(ids=ids, stats=stats), plan
+
+
+# ----------------------------------------------------------------------
+# multi-backend pricing — the planner's model-side estimates
+# ----------------------------------------------------------------------
+def _estimated_ids(n: int, est_selectivity: float | None) -> int:
+    """Result-size estimate: observed selectivity when known, else ``n``."""
+    if est_selectivity is None:
+        return n
+    return int(min(n, max(0.0, est_selectivity) * n))
+
+
+def predict_backend_stats(
+    index: SecondaryIndex,
+    predicate: RangePredicate,
+    est_selectivity: float | None = None,
+) -> QueryStats:
+    """Predicted access counters for one backend, *without* running it.
+
+    Every prediction is index-only:
+
+    * **imprints** (anything exposing ``candidate_ranges``) — the
+      compressed-domain candidate probe supplies exact cacheline counts;
+    * **zonemap** — two vectorised min/max comparisons supply exact
+      full/partial zone counts (:meth:`~repro.indexes.zonemap.ZoneMap.
+      zone_masks`);
+    * **WAH** — the histogram masks identify touched bins; probes and
+      decode units follow from the compressed word counts, edge-bin
+      candidates are estimated at one bin's uniform share each;
+    * **scan** — exact by construction.
+
+    ``est_selectivity`` (when the planner has observed the predicate
+    shape before) sharpens the ``ids_materialized`` term; without it the
+    estimate is pessimistic (everything the candidates may emit).
+    """
+    column = index.column
+    n = len(column)
+    vpc = column.values_per_cacheline
+
+    if hasattr(index, "zone_masks"):  # zonemap
+        overlap, full = index.zone_masks(predicate)
+        import numpy as np
+
+        n_full = int(np.count_nonzero(full))
+        n_partial = int(np.count_nonzero(overlap)) - n_full
+        return QueryStats(
+            index_probes=int(overlap.shape[0]),
+            index_bytes_read=index.nbytes,
+            cachelines_fetched=n_partial,
+            value_comparisons=n_partial * vpc,
+            ids_materialized=min(
+                n,
+                n_full * vpc
+                + min(n_partial * vpc, _estimated_ids(n, est_selectivity)),
+            ),
+        )
+
+    if hasattr(index, "bin_vector"):  # WAH bitmap
+        from .masks import make_masks
+
+        mask, innermask = make_masks(index.histogram, predicate)
+        probes = bytes_read = decode = edge_bins = 0
+        groups_per_vector = -(-n // max(1, index.word_bits - 1))
+        for bin_index in range(index.bins):
+            bit = 1 << bin_index
+            if not mask & bit:
+                continue
+            vector = index.bin_vector(bin_index)
+            probes += vector.n_words
+            bytes_read += vector.nbytes
+            decode += groups_per_vector
+            if not innermask & bit:
+                edge_bins += 1
+        # Each edge bin contributes about one uniform bin share of
+        # candidate values to the false-positive check.
+        edge_candidates = min(n, edge_bins * -(-n // max(1, index.bins)))
+        return QueryStats(
+            index_probes=probes,
+            index_bytes_read=bytes_read,
+            decode_units=decode,
+            value_comparisons=edge_candidates,
+            cachelines_fetched=min(column.n_cachelines, edge_candidates),
+            ids_materialized=_estimated_ids(n, est_selectivity),
+        )
+
+    if hasattr(index, "candidate_ranges"):  # imprints family
+        candidates = index.candidate_ranges(predicate)
+        n_partial = candidates.n_partial_cachelines
+        n_full = candidates.n_full_cachelines
+        return QueryStats(
+            index_probes=candidates.stats.index_probes,
+            index_bytes_read=candidates.stats.index_bytes_read,
+            cachelines_fetched=n_partial,
+            value_comparisons=n_partial * vpc,
+            ids_materialized=min(
+                n,
+                n_full * vpc
+                + min(n_partial * vpc, _estimated_ids(n, est_selectivity)),
+            ),
+        )
+
+    # Sequential scan (or anything without an index-only probe).
+    return QueryStats(
+        value_comparisons=n,
+        cachelines_fetched=column.n_cachelines,
+        index_bytes_read=0,
+        ids_materialized=_estimated_ids(n, est_selectivity),
+    )
+
+
+def predict_backend_seconds(
+    index: SecondaryIndex,
+    predicate: RangePredicate,
+    model: CostModel = DEFAULT_COST_MODEL,
+    est_selectivity: float | None = None,
+) -> float:
+    """Model-predicted seconds for answering ``predicate`` via ``index``."""
+    if not hasattr(index, "candidate_ranges") and not hasattr(
+        index, "zone_masks"
+    ) and not hasattr(index, "bin_vector"):
+        column = index.column
+        return model.scan_time(
+            len(column),
+            column.ctype.itemsize,
+            _estimated_ids(len(column), est_selectivity),
+        )
+    return model.query_time(
+        predict_backend_stats(index, predicate, est_selectivity)
+    )
+
+
+def price_backends(
+    backends,
+    predicate: RangePredicate,
+    model: CostModel = DEFAULT_COST_MODEL,
+    est_selectivity: float | None = None,
+) -> dict[str, float]:
+    """Predicted seconds per backend for one predicate.
+
+    ``backends`` maps kind names to :class:`SecondaryIndex` instances
+    (a :class:`~repro.engine.planner.MultiBackendIndex`'s ``backends``
+    mapping, typically).  Purely model-driven — the planner layers its
+    observed-statistics corrections on top.
+    """
+    return {
+        kind: predict_backend_seconds(
+            index, predicate, model, est_selectivity
+        )
+        for kind, index in backends.items()
+    }

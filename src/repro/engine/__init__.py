@@ -7,23 +7,40 @@ Layers, bottom up:
   compressed-domain kernels per shard on a thread pool, stitching the
   answers (and Figure 11 counters) back bit-identical to the unsharded
   index;
+* :mod:`repro.engine.planner` — :class:`QueryPlanner` prices every
+  candidate backend for a predicate (cost model × observed statistics)
+  and :class:`MultiBackendIndex` hosts several access paths over one
+  column, mutated in lockstep so any of them can serve any query;
 * :mod:`repro.engine.executor` — :class:`QueryExecutor` micro-batches
   concurrent submissions per column into shared ``query_batch`` passes,
   coalesces identical in-flight predicates, caches hot results in a
-  version-keyed LRU, and parallelises the per-column candidate passes
-  of conjunctive table queries;
+  version-keyed LRU, picks each batch's access path through the planner
+  at dispatch time, and parallelises the per-column candidate passes of
+  conjunctive table queries;
 * :mod:`repro.engine.cache` — the bounded LRU and the serving counters.
 """
 
 from .cache import ExecutorStats, LRUCache
 from .executor import QueryExecutor
+from .planner import (
+    MultiBackendIndex,
+    PlanChoice,
+    PlanStatistics,
+    QueryPlanner,
+    predicate_shape,
+)
 from .sharded import ImprintShard, ShardedColumnImprints, slice_imprints
 
 __all__ = [
     "ExecutorStats",
     "ImprintShard",
     "LRUCache",
+    "MultiBackendIndex",
+    "PlanChoice",
+    "PlanStatistics",
     "QueryExecutor",
+    "QueryPlanner",
     "ShardedColumnImprints",
+    "predicate_shape",
     "slice_imprints",
 ]

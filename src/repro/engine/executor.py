@@ -47,6 +47,7 @@ from ..core.aggregates import AGGREGATE_OPS
 from ..core.conjunction import conjunctive_aggregate, conjunctive_query
 from ..core.parallel import default_workers
 from .cache import ExecutorStats, LRUCache
+from .planner import QueryPlanner
 
 __all__ = ["QueryExecutor"]
 
@@ -82,6 +83,16 @@ class QueryExecutor:
         here, so the budget holds orders of magnitude more entries.
     n_workers:
         Worker threads executing dispatched batches.
+    planner:
+        Optional :class:`~repro.engine.planner.QueryPlanner`.  With a
+        planner attached, a column registered as a
+        :class:`~repro.engine.planner.MultiBackendIndex` has its access
+        path chosen *per predicate at batch dispatch time* — and the
+        batch is the observation point: each evaluated group's
+        wall-clock and observed selectivity feed the planner's
+        statistics, recalibrating the cost model so mispriced plans
+        self-correct.  Answers are bit-identical regardless of the
+        plan; only timings differ.
 
     Examples
     --------
@@ -104,6 +115,7 @@ class QueryExecutor:
         cache_size: int = 1024,
         cache_bytes: int = 256 << 20,
         n_workers: int | None = None,
+        planner: QueryPlanner | None = None,
     ) -> None:
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
@@ -111,6 +123,7 @@ class QueryExecutor:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.batch_window = batch_window
         self.max_batch = max_batch
+        self.planner = planner
         self._indexes: dict[str, SecondaryIndex] = {}
         self._cache = LRUCache(cache_size, max_bytes=cache_bytes)
         self.stats = ExecutorStats()
@@ -144,12 +157,28 @@ class QueryExecutor:
         :class:`~repro.storage.table.Table`.
 
         ``index_factory`` builds the per-column index (default:
-        :class:`~repro.core.index.ColumnImprints`); remaining keyword
-        arguments configure the executor.  This is the natural entry
-        point for the table-level :meth:`conjunctive` path.
+        :class:`~repro.core.index.ColumnImprints`).  It may also be a
+        ``{column name: factory}`` mapping, so a table can mix backends
+        per column — an imprints column next to a zonemap column next to
+        a planner-routed :class:`~repro.engine.planner.MultiBackendIndex`
+        column; columns absent from the mapping get imprints.  Remaining
+        keyword arguments configure the executor (including
+        ``planner=``).  This is the natural entry point for the
+        table-level :meth:`conjunctive` path.
         """
+        from ..core.index import ColumnImprints
+
         if index_factory is None:
-            from ..core.index import ColumnImprints as index_factory
+            index_factory = ColumnImprints
+        if isinstance(index_factory, dict):
+            factories = index_factory
+            return cls(
+                {
+                    name: factories.get(name, ColumnImprints)(column)
+                    for name, column in table
+                },
+                **kwargs,
+            )
         return cls(
             {name: index_factory(column) for name, column in table},
             **kwargs,
@@ -180,7 +209,12 @@ class QueryExecutor:
     # submission
     # ------------------------------------------------------------------
     def submit(
-        self, name: str, predicate: RangePredicate, *, deadline: float | None = None
+        self,
+        name: str,
+        predicate: RangePredicate,
+        *,
+        deadline: float | None = None,
+        backend: str | None = None,
     ) -> Future:
         """Enqueue one predicate; returns a future of its QueryResult.
 
@@ -196,13 +230,30 @@ class QueryExecutor:
         result it stopped waiting for.  An already-expired deadline
         fails the future immediately (the future is still returned, so
         callers have one uniform consumption path).
+
+        ``backend`` forces the access path for this one submission (the
+        per-query escape hatch of the planner seam): the entry bypasses
+        the result cache, is never coalesced with differently-routed
+        peers, and is evaluated by the named backend — which requires
+        the column's index to support routing (a
+        :class:`~repro.engine.planner.MultiBackendIndex`, or any index
+        whose ``query_batch`` accepts ``backend=``).  Answers are
+        bit-identical to the unforced path.
         """
         if self._closed:
             raise ExecutorClosedError("executor is closed")
         index = self.index(name)  # fail fast on unknown names
+        if backend is not None:
+            self._check_backend(name, index, backend)
         fut: Future = Future()
         # Fast path: a fresh cached result needs no scheduling at all.
-        cached = self._cached_result(name, index, predicate)
+        # Forced-backend submissions skip it — the caller asked for an
+        # actual evaluation on a specific access path.
+        cached = (
+            self._cached_result(name, index, predicate)
+            if backend is None
+            else None
+        )
         if cached is not None:
             self.stats.bump(submitted=1, cache_hits=1)
             fut.set_result(cached)
@@ -222,7 +273,7 @@ class QueryExecutor:
             fresh_deadline = not queue
             if fresh_deadline:
                 self._deadlines[name] = time.monotonic() + self.batch_window
-            queue.append((predicate, fut, deadline))
+            queue.append((predicate, fut, deadline, backend))
             self.stats.bump(submitted=1)
             if len(queue) >= self.max_batch or self.batch_window == 0:
                 self._dispatch_locked(name)
@@ -232,28 +283,40 @@ class QueryExecutor:
                 self._wakeup.notify()
         return fut
 
-    def submit_many(self, name: str, predicates) -> list[Future]:
+    def submit_many(
+        self, name: str, predicates, *, backend: str | None = None
+    ) -> list[Future]:
         """Enqueue a burst of predicates under one lock acquisition.
 
         The bulk entry point for clients that already hold a request
         list: cache hits resolve immediately, the rest join the batcher
         in ``max_batch``-sized chunks without per-call locking.
+        ``backend`` forces every entry's access path, exactly like
+        :meth:`submit`.
         """
         if self._closed:
             raise ExecutorClosedError("executor is closed")
         index = self.index(name)
+        if backend is not None:
+            self._check_backend(name, index, backend)
         futures: list[Future] = []
-        misses: list[tuple[RangePredicate, Future, float | None]] = []
+        misses: list[
+            tuple[RangePredicate, Future, float | None, str | None]
+        ] = []
         hits = 0
         for predicate in predicates:
             fut: Future = Future()
             futures.append(fut)
-            cached = self._cached_result(name, index, predicate)
+            cached = (
+                self._cached_result(name, index, predicate)
+                if backend is None
+                else None
+            )
             if cached is not None:
                 hits += 1
                 fut.set_result(cached)
             else:
-                misses.append((predicate, fut, None))
+                misses.append((predicate, fut, None, backend))
         self.stats.bump(submitted=len(futures), cache_hits=hits)
         if not misses:
             return futures
@@ -284,9 +347,15 @@ class QueryExecutor:
                 self._wakeup.notify()
         return futures
 
-    def query(self, name: str, predicate: RangePredicate) -> QueryResult:
+    def query(
+        self,
+        name: str,
+        predicate: RangePredicate,
+        *,
+        backend: str | None = None,
+    ) -> QueryResult:
         """Blocking convenience: submit and wait."""
-        return self.submit(name, predicate).result()
+        return self.submit(name, predicate, backend=backend).result()
 
     # ------------------------------------------------------------------
     # streaming consumption
@@ -353,7 +422,7 @@ class QueryExecutor:
             futures = [
                 fut
                 for queue in self._pending.values()
-                for _, fut, _ in queue
+                for _, fut, _, _ in queue
             ]
             for name in list(self._pending):
                 self._dispatch_locked(name)
@@ -464,6 +533,36 @@ class QueryExecutor:
             return None
         return self._cache.get((name, predicate, version))
 
+    def _check_backend(self, name: str, index, backend: str) -> None:
+        """Fail fast if the column cannot serve a forced backend."""
+        resolve = getattr(index, "resolve", None)
+        if resolve is not None:
+            resolve(backend)  # raises ValueError on unknown kinds
+            return
+        kinds = {index.kind}
+        if index.kind == "imprints-sharded":
+            kinds.add("imprints")
+        if backend not in kinds:
+            raise ValueError(
+                f"column {name!r} (index kind {index.kind!r}) cannot "
+                f"serve forced backend {backend!r}"
+            )
+
+    @staticmethod
+    def _query_routed(index, predicates, backend: str | None):
+        """Evaluate a predicate group via the chosen access path.
+
+        ``backend=None`` is the classic path.  A named backend routes
+        through the index's dispatch seam
+        (:meth:`~repro.engine.planner.MultiBackendIndex.query_batch` or
+        the :class:`~repro.engine.sharded.ShardedColumnImprints`
+        ``backend=`` override); an index whose only access path *is*
+        the requested kind just runs normally.
+        """
+        if backend is None or not hasattr(index, "resolve"):
+            return index.query_batch(predicates)
+        return index.query_batch(predicates, backend=backend)
+
     def _dispatch_locked(self, name: str) -> None:
         """Move a pending batch onto the worker pool (lock held)."""
         entries = self._pending.pop(name, [])
@@ -495,7 +594,9 @@ class QueryExecutor:
     def _run_batch(
         self,
         name: str,
-        entries: list[tuple[RangePredicate, Future, float | None]],
+        entries: list[
+            tuple[RangePredicate, Future, float | None, str | None]
+        ],
     ) -> None:
         try:
             index = self._indexes[name]
@@ -509,9 +610,9 @@ class QueryExecutor:
             # timeout (its caller stopped waiting), while the live
             # peer's evaluation proceeds untouched.
             now = time.monotonic()
-            live: list[tuple[RangePredicate, Future]] = []
+            live: list[tuple[RangePredicate, Future, str | None]] = []
             expired = 0
-            for predicate, fut, deadline in entries:
+            for predicate, fut, deadline, forced in entries:
                 if deadline is not None and deadline <= now:
                     expired += 1
                     if not fut.done():
@@ -522,67 +623,110 @@ class QueryExecutor:
                             )
                         )
                 else:
-                    live.append((predicate, fut))
+                    live.append((predicate, fut, forced))
             if expired:
                 self.stats.bump(expired=expired)
             if not live:
                 return
-            # Coalesce: one evaluation per distinct predicate.
-            groups: dict[RangePredicate, list[Future]] = {}
-            for predicate, fut in live:
-                groups.setdefault(predicate, []).append(fut)
+            # Coalesce: one evaluation per distinct (predicate, forced
+            # backend) pair — a forced submission never shares an
+            # evaluation with a differently-routed peer, even though
+            # the answers would be bit-identical, because the caller
+            # asked for that specific access path to actually run.
+            groups: dict[tuple[RangePredicate, str | None], list[Future]] = {}
+            for predicate, fut, forced in live:
+                groups.setdefault((predicate, forced), []).append(fut)
             self.stats.bump(coalesced=len(live) - len(groups))
 
-            results: dict[RangePredicate, QueryResult] = {}
-            to_run: list[RangePredicate] = []
-            for predicate in groups:
+            results: dict[tuple[RangePredicate, str | None], QueryResult] = {}
+            to_run: list[tuple[RangePredicate, str | None]] = []
+            for key in groups:
+                predicate, forced = key
                 cached = (
                     self._cache.get((name, predicate, version))
-                    if version is not None
+                    if version is not None and forced is None
                     else None
                 )
                 if cached is not None:
-                    results[predicate] = cached
+                    results[key] = cached
                     self.stats.bump(cache_hits=1)
                 else:
-                    to_run.append(predicate)
+                    to_run.append(key)
                     self.stats.bump(cache_misses=1)
 
             if to_run:
-                answers = index.query_batch(to_run)
-                self.stats.bump(batches=1, batched_queries=len(to_run))
-                for predicate, result in zip(to_run, answers):
-                    # Shared results must not be mutated by callers —
-                    # freeze() marks the compact arrays read-only
-                    # without forcing materialisation.
-                    result.freeze()
-                    results[predicate] = result
-                    if version is not None:
-                        # Weight = the compact RowSet footprint (range
-                        # endpoints + exceptions), not the expanded id
-                        # array: a byte budget holds orders of
-                        # magnitude more high-selectivity answers.  If
-                        # a consumer later forces ``.ids``, the
-                        # materialisation hook re-charges the entry its
-                        # real pinned footprint, keeping the byte
-                        # budget honest.
-                        key = (name, predicate, version)
-                        self._cache.put(key, result, weight=int(result.nbytes))
-                        result.on_materialize(
-                            lambda nbytes, key=key: self._cache.reweight(
-                                key, int(nbytes)
-                            )
+                # Dispatch-time access-path choice: with a planner and a
+                # multi-backend column, every distinct predicate picks
+                # its backend here; forced entries short-circuit but are
+                # validated the same way.  Each backend's sub-batch is
+                # evaluated (and timed) as one ``query_batch`` pass.
+                planner = self.planner
+                backends = getattr(index, "backends", None)
+                routed = planner is not None and backends is not None
+                exec_groups: dict[str | None, list[tuple]] = {}
+                for key in to_run:
+                    predicate, forced = key
+                    if routed:
+                        choice = planner.choose(
+                            name, backends, predicate, forced=forced
                         )
+                        exec_groups.setdefault(choice.backend, []).append(
+                            (key, choice)
+                        )
+                    else:
+                        exec_groups.setdefault(forced, []).append((key, None))
 
-            for predicate, futures in groups.items():
+                n_rows = len(index.column)
+                for backend, members in exec_groups.items():
+                    predicates = [key[0] for key, _ in members]
+                    started = time.perf_counter()
+                    answers = self._query_routed(index, predicates, backend)
+                    elapsed = time.perf_counter() - started
+                    # The coalescing batcher is the observation point:
+                    # the batch's wall-clock (split evenly across its
+                    # predicates — they shared one pass) and each
+                    # answer's observed selectivity feed the planner's
+                    # EWMA statistics and model recalibration.
+                    share = elapsed / max(1, len(predicates))
+                    for (key, choice), result in zip(members, answers):
+                        result.freeze()
+                        results[key] = result
+                        if choice is not None:
+                            planner.observe(
+                                name,
+                                choice,
+                                seconds=share,
+                                selectivity=result.count() / max(1, n_rows),
+                            )
+                        if version is not None:
+                            # Weight = the compact RowSet footprint
+                            # (range endpoints + exceptions), not the
+                            # expanded id array: a byte budget holds
+                            # orders of magnitude more high-selectivity
+                            # answers.  If a consumer later forces
+                            # ``.ids``, the materialisation hook
+                            # re-charges the entry its real pinned
+                            # footprint, keeping the byte budget honest.
+                            cache_key = (name, key[0], version)
+                            self._cache.put(
+                                cache_key, result, weight=int(result.nbytes)
+                            )
+                            result.on_materialize(
+                                lambda nbytes, k=cache_key: self._cache.reweight(
+                                    k, int(nbytes)
+                                )
+                            )
+                self.stats.bump(batches=1, batched_queries=len(to_run))
+
+            for key, futures in groups.items():
                 for fut in futures:
                     # A waiter may have given up while the batch ran
                     # (asyncio deadline cancelling its wrapped future);
                     # delivery must not die on it and strand the rest.
                     if not fut.done():
-                        fut.set_result(results[predicate])
+                        fut.set_result(results[key])
         except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-            for _, fut, _ in entries:
+            for _, fut, _, _ in entries:
                 if not fut.done():
                     fut.set_exception(exc)
 
@@ -621,7 +765,7 @@ class QueryExecutor:
                     self._dispatch_locked(name)
             else:
                 for queue in self._pending.values():
-                    stranded.extend(fut for _, fut, _ in queue)
+                    stranded.extend(fut for _, fut, _, _ in queue)
                 self._pending.clear()
                 self._deadlines.clear()
             self._wakeup.notify_all()
@@ -639,7 +783,7 @@ class QueryExecutor:
             leftovers = [
                 fut
                 for queue in self._pending.values()
-                for _, fut, _ in queue
+                for _, fut, _, _ in queue
             ]
             self._pending.clear()
             self._deadlines.clear()

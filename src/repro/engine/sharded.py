@@ -384,7 +384,35 @@ class ShardedColumnImprints(SecondaryIndex):
             rowset=RowSet.concatenate(parts, offsets), stats=stats
         ).stamp_version(self.version)
 
-    def query(self, predicate: RangePredicate) -> QueryResult:
+    def resolve(self, backend) -> SecondaryIndex:
+        """Resolve a forced-backend override to the index that serves it.
+
+        ``None`` and the imprints kind names (``"imprints"``,
+        ``"imprints-sharded"``) resolve to this index — the normal
+        sharded/inline dispatch.  A :class:`SecondaryIndex` *instance*
+        resolves to itself: the delegation seam the planner's
+        forced-plan escape hatch rides on, honoured identically in pool
+        and inline dispatch modes (historically the inline path
+        hard-coded the inner imprints index and silently ignored
+        overrides).  Anything else raises ``ValueError`` so a typo'd
+        backend name fails loudly instead of silently running imprints.
+        """
+        if backend is None or backend in ("imprints", self.kind):
+            return self
+        if isinstance(backend, SecondaryIndex):
+            return backend
+        raise ValueError(
+            f"sharded imprints index cannot serve forced backend "
+            f"{backend!r}; pass None, 'imprints', {self.kind!r}, or a "
+            f"SecondaryIndex instance"
+        )
+
+    def query(
+        self, predicate: RangePredicate, *, backend=None
+    ) -> QueryResult:
+        target = self.resolve(backend)
+        if target is not self:
+            return target.query(predicate).stamp_version(self.version)
         if self.dispatch_mode == "inline":
             # One worker (or one shard) cannot win anything from the
             # shard fan-out; the inner index is bit-identical by
@@ -421,17 +449,25 @@ class ShardedColumnImprints(SecondaryIndex):
 
         return self._stitch(self._map(run, len(shards)), stats)
 
-    def query_batch(self, predicates) -> list[QueryResult]:
+    def query_batch(self, predicates, *, backend=None) -> list[QueryResult]:
         """Shard-parallel shared-pass evaluation of many predicates.
 
         Each shard runs the chunked 2-D mask pass of
         :func:`repro.core.query.query_batch` over *all* predicates, so
         the work per stored vector is shared across the batch exactly
         like the unsharded path — and the shards run concurrently.
+        ``backend`` is the forced-plan seam of :meth:`resolve`, honoured
+        in both pool and inline dispatch modes.
         """
         predicates = list(predicates)
         if not predicates:
             return []
+        target = self.resolve(backend)
+        if target is not self:
+            return [
+                result.stamp_version(self.version)
+                for result in target.query_batch(predicates)
+            ]
         if self.dispatch_mode == "inline":
             return self._inner.query_batch(predicates)
         data = self._inner.data

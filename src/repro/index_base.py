@@ -415,6 +415,12 @@ class SecondaryIndex(ABC):
 
     def __init__(self, column: Column) -> None:
         self.column = column
+        #: Mutation counter.  Every index bumps it on append/update/
+        #: delete/rebuild; answers are stamped with it so version-keyed
+        #: caches and page cursors invalidate on any mutation.  Baseline
+        #: indexes share this counter discipline with imprints, which is
+        #: what lets the planner swap backends under a versioned LRU.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # the contract

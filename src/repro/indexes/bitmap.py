@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.binning import DEFAULT_SAMPLE_SIZE, MAX_BINS, Histogram, binning
 from ..core.masks import make_masks
+from ..core.rowset import RowSet
 from ..index_base import QueryResult, QueryStats, SecondaryIndex
 from ..predicate import RangePredicate
 from ..storage.column import Column
@@ -62,10 +63,14 @@ class WahBitmapIndex(SecondaryIndex):
         self.histogram = histogram
         self.word_bits = word_bits
         self._codec = codec_for(word_bits)
-        bins_of_values = histogram.get_bins(column.values)
+        self._encode_vectors()
+
+    def _encode_vectors(self) -> None:
+        """(Re)compress every bin's bit vector from the current column."""
+        bins_of_values = self.histogram.get_bins(self.column.values)
         self._vectors: list[WahVector] = [
-            wah_encode(bins_of_values == bin_index, word_bits=word_bits)
-            for bin_index in range(histogram.bins)
+            wah_encode(bins_of_values == bin_index, word_bits=self.word_bits)
+            for bin_index in range(self.histogram.bins)
         ]
 
     # ------------------------------------------------------------------
@@ -97,7 +102,9 @@ class WahBitmapIndex(SecondaryIndex):
         n = len(self.column)
         mask, innermask = make_masks(self.histogram, predicate)
         if mask == 0 or n == 0:
-            return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+            return QueryResult(
+                rowset=RowSet.empty(), stats=stats
+            ).stamp_version(self.version)
 
         inner_groups: np.ndarray | None = None
         edge_groups: np.ndarray | None = None
@@ -136,4 +143,42 @@ class WahBitmapIndex(SecondaryIndex):
 
         ids = np.flatnonzero(qualifying).astype(np.int64)
         stats.ids_materialized = int(ids.shape[0])
-        return QueryResult(ids=ids, stats=stats)
+        # The id-aligned result bitmap compresses losslessly into run
+        # form, so WAH answers share the RowSet contract (O(ranges)
+        # count/paging, compact cache entries) with every other backend.
+        return QueryResult(
+            rowset=RowSet.from_ids(ids), stats=stats
+        ).stamp_version(self.version)
+
+    # ------------------------------------------------------------------
+    # updates — WAH has no incremental form; mutations re-encode
+    # ------------------------------------------------------------------
+    def append(self, values) -> None:
+        """Append values and re-encode the bin vectors.
+
+        The histogram stays fixed (like the imprints append path); each
+        bin's full-length bitmap is re-compressed.  WAH's lack of an
+        incremental append is part of why the paper prefers imprints for
+        updatable columns — the cost is honest here and the planner's
+        observed statistics will price it accordingly.
+        """
+        values = self.column.ctype.cast(values)
+        if values.size == 0:
+            return
+        self.column = self.column.appended(values)
+        self._encode_vectors()
+        self.version += 1
+
+    def note_update(self, value_id: int, new_value) -> None:
+        """Apply an in-place update: re-encode the affected bitmaps."""
+        self.column = self.column.with_value(value_id, new_value)
+        self._encode_vectors()
+        self.version += 1
+
+    def note_delete(self, value_id: int) -> None:
+        """Record a deletion (logical, weeded like every other backend)."""
+        if not 0 <= value_id < len(self.column):
+            raise IndexError(
+                f"value id {value_id} out of range [0, {len(self.column)})"
+            )
+        self.version += 1

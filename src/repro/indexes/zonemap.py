@@ -7,12 +7,23 @@ query compares its bounds against every zone (hence the "steady number
 of index probes: exactly the number of cachelines" in Figure 11),
 fetches overlapping zones, and skips the per-value check for zones that
 lie entirely inside the query range.
+
+Zonemap answers are *naturally range-shaped*: a fully-qualifying zone is
+a contiguous id span, and adjacent full zones coalesce into longer
+spans.  The query therefore builds a
+:class:`~repro.core.rowset.RowSet` directly — full zones become id
+ranges, partial-zone survivors become the sparse exception chunk — so
+zonemap results support the same O(ranges) counting, paging and
+aggregate pushdown as imprint answers, and the executor's versioned LRU
+caches them compactly.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.ranges import coalesce_ranges
+from ..core.rowset import RowSet
 from ..index_base import QueryResult, QueryStats, SecondaryIndex
 from ..predicate import RangePredicate
 from ..storage.column import Column
@@ -27,9 +38,13 @@ class ZoneMap(SecondaryIndex):
 
     def __init__(self, column: Column) -> None:
         super().__init__(column)
-        values = column.values
+        self._refit()
+
+    def _refit(self) -> None:
+        """(Re)compute the per-zone min/max arrays from the column."""
+        values = self.column.values
         n = values.shape[0]
-        vpc = column.values_per_cacheline
+        vpc = self.column.values_per_cacheline
         if n == 0:
             self._zone_min = np.empty(0, dtype=values.dtype)
             self._zone_max = np.empty(0, dtype=values.dtype)
@@ -56,17 +71,23 @@ class ZoneMap(SecondaryIndex):
         return int(self._zone_min.nbytes + self._zone_max.nbytes)
 
     # ------------------------------------------------------------------
-    def query(self, predicate: RangePredicate) -> QueryResult:
-        stats = QueryStats(
-            index_probes=self.n_zones,
-            index_bytes_read=self.nbytes,
-        )
-        if predicate.is_empty or self.n_zones == 0:
-            return QueryResult(ids=np.empty(0, dtype=np.int64), stats=stats)
+    def zone_masks(
+        self, predicate: RangePredicate
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Boolean ``(overlap, full)`` zone masks for a predicate.
 
-        # Overlap: the zone's [min, max] intersects [low, high).
+        The index-only filtering step — two vectorised comparisons over
+        the min/max arrays, no value access.  Exposed separately so the
+        access-path advisor can price a zonemap plan exactly (full and
+        partial zone counts) without running the query.
+        """
         overlap = np.ones(self.n_zones, dtype=bool)
         full = np.ones(self.n_zones, dtype=bool)
+        if predicate.is_empty or self.n_zones == 0:
+            return (
+                np.zeros(self.n_zones, dtype=bool),
+                np.zeros(self.n_zones, dtype=bool),
+            )
         if not predicate.low_unbounded:
             overlap &= self._zone_max >= predicate.low
             full &= self._zone_min >= predicate.low
@@ -74,32 +95,89 @@ class ZoneMap(SecondaryIndex):
             overlap &= self._zone_min < predicate.high
             full &= self._zone_max < predicate.high
         full &= overlap
+        return overlap, full
+
+    def query(self, predicate: RangePredicate) -> QueryResult:
+        stats = QueryStats(
+            index_probes=self.n_zones,
+            index_bytes_read=self.nbytes,
+        )
+        if predicate.is_empty or self.n_zones == 0:
+            return QueryResult(
+                rowset=RowSet.empty(), stats=stats
+            ).stamp_version(self.version)
+
+        overlap, full = self.zone_masks(predicate)
 
         vpc = self.column.values_per_cacheline
         n = len(self.column)
-        offsets = np.arange(vpc, dtype=np.int64)
         full_zones = np.flatnonzero(full).astype(np.int64)
         partial_zones = np.flatnonzero(overlap & ~full).astype(np.int64)
         stats.full_cachelines = int(full_zones.shape[0])
         stats.partial_cachelines = int(partial_zones.shape[0])
         stats.cachelines_fetched = int(partial_zones.shape[0])
 
-        id_chunks: list[np.ndarray] = []
+        # Full zones are contiguous id spans — the answer's range part.
         if full_zones.size:
-            ids = (full_zones[:, None] * vpc + offsets[None, :]).ravel()
-            id_chunks.append(ids[ids < n])
+            starts = full_zones * vpc
+            stops = np.minimum(starts + vpc, n)
+            starts, stops = coalesce_ranges(starts, stops)
+        else:
+            starts = stops = np.empty(0, dtype=np.int64)
+
+        # Partial-zone survivors are the sparse exception chunk.  They
+        # are produced in ascending id order (zones and intra-zone
+        # offsets both ascend) and never fall inside a full zone.
         if partial_zones.size:
+            offsets = np.arange(vpc, dtype=np.int64)
             candidates = (partial_zones[:, None] * vpc + offsets[None, :]).ravel()
             candidates = candidates[candidates < n]
             stats.value_comparisons = int(candidates.shape[0])
             keep = predicate.matches(self.column.values[candidates])
-            id_chunks.append(candidates[keep])
-
-        if not id_chunks:
-            result_ids = np.empty(0, dtype=np.int64)
-        elif len(id_chunks) == 1:
-            result_ids = id_chunks[0]
+            extras = candidates[keep]
         else:
-            result_ids = np.sort(np.concatenate(id_chunks), kind="stable")
-        stats.ids_materialized = int(result_ids.shape[0])
-        return QueryResult(ids=result_ids, stats=stats)
+            extras = np.empty(0, dtype=np.int64)
+
+        rowset = RowSet(starts, stops, extras)
+        stats.ids_materialized = rowset.count()
+        return QueryResult(rowset=rowset, stats=stats).stamp_version(
+            self.version
+        )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def append(self, values) -> None:
+        """Append values and extend the zone arrays.
+
+        Zones before the old tail are untouched by construction; the
+        refit is a single vectorised ``reduceat`` pass, so appends stay
+        O(column) worst case without any per-zone Python looping.
+        """
+        values = self.column.ctype.cast(values)
+        if values.size == 0:
+            return
+        self.column = self.column.appended(values)
+        self._refit()
+        self.version += 1
+
+    def note_update(self, value_id: int, new_value) -> None:
+        """Apply an in-place update: recompute the one affected zone."""
+        self.column = self.column.with_value(value_id, new_value)
+        zone = self.column.geometry.cacheline_of(value_id)
+        span = self.column.cacheline_values(zone)
+        zone_min = self._zone_min.copy()
+        zone_max = self._zone_max.copy()
+        zone_min[zone] = span.min()
+        zone_max[zone] = span.max()
+        self._zone_min = zone_min
+        self._zone_max = zone_max
+        self.version += 1
+
+    def note_delete(self, value_id: int) -> None:
+        """Record a deletion (logical; min/max stay a valid superset)."""
+        if not 0 <= value_id < len(self.column):
+            raise IndexError(
+                f"value id {value_id} out of range [0, {len(self.column)})"
+            )
+        self.version += 1

@@ -588,7 +588,10 @@ class ImprintService:
         return payload
 
     def stats_payload(self) -> dict:
-        """The ``/stats`` body: service, admission, engine, cache."""
+        """The ``/stats`` body: service, admission, engine, cache —
+        plus a ``planner`` section (plan counts, calibration factors,
+        observed shapes) when the executor routes through a
+        :class:`~repro.engine.planner.QueryPlanner`."""
         snap = self.admission.snapshot()
         engine = self.executor.stats
         cache = self.executor.cache
@@ -620,6 +623,9 @@ class ImprintService:
                 "misses": cache.misses,
             },
         }
+        planner = getattr(self.executor, "planner", None)
+        if planner is not None:
+            payload["planner"] = planner.stats_payload()
         durable = self.durability
         if durable is not None:
             payload["durability"] = {

@@ -63,6 +63,28 @@ class CostModel:
             + stats.decode_units * self.decode_cost
         )
 
+    def scaled(self, factor: float) -> "CostModel":
+        """This model with every constant scaled by ``factor``.
+
+        ``scaled(f).query_time(s) == f * query_time(s)`` for every
+        counter record — the bandwidth divides, the per-unit costs
+        multiply.  This is the recalibration primitive: the planner's
+        EWMA feedback loop maintains one factor per backend (observed
+        wall-clock over model-predicted seconds) and exposes the
+        corrected constants as ``model.scaled(factor)``, so a mispriced
+        constant self-corrects without mutating the shared default.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        return CostModel(
+            sequential_bandwidth=self.sequential_bandwidth / factor,
+            random_cacheline_latency=self.random_cacheline_latency * factor,
+            comparison_cost=self.comparison_cost * factor,
+            materialize_cost=self.materialize_cost * factor,
+            probe_cost=self.probe_cost * factor,
+            decode_cost=self.decode_cost * factor,
+        )
+
     def scan_time(self, n_values: int, itemsize: int, n_results: int) -> float:
         """Simulated time of a sequential scan over the raw column."""
         return (

@@ -1,13 +1,20 @@
 """Tests for the scan-vs-imprints access-path advisor."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.core import ColumnImprints, execute_with_plan, plan_query
-from repro.indexes import SequentialScan
+from repro.core.advisor import (
+    predict_backend_seconds,
+    predict_backend_stats,
+    price_backends,
+)
+from repro.indexes import SequentialScan, WahBitmapIndex, ZoneMap
 from repro.predicate import RangePredicate
-from repro.sim import CostModel
-from repro.storage import Column
+from repro.sim import DEFAULT_COST_MODEL, CostModel
+from repro.storage import INT, Column
 
 from .conftest import make_clustered, make_random
 
@@ -79,3 +86,112 @@ class TestExecution:
         assert plan.method == "scan"
         expected = SequentialScan(clustered_index.column).query(predicate)
         assert np.array_equal(result.ids, expected.ids)
+
+
+def _all_backends(column: Column) -> dict:
+    imprints = ColumnImprints(column)
+    return {
+        "imprints": imprints,
+        "zonemap": ZoneMap(column),
+        "wah": WahBitmapIndex(column, histogram=imprints.histogram),
+        "scan": SequentialScan(column),
+    }
+
+
+def _assert_plan_executable(column: Column, predicate: RangePredicate):
+    """Shared edge-case contract: planning never divides by zero, never
+    prices a plan as NaN/negative, and the chosen plan always executes
+    to the oracle answer."""
+    backends = _all_backends(column)
+    plan = plan_query(backends["imprints"], predicate)
+    assert plan.method in ("imprints", "scan")
+    assert math.isfinite(plan.imprints_seconds)
+    assert math.isfinite(plan.scan_seconds)
+    assert plan.imprints_seconds >= 0 and plan.scan_seconds >= 0
+    assert math.isfinite(plan.candidate_fraction)
+
+    prices = price_backends(backends, predicate, DEFAULT_COST_MODEL)
+    assert set(prices) == set(backends)
+    for kind, seconds in prices.items():
+        assert math.isfinite(seconds) and seconds >= 0, kind
+
+    result, executed_plan = execute_with_plan(backends["imprints"], predicate)
+    oracle = np.flatnonzero(predicate.matches(column.values)).astype(np.int64)
+    assert np.array_equal(result.ids, oracle)
+    assert executed_plan.method == plan.method
+    for kind, index in backends.items():
+        assert np.array_equal(index.query(predicate).ids, oracle), kind
+    return plan, prices
+
+
+class TestEdgeCases:
+    """Satellite: the advisor on degenerate inputs (empty column,
+    single cacheline, all-full candidates, empty selections)."""
+
+    def test_empty_column(self):
+        """Imprints (and WAH, which shares its sampled histogram) cannot
+        exist over zero rows — construction must fail loudly, and the
+        backends that *can* be empty must price and answer without any
+        divide-by-zero."""
+        column = Column(np.empty(0, dtype=np.int32), ctype=INT, name="e")
+        with pytest.raises(ValueError, match="empty column"):
+            ColumnImprints(column)
+        backends = {"zonemap": ZoneMap(column), "scan": SequentialScan(column)}
+        predicate = RangePredicate.range(0, 10, INT)
+        prices = price_backends(backends, predicate, DEFAULT_COST_MODEL)
+        for kind, seconds in prices.items():
+            assert math.isfinite(seconds) and seconds >= 0, kind
+        for kind, index in backends.items():
+            result = index.query(predicate)
+            assert result.count() == 0, kind
+            assert result.ids.shape == (0,), kind
+
+    def test_single_cacheline_column(self):
+        column = Column(np.arange(5, dtype=np.int32), ctype=INT, name="1cl")
+        assert column.n_cachelines == 1
+        _assert_plan_executable(column, RangePredicate.range(1, 4, INT))
+        _assert_plan_executable(column, RangePredicate.point(2, INT))
+
+    def test_all_full_candidates(self):
+        """A clustered column with a predicate covering everything: every
+        candidate cacheline is full, so the partial-line terms are all
+        zero — historically a divide-by-zero shape."""
+        column = Column(
+            np.repeat(np.arange(100, dtype=np.int32), 64), name="full"
+        )
+        index = ColumnImprints(column)
+        # Unbounded on both sides: every bin is an inner bin, so every
+        # candidate cacheline is proven full by the mask alone.
+        predicate = RangePredicate.everything()
+        candidates = index.candidate_ranges(predicate)
+        assert candidates.n_partial_cachelines == 0
+        assert candidates.n_full_cachelines == column.n_cachelines
+        plan, _ = _assert_plan_executable(column, predicate)
+        # Index-only answering beats touching every value.
+        assert plan.method == "imprints"
+
+    def test_predicate_selecting_nothing(self):
+        column = Column(np.arange(10_000, dtype=np.int32), name="miss")
+        # Out-of-domain range: only the unbounded top bin can answer, so
+        # candidates are (nearly) empty and the selection is empty.
+        plan, prices = _assert_plan_executable(
+            column, RangePredicate.range(50_000, 50_100, INT)
+        )
+        assert plan.candidate_fraction < 0.01
+        assert plan.method == "imprints"
+
+    def test_empty_predicate(self):
+        column = Column(np.arange(256, dtype=np.int32), name="empty-pred")
+        _assert_plan_executable(column, RangePredicate.range(10, 10, INT))
+
+    def test_selectivity_estimate_sharpens_id_terms(self):
+        column = Column(make_random(50_000, np.int32, seed=3), name="est")
+        index = ColumnImprints(column)
+        lo, hi = np.quantile(column.values, [0.1, 0.9])
+        predicate = RangePredicate.range(int(lo), int(hi), INT)
+        pessimistic = predict_backend_stats(index, predicate)
+        sharpened = predict_backend_stats(index, predicate, est_selectivity=0.01)
+        assert sharpened.ids_materialized < pessimistic.ids_materialized
+        assert predict_backend_seconds(
+            index, predicate, est_selectivity=0.01
+        ) < predict_backend_seconds(index, predicate)

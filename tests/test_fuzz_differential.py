@@ -27,6 +27,7 @@ from hypothesis import strategies as st
 
 from repro.core import ColumnImprints
 from repro.engine import QueryExecutor, ShardedColumnImprints
+from repro.indexes import SequentialScan, WahBitmapIndex, ZoneMap
 from repro.predicate import RangePredicate
 from repro.storage import DOUBLE, INT, LONG, SHORT, Column
 
@@ -218,3 +219,85 @@ def test_random_programs_agree_with_oracle(dtype, seed_values, n_shards, steps):
     finally:
         executor.close()
         sharded.close()
+
+
+# ----------------------------------------------------------------------
+# baseline-backend conformance — RowSet contract vs the imprints oracle
+# ----------------------------------------------------------------------
+_BACKENDS = {
+    "zonemap": ZoneMap,
+    "wah": WahBitmapIndex,
+    "scan": SequentialScan,
+}
+
+
+@given(
+    backend=st.sampled_from(sorted(_BACKENDS)),
+    dtype=st.sampled_from(sorted(_CTYPES)),
+    seed_values=st.lists(st.integers(_LOW, _HIGH), min_size=1, max_size=300),
+    steps=st.lists(step_st, min_size=1, max_size=8),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_baseline_backends_conform_to_imprints(
+    backend, dtype, seed_values, steps
+):
+    """Every baseline index is a drop-in RowSet-backed replacement.
+
+    The same random program (queries, pages, aggregates, appends,
+    updates) runs against a baseline backend and the serial imprints
+    index; ids, ``count()``, paged concatenations and aggregates must
+    agree bit-for-bit after any prefix of mutations — the property the
+    planner relies on when it swaps access paths mid-stream.
+    """
+    ctype, np_dtype = _CTYPES[dtype]
+    mirror = np.array(seed_values, dtype=np_dtype)
+    oracle_index = ColumnImprints(Column(mirror.copy(), ctype=ctype, name="o"))
+    baseline = _BACKENDS[backend](Column(mirror.copy(), ctype=ctype, name="b"))
+
+    def check(pred: RangePredicate, size: int) -> None:
+        expected = oracle_index.query(pred)
+        got = baseline.query(pred)
+        assert np.array_equal(got.ids, expected.ids), "forced ids"
+        assert got.count() == expected.count(), "count()"
+        assert got.version == baseline.version, "version stamp"
+        paged = _drain_pages(baseline.query(pred).page, size)
+        assert np.array_equal(paged, expected.ids), "paged concatenation"
+
+    def check_aggregates(pred: RangePredicate) -> None:
+        for op in ("count", "sum", "min", "max"):
+            assert baseline.aggregate(pred, op) == oracle_index.aggregate(
+                pred, op
+            ), op
+
+    for step in steps:
+        note(f"step: {step}")
+        kind = step[0]
+        if kind == "query":
+            _, low, high, size = step
+            check(_predicate(low, high, ctype), size)
+        elif kind == "aggregate":
+            _, op, low, high = step
+            pred = _predicate(low, high, ctype)
+            assert baseline.aggregate(pred, op) == oracle_index.aggregate(
+                pred, op
+            ), op
+        elif kind == "append":
+            _, raw = step
+            fresh = np.array(raw, dtype=np_dtype)
+            mirror = np.concatenate([mirror, fresh])
+            oracle_index.append(fresh)
+            baseline.append(fresh)
+        elif kind == "update":
+            _, fraction, raw = step
+            position = min(int(fraction * mirror.shape[0]), mirror.shape[0] - 1)
+            value = np_dtype(raw)
+            mirror[position] = value
+            oracle_index.note_update(position, value)
+            baseline.note_update(position, value)
+    check(_predicate(_LOW, _HIGH, ctype), 13)
+    check_aggregates(_predicate(_LOW, _HIGH, ctype))

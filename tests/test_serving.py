@@ -375,6 +375,37 @@ class TestImprintService:
         assert payload["admission"]["admitted"] == 1
         assert payload["admission"]["released"] == 1
 
+    def test_stats_payload_surfaces_planner_when_routing(self):
+        """A planner-routed executor's /stats grows a planner section:
+        plan counts, calibration, observed shapes."""
+        from repro.engine import MultiBackendIndex, QueryPlanner
+        from repro.storage import Column
+
+        column = Column(
+            make_clustered(20_000, np.int32, seed=11), name="t.v"
+        )
+        planner = QueryPlanner()
+        executor = QueryExecutor(
+            {"v": MultiBackendIndex.for_column(column)},
+            planner=planner,
+            batch_window=0.001,
+            max_batch=16,
+        )
+        service = ImprintService(executor, ServingConfig())
+
+        async def scenario():
+            async with service:
+                await service.query("v", LOW, HIGH, mode="full")
+            return service.stats_payload()
+
+        payload = run(scenario())
+        section = payload["planner"]
+        assert sum(section["plans"].values()) == 1
+        assert set(section["calibration"]) <= {
+            "imprints", "zonemap", "wah", "scan"
+        }
+        assert section["tracked_shapes"] >= 1
+
 
 # ----------------------------------------------------------------------
 # the HTTP front end
