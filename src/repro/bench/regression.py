@@ -42,6 +42,15 @@ of the best static backend on every segment (plus tolerance), and
 faster than always-imprints on the low-selectivity segment where the
 paper's Section 6.3 cost model says a scan must win.
 
+The dashboard study (``--dashboard``) gates the GROUP BY / moment /
+top-k pushdown lanes: the run must have verified every grouped,
+moment, and top-k answer — serial, 4-shard recombination, and executor
+cache — against exact NumPy references before timing (hard invariant),
+and full-size runs must keep grouped COUNT/SUM/AVG at or above the
+acceptance floor (5x over materialise-then-group at 10% selectivity,
+minus the tolerance) — answering dashboards from the sidecar instead
+of row ids is the feature's whole point.
+
 Usage (what CI runs after the full-size bench)::
 
     python -m repro.bench.regression FRESH.json --baseline BASELINE.json \
@@ -49,7 +58,8 @@ Usage (what CI runs after the full-size bench)::
         --streaming STREAM.json --streaming-baseline STREAM_BASE.json \
         --durability DUR.json --durability-baseline DUR_BASE.json \
         --replication REPL.json --replication-baseline REPL_BASE.json \
-        --planner PLAN.json --planner-baseline PLAN_BASE.json
+        --planner PLAN.json --planner-baseline PLAN_BASE.json \
+        --dashboard DASH.json --dashboard-baseline DASH_BASE.json
 
 Exit status 0 means no regression; 1 lists the failures.
 """
@@ -74,6 +84,8 @@ __all__ = [
     "check_planner_regression",
     "MAX_PLANNER_VS_BEST_STATIC",
     "MIN_UNSELECTIVE_SPEEDUP",
+    "check_dashboard_regression",
+    "MIN_GROUPED_SPEEDUP",
     "main",
 ]
 
@@ -646,6 +658,90 @@ def check_planner_regression(
     return failures
 
 
+#: Config keys that must agree for dashboard ratios to compare.
+_DASHBOARD_COMPARABLE_KEYS = ("n_rows", "seed", "n_regions", "smoke")
+
+#: Acceptance floor: grouped COUNT/SUM/AVG pushdown must beat
+#: materialise-then-group by 5x at the headline selectivity on a
+#: full-size run (the tolerance is applied on top — wall-clock ratios
+#: on shared runners wobble).
+MIN_GROUPED_SPEEDUP = 5.0
+
+#: Headline keys the dashboard gate tracks against a baseline; all
+#: are speedups, so a regression moves them down.
+_DASHBOARD_FLOOR_KEYS = (
+    "min_grouped_speedup_vs_eager",
+    "cached_speedup_grouped_sum",
+    "topk_speedup_vs_eager",
+)
+
+
+def _dashboard_comparable(fresh: dict, baseline: dict) -> bool:
+    fresh_config = fresh.get("config", {})
+    baseline_config = baseline.get("config", {})
+    return all(
+        fresh_config.get(key) == baseline_config.get(key)
+        for key in _DASHBOARD_COMPARABLE_KEYS
+    )
+
+
+def check_dashboard_regression(
+    fresh: dict,
+    baseline: dict | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Gate a fresh ``BENCH_dashboard.json``; returns failures.
+
+    The hard invariant is correctness: the run must have verified every
+    grouped, moment, and top-k answer of every layer — serial index,
+    4-shard partial recombination, and executor cache — against exact
+    NumPy references before any timing.  A fast pushdown that changes
+    answers gates immediately, no tolerance.
+
+    The wall-clock invariant applies to full-size runs only (smoke
+    workloads finish in fractions of a millisecond, where timer jitter
+    exceeds any tolerance): grouped COUNT/SUM/AVG must keep the
+    acceptance headline at or above :data:`MIN_GROUPED_SPEEDUP` minus
+    the tolerance.  Against a same-shape baseline the headline
+    speedups must not drop more than the tolerance.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures: list[str] = []
+    if not fresh.get("verified_bit_identical"):
+        failures.append(
+            "dashboard run did not verify grouped/moment/top-k answers "
+            "against the NumPy references"
+        )
+    headline = fresh.get("headline", {})
+    smoke = fresh.get("config", {}).get("smoke")
+    if not smoke:
+        floor = MIN_GROUPED_SPEEDUP * (1.0 - tolerance)
+        got = headline.get("min_grouped_speedup_vs_eager", 0.0)
+        if got < floor:
+            failures.append(
+                f"grouped pushdown lost the acceptance headline: "
+                f"{got:.2f}x < {floor:.2f}x "
+                f"({MIN_GROUPED_SPEEDUP:.2f}x - {tolerance:.0%})"
+            )
+    if (
+        baseline is not None
+        and not smoke
+        and _dashboard_comparable(fresh, baseline)
+    ):
+        base_headline = baseline.get("headline", {})
+        for key in _DASHBOARD_FLOOR_KEYS:
+            floor = base_headline.get(key, 0.0) * (1.0 - tolerance)
+            got = headline.get(key, 0.0)
+            if got < floor:
+                failures.append(
+                    f"dashboard {key} regressed: {got:.2f}x < {floor:.2f}x "
+                    f"(baseline {base_headline.get(key, 0.0):.2f}x - "
+                    f"{tolerance:.0%})"
+                )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.regression", description=__doc__
@@ -715,6 +811,16 @@ def main(argv: list[str] | None = None) -> int:
         "--planner-baseline",
         default=None,
         help="committed baseline BENCH_planner.json (optional)",
+    )
+    parser.add_argument(
+        "--dashboard",
+        default=None,
+        help="fresh BENCH_dashboard.json to gate as well (optional)",
+    )
+    parser.add_argument(
+        "--dashboard-baseline",
+        default=None,
+        help="committed baseline BENCH_dashboard.json (optional)",
     )
     parser.add_argument(
         "--tolerance",
@@ -858,6 +964,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    if args.dashboard:
+        dashboard_fresh = load_result(args.dashboard)
+        dashboard_baseline = (
+            load_result(args.dashboard_baseline)
+            if args.dashboard_baseline
+            else None
+        )
+        if dashboard_baseline is not None and not _dashboard_comparable(
+            dashboard_fresh, dashboard_baseline
+        ):
+            print(
+                "note: dashboard baseline config differs; ratio "
+                "comparison skipped, verification invariant still gates"
+            )
+        failures.extend(
+            check_dashboard_regression(
+                dashboard_fresh, dashboard_baseline,
+                tolerance=args.tolerance,
+            )
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}")
@@ -874,6 +1001,7 @@ def main(argv: list[str] | None = None) -> int:
         + ("; durability gate passed" if args.durability else "")
         + ("; replication gate passed" if args.replication else "")
         + ("; planner gate passed" if args.planner else "")
+        + ("; dashboard gate passed" if args.dashboard else "")
     )
     return 0
 

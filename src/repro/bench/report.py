@@ -13,6 +13,7 @@ import time
 
 from .ablations import render_ablations
 from .aggregates import render_aggregate_study
+from .dashboard import render_dashboard_study
 from .datasets_table import render_table1
 from .entropy_fig4 import render_fig4
 from .prints_fig3 import render_fig3
@@ -95,6 +96,10 @@ def generate_report(
         ("aggregates", "Aggregate pushdown - pre-aggregates vs reduce",
          lambda: render_aggregate_study(
              seed=seed, n_rows=max(50_000, int(2_000_000 * scale))
+         )),
+        ("dashboard", "Dashboard aggregation - grouped/moment/top-k pushdown",
+         lambda: render_dashboard_study(
+             seed=seed, n_rows=max(50_000, int(6_000_000 * scale))
          )),
         ("streaming", "Streaming - first-page latency vs eager ids",
          lambda: render_streaming_study(

@@ -40,6 +40,11 @@ Commands
     clustered and an unclustered column through every forced static
     backend and through the free-routing planner, every answer
     verified bit-identical against the imprints oracle before timing.
+``dashboard``
+    Dashboard-aggregation study: grouped ``COUNT``/``SUM``/``AVG``,
+    ``AVG``/``VAR`` moment lanes and ORDER-BY-value top-k answered
+    from the per-cacheline sidecars vs materialise-then-group, every
+    answer verified against exact NumPy references before timing.
 ``recover``
     Open a durable column store, replay its write-ahead log, and print
     the recovery report (replayed records, truncated torn tails,
@@ -188,6 +193,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shrunken CI-sized workload")
     planner.add_argument("--json", metavar="PATH", default=None,
                          help="also write the machine-readable result")
+
+    dashboard = commands.add_parser(
+        "dashboard",
+        help="grouped/moment/top-k pushdown vs materialise-then-group sweep",
+    )
+    dashboard.add_argument("--rows", type=int, default=None,
+                           help="column length (default: 6M * scale)")
+    dashboard.add_argument("--smoke", action="store_true",
+                           help="shrunken CI-sized workload")
+    dashboard.add_argument("--json", metavar="PATH", default=None,
+                           help="also write the machine-readable result")
 
     recover = commands.add_parser(
         "recover",
@@ -528,6 +544,26 @@ def _cmd_planner(args) -> str:
     return render_planner_study(result)
 
 
+def _cmd_dashboard(args) -> str:
+    from .bench.dashboard import (
+        DEFAULT_ROWS,
+        render_dashboard_study,
+        run_dashboard_study,
+        write_dashboard_json,
+    )
+
+    result = run_dashboard_study(
+        n_rows=args.rows
+        if args.rows
+        else max(50_000, int(DEFAULT_ROWS * _scale(args))),
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    if args.json:
+        write_dashboard_json(result, args.json)
+    return render_dashboard_study(result)
+
+
 def _cmd_recover(args) -> str:
     import json as json_module
 
@@ -779,6 +815,7 @@ _COMMANDS = {
     "streaming": _cmd_streaming,
     "serving": _cmd_serving,
     "planner": _cmd_planner,
+    "dashboard": _cmd_dashboard,
     "recover": _cmd_recover,
     "durability": _cmd_durability,
     "replication": _cmd_replication,

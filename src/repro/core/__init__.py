@@ -20,11 +20,22 @@ Public surface:
 from .advisor import AccessPlan, execute_with_plan, plan_query
 from .aggregates import (
     AGGREGATE_OPS,
+    GROUP_OPS,
+    MOMENT_OPS,
     CachelineAggregates,
+    GroupedAggregates,
     aggregate_candidates,
     aggregate_rowset,
+    candidate_moments,
+    combine_grouped,
     combine_partials,
+    combine_topk,
+    finalize_grouped,
+    grouped_candidates,
+    grouped_gathered,
     reduce_gathered,
+    topk_candidates,
+    topk_gathered,
 )
 from .binning import DEFAULT_SAMPLE_SIZE, MAX_BINS, Histogram, binning, sample_column
 from .bitvec import bits_to_str, hamming, popcount, str_to_bits
@@ -98,6 +109,17 @@ __all__ = [
     "StaleCursorError",
     "AGGREGATE_OPS",
     "CachelineAggregates",
+    "GroupedAggregates",
+    "GROUP_OPS",
+    "MOMENT_OPS",
+    "candidate_moments",
+    "combine_grouped",
+    "combine_topk",
+    "finalize_grouped",
+    "grouped_candidates",
+    "grouped_gathered",
+    "topk_candidates",
+    "topk_gathered",
     "aggregate_candidates",
     "aggregate_rowset",
     "combine_partials",

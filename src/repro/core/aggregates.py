@@ -1,11 +1,11 @@
-"""Aggregate pushdown — per-cacheline pre-aggregates for COUNT/SUM/MIN/MAX.
+"""Aggregate pushdown — per-cacheline pre-aggregates for the dashboard ops.
 
 The paper answers *which ids qualify* at cacheline granularity from the
 imprint alone; PR 3's :class:`~repro.core.rowset.RowSet` made ``COUNT``
 O(ranges) by keeping the answer in range form.  This module extends the
 same discipline to the other dashboard aggregates: a tiny sidecar of
-per-cacheline ``count``/``sum``/``min``/``max`` (plus a prefix-sum
-array) lets ``SUM``/``MIN``/``MAX`` over a query answer consume full
+per-cacheline ``count``/``sum``/``min``/``max`` (plus prefix-sum
+tables) lets ``SUM``/``MIN``/``MAX`` over a query answer consume full
 cacheline ranges *without touching a single value* —
 
 * range ``SUM`` is two prefix-sum lookups per range (O(1) per range);
@@ -16,6 +16,22 @@ cacheline ranges *without touching a single value* —
   cachelines) and the unaligned heads/tails of ranges are answered from
   the column values.
 
+PR 10 finishes the analytics surface on the same sidecar discipline:
+
+* ``avg``/``var``/``std`` ride a **sum-of-squares lane**
+  (``prefix_sumsqs``, maintained in lockstep with ``prefix_sums``) so
+  the second moment costs the same O(ranges) as ``SUM`` — an empty
+  answer returns ``None``, never a zero division;
+* **GROUP BY pushdown** uses :class:`GroupedAggregates` — per-cacheline
+  group histograms (group id → count/sum partials) over a
+  dictionary-encoded group column, so grouped ``COUNT``/``SUM``/``AVG``
+  never materialise row ids and only cachelines genuinely straddling a
+  predicate bound gather values;
+* **ORDER-BY-value top-k** (:func:`topk_candidates`) orders candidate
+  cachelines by their sidecar maxima and prunes every line whose max
+  cannot beat the running k-th value, so most fully-qualifying lines
+  never gather their values at all.
+
 The sidecar is built in one vectorised pass (``ufunc.reduceat`` per
 cacheline) and maintained incrementally through Section 4 updates:
 appends recompute only the trailing partial cacheline and extend, and
@@ -24,37 +40,58 @@ an in-place update recomputes its one cacheline.
 Exactness
 ---------
 ``COUNT``/``MIN``/``MAX`` are bit-identical to NumPy reference
-aggregation over the materialised ids for every dtype.  ``SUM`` is
-accumulated at 64-bit width (``int64``/``uint64`` for integer columns,
-``float64`` for float columns).  Integer sums are bit-identical to
-``np.sum`` over the gathered values because modular 64-bit addition is
-associative — regrouping per cacheline cannot change the wrapped
-result.  Float sums are deterministic (fixed blocked order) but float
-addition is not associative, so they agree with
+aggregation over the materialised ids for every dtype.  ``SUM`` (and
+the sum-of-squares lane) is accumulated at 64-bit width
+(``int64``/``uint64`` for integer columns, ``float64`` for float
+columns).  Integer sums are bit-identical to ``np.sum`` over the
+gathered values because modular 64-bit addition is associative —
+regrouping per cacheline cannot change the wrapped result; ``avg`` and
+``var`` derived from bit-identical integer moments are therefore
+bit-identical floats too.  Float sums are deterministic (fixed blocked
+order) but float addition is not associative, so they agree with
 ``np.sum(values[ids], dtype=np.float64)`` only to rounding (~1 ulp per
-reassociation); the property tests pin integer sums exactly and float
-sums to a tight relative tolerance.
+reassociation); the property tests pin integer results exactly and
+float results to a tight relative tolerance.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from .ranges import expand_ranges
+from .ranges import coalesce_ranges, expand_ranges
 from .rowset import RowSet
 
 __all__ = [
     "AGGREGATE_OPS",
+    "MOMENT_OPS",
+    "GROUP_OPS",
     "CachelineAggregates",
+    "GroupedAggregates",
     "aggregate_rowset",
     "aggregate_candidates",
     "aggregate_identity",
+    "candidate_moments",
     "combine_partials",
+    "combine_grouped",
+    "combine_topk",
+    "finalize_grouped",
+    "grouped_candidates",
+    "grouped_gathered",
     "reduce_gathered",
+    "topk_candidates",
+    "topk_gathered",
 ]
 
-#: The supported pushdown operations.
-AGGREGATE_OPS = ("count", "sum", "min", "max")
+#: The supported scalar pushdown operations.
+AGGREGATE_OPS = ("count", "sum", "min", "max", "avg", "var", "std")
+
+#: The moment-derived subset — answered from (count, sum, sum-of-squares).
+MOMENT_OPS = ("avg", "var", "std")
+
+#: The operations supported under GROUP BY pushdown.
+GROUP_OPS = ("count", "sum", "avg")
 
 _I64 = np.int64
 
@@ -74,15 +111,33 @@ def _check_op(op: str) -> None:
         raise ValueError(f"unknown aggregate {op!r}; supported: {AGGREGATE_OPS}")
 
 
+def _finalize_moments(op: str, count: int, total, total_sq):
+    """Derive ``avg``/``var``/``std`` from exact (count, sum, sumsq).
+
+    ``None`` on an empty answer — never a zero division.  Population
+    variance (``sumsq/n - mean**2``) clamped at zero against float
+    cancellation; integer moments give bit-identical float results
+    because Python's big-int division is correctly rounded.
+    """
+    if not count:
+        return None
+    mean = total / count
+    if op == "avg":
+        return float(mean)
+    var = total_sq / count - mean * mean
+    var = var if var > 0.0 else 0.0
+    return float(var) if op == "var" else math.sqrt(var)
+
+
 class CachelineAggregates:
     """Per-cacheline ``count``/``sum``/``min``/``max`` of one column.
 
     The aggregate-pushdown sidecar of a
     :class:`~repro.core.index.ColumnImprints`: one entry per cacheline
-    (two extrema at value width plus one 64-bit prefix-sum slot — about
-    a quarter of an ``int32`` column), trading bounded memory for
-    ``SUM``/``MIN``/``MAX`` over full cacheline ranges that never touch
-    values.
+    (two extrema at value width plus two 64-bit prefix slots — under
+    half an ``int32`` column), trading bounded memory for
+    ``SUM``/``MIN``/``MAX``/``AVG``/``VAR`` over full cacheline ranges
+    that never touch values.
 
     Parameters
     ----------
@@ -100,8 +155,11 @@ class CachelineAggregates:
         range-SUM lookup table (one element longer than the column has
         cachelines).  Per-cacheline sums and counts are *derived*
         (``diff(prefix_sums)``; every line holds ``vpc`` values except
-        a ragged tail) rather than stored, keeping the sidecar at two
-        value-width arrays plus one ``int64``/``float64`` table.
+        a ragged tail) rather than stored.
+    prefix_sumsqs:
+        The sum-of-squares lane — same layout and maintenance as
+        ``prefix_sums`` but over ``v*v`` (in the accumulator dtype), so
+        ``avg``/``var``/``std`` cost the same two lookups per range.
     """
 
     def __init__(self, values, values_per_cacheline: int) -> None:
@@ -119,6 +177,7 @@ class CachelineAggregates:
         self.mins = np.empty(0, dtype=values.dtype)
         self.maxs = np.empty(0, dtype=values.dtype)
         self.prefix_sums = np.zeros(1, dtype=self.sum_dtype)
+        self.prefix_sumsqs = np.zeros(1, dtype=self.sum_dtype)
         if values.shape[0]:
             self._recompute_from(values, 0)
 
@@ -136,9 +195,12 @@ class CachelineAggregates:
 
     @property
     def nbytes(self) -> int:
-        """Sidecar footprint (extrema + prefix-sum table)."""
+        """Sidecar footprint (extrema + both prefix tables)."""
         return int(
-            self.mins.nbytes + self.maxs.nbytes + self.prefix_sums.nbytes
+            self.mins.nbytes
+            + self.maxs.nbytes
+            + self.prefix_sums.nbytes
+            + self.prefix_sumsqs.nbytes
         )
 
     # ------------------------------------------------------------------
@@ -148,12 +210,14 @@ class CachelineAggregates:
         """(Re)build every aggregate from cacheline ``first_line`` on.
 
         One ``reduceat`` per aggregate over the affected suffix; the
-        prefix-sum table is extended from the last clean entry, so an
+        prefix tables are extended from the last clean entry, so an
         append costs O(appended values), never O(column).
         """
         block = values[first_line * self.vpc :]
         starts = np.arange(0, block.shape[0], self.vpc, dtype=np.intp)
-        sums = np.add.reduceat(block.astype(self.sum_dtype, copy=False), starts)
+        acc = block.astype(self.sum_dtype, copy=False)
+        sums = np.add.reduceat(acc, starts)
+        sumsqs = np.add.reduceat(acc * acc, starts)
         self.mins = np.concatenate(
             [self.mins[:first_line], np.minimum.reduceat(block, starts)]
         )
@@ -164,6 +228,13 @@ class CachelineAggregates:
             [
                 self.prefix_sums[: first_line + 1],
                 self.prefix_sums[first_line] + np.cumsum(sums, dtype=self.sum_dtype),
+            ]
+        )
+        self.prefix_sumsqs = np.concatenate(
+            [
+                self.prefix_sumsqs[: first_line + 1],
+                self.prefix_sumsqs[first_line]
+                + np.cumsum(sumsqs, dtype=self.sum_dtype),
             ]
         )
         self.n_values = int(values.shape[0])
@@ -189,8 +260,8 @@ class CachelineAggregates:
         """Maintain the sidecar through a Section 4.2 in-place update.
 
         Recomputes the one affected cacheline from the (already
-        updated) backing array and patches the prefix-sum table by the
-        sum delta — O(vpc + cachelines after the line).
+        updated) backing array and patches both prefix tables by the
+        sum deltas — O(vpc + cachelines after the line).
         """
         if not 0 <= cacheline < self.n_cachelines:
             raise IndexError(
@@ -199,18 +270,33 @@ class CachelineAggregates:
         values = np.asarray(values)
         start = cacheline * self.vpc
         block = values[start : min(start + self.vpc, self.n_values)]
-        new_sum = np.add.reduce(block.astype(self.sum_dtype, copy=False))
+        acc = block.astype(self.sum_dtype, copy=False)
+        new_sum = np.add.reduce(acc)
+        new_sumsq = np.add.reduce(acc * acc)
         old_sum = self.prefix_sums[cacheline + 1] - self.prefix_sums[cacheline]
+        old_sumsq = (
+            self.prefix_sumsqs[cacheline + 1] - self.prefix_sumsqs[cacheline]
+        )
         self.prefix_sums[cacheline + 1 :] += new_sum - old_sum
+        self.prefix_sumsqs[cacheline + 1 :] += new_sumsq - old_sumsq
         self.mins[cacheline] = block.min()
         self.maxs[cacheline] = block.max()
 
     # ------------------------------------------------------------------
     # range reductions (the pushdown kernels)
     # ------------------------------------------------------------------
-    def range_sums(self, cl_lo: np.ndarray, cl_hi: np.ndarray) -> np.ndarray:
-        """Sum of cachelines ``[cl_lo_k, cl_hi_k)`` per range — O(1) each."""
-        return self.prefix_sums[cl_hi] - self.prefix_sums[cl_lo]
+    def range_sums(
+        self, cl_lo: np.ndarray, cl_hi: np.ndarray, *, squares: bool = False
+    ) -> np.ndarray:
+        """Sum (or sum-of-squares) of cachelines ``[lo_k, hi_k)`` per
+        range — O(1) each."""
+        table = self.prefix_sumsqs if squares else self.prefix_sums
+        return table[cl_hi] - table[cl_lo]
+
+    def line_sums(self, lines: np.ndarray, *, squares: bool = False) -> np.ndarray:
+        """Per-cacheline sum (or sum-of-squares) for individual lines."""
+        table = self.prefix_sumsqs if squares else self.prefix_sums
+        return table[lines + 1] - table[lines]
 
     def _range_reduce(self, per_line, ufunc, cl_lo, cl_hi) -> np.ndarray:
         """``ufunc``-reduction of ``per_line[lo_k:hi_k)`` per range.
@@ -239,12 +325,218 @@ class CachelineAggregates:
         )
 
 
+class GroupedAggregates:
+    """Per-cacheline group histograms over a dictionary-encoded column.
+
+    The GROUP BY pushdown sidecar: for a group column of small-int codes
+    ``0..n_groups-1`` riding next to a value column, two prefix tables
+    of shape ``(n_cachelines + 1, n_groups)`` hold the running per-group
+    count and per-group value sum of cachelines ``[0, k)``.  A grouped
+    ``COUNT``/``SUM``/``AVG`` over full cacheline ranges is then two
+    row lookups per range (O(n_groups) each) — no row ids, no gathers —
+    and only cachelines genuinely straddling a predicate bound fall
+    back to gathering their codes and values.
+
+    Maintenance mirrors :class:`CachelineAggregates`: appends recompute
+    from the trailing partial cacheline, an in-place value update
+    recomputes its one cacheline.  ``widen()`` grows the group domain
+    in place when appends introduce new codes (append-stable
+    dictionaries only ever add codes at the end).
+    """
+
+    def __init__(self, codes, values, n_groups: int, values_per_cacheline: int) -> None:
+        codes = np.asarray(codes)
+        values = np.asarray(values)
+        if codes.ndim != 1 or values.ndim != 1:
+            raise ValueError("codes and values must be 1-D")
+        if codes.shape[0] != values.shape[0]:
+            raise ValueError(
+                f"codes/values length mismatch: {codes.shape[0]} != {values.shape[0]}"
+            )
+        if n_groups <= 0:
+            raise ValueError(f"n_groups must be positive, got {n_groups}")
+        if values_per_cacheline <= 0:
+            raise ValueError(
+                f"values_per_cacheline must be positive, got {values_per_cacheline}"
+            )
+        self.vpc = int(values_per_cacheline)
+        self.n_groups = int(n_groups)
+        self.sum_dtype = _sum_dtype(values.dtype)
+        self.n_values = 0
+        self.prefix_counts = np.zeros((1, self.n_groups), dtype=_I64)
+        self.prefix_sums = np.zeros((1, self.n_groups), dtype=self.sum_dtype)
+        if codes.shape[0]:
+            self._recompute_from(codes, values, 0)
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_cachelines(self) -> int:
+        return int(self.prefix_counts.shape[0]) - 1
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.prefix_counts.nbytes + self.prefix_sums.nbytes)
+
+    # ------------------------------------------------------------------
+    # construction / maintenance
+    # ------------------------------------------------------------------
+    def _check_codes(self, codes: np.ndarray) -> np.ndarray:
+        codes = codes.astype(_I64, copy=False)
+        if codes.shape[0] and (
+            int(codes.min()) < 0 or int(codes.max()) >= self.n_groups
+        ):
+            raise ValueError(
+                f"group codes must lie in [0, {self.n_groups}); "
+                "widen() the sidecar before appending new groups"
+            )
+        return codes
+
+    def _recompute_from(self, codes, values, first_line: int) -> None:
+        """(Re)build the histograms from cacheline ``first_line`` on.
+
+        One stable sort of ``line*n_groups + code`` keys over the
+        affected suffix, one ``reduceat`` per lane — O(suffix log
+        suffix), never O(column).  The stable sort keeps per-cell float
+        sums in row order, so results are deterministic.
+        """
+        start = first_line * self.vpc
+        block_codes = self._check_codes(np.asarray(codes)[start:])
+        block_values = np.asarray(values)[start:]
+        n_lines = -(-block_codes.shape[0] // self.vpc)
+        lines = np.arange(block_codes.shape[0], dtype=_I64) // self.vpc
+        combined = lines * self.n_groups + block_codes
+        order = np.argsort(combined, kind="stable")
+        sorted_keys = combined[order]
+        bounds = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+        keys = sorted_keys[bounds]
+        counts = np.zeros(n_lines * self.n_groups, dtype=_I64)
+        sums = np.zeros(n_lines * self.n_groups, dtype=self.sum_dtype)
+        counts[keys] = np.diff(np.r_[bounds, sorted_keys.shape[0]])
+        sums[keys] = np.add.reduceat(
+            block_values.astype(self.sum_dtype, copy=False)[order], bounds
+        )
+        counts = counts.reshape(n_lines, self.n_groups)
+        sums = sums.reshape(n_lines, self.n_groups)
+        self.prefix_counts = np.concatenate(
+            [
+                self.prefix_counts[: first_line + 1],
+                self.prefix_counts[first_line] + np.cumsum(counts, axis=0),
+            ]
+        )
+        self.prefix_sums = np.concatenate(
+            [
+                self.prefix_sums[: first_line + 1],
+                self.prefix_sums[first_line]
+                + np.cumsum(sums, axis=0, dtype=self.sum_dtype),
+            ]
+        )
+        self.n_values = int(np.asarray(codes).shape[0])
+
+    def widen(self, n_groups: int) -> None:
+        """Grow the group domain (zero-padded columns) for new codes."""
+        if n_groups <= self.n_groups:
+            return
+        pad = n_groups - self.n_groups
+        self.prefix_counts = np.concatenate(
+            [
+                self.prefix_counts,
+                np.zeros((self.prefix_counts.shape[0], pad), dtype=_I64),
+            ],
+            axis=1,
+        )
+        self.prefix_sums = np.concatenate(
+            [
+                self.prefix_sums,
+                np.zeros((self.prefix_sums.shape[0], pad), dtype=self.sum_dtype),
+            ],
+            axis=1,
+        )
+        self.n_groups = int(n_groups)
+
+    def append(self, codes, values) -> None:
+        """Maintain the histograms through an append (full post-append
+        arrays, like :meth:`CachelineAggregates.append`)."""
+        codes = np.asarray(codes)
+        values = np.asarray(values)
+        if codes.shape[0] != values.shape[0]:
+            raise ValueError(
+                f"codes/values length mismatch: {codes.shape[0]} != {values.shape[0]}"
+            )
+        if codes.shape[0] < self.n_values:
+            raise ValueError(
+                f"append cannot shrink the column: {codes.shape[0]} < {self.n_values}"
+            )
+        if codes.shape[0] == self.n_values:
+            return
+        self._recompute_from(codes, values, self.n_values // self.vpc)
+
+    def update_line(self, cacheline: int, codes, values) -> None:
+        """Recompute one cacheline after an in-place value update and
+        patch both prefix tables by the per-group deltas."""
+        if not 0 <= cacheline < self.n_cachelines:
+            raise IndexError(
+                f"cacheline {cacheline} out of range [0, {self.n_cachelines})"
+            )
+        start = cacheline * self.vpc
+        stop = min(start + self.vpc, self.n_values)
+        block_codes = self._check_codes(np.asarray(codes)[start:stop])
+        block_values = np.asarray(values)[start:stop]
+        new_counts = np.bincount(block_codes, minlength=self.n_groups).astype(_I64)
+        new_sums = np.zeros(self.n_groups, dtype=self.sum_dtype)
+        np.add.at(
+            new_sums,
+            block_codes,
+            block_values.astype(self.sum_dtype, copy=False),
+        )
+        old_counts = self.prefix_counts[cacheline + 1] - self.prefix_counts[cacheline]
+        old_sums = self.prefix_sums[cacheline + 1] - self.prefix_sums[cacheline]
+        self.prefix_counts[cacheline + 1 :] += new_counts - old_counts
+        self.prefix_sums[cacheline + 1 :] += new_sums - old_sums
+
+    # ------------------------------------------------------------------
+    # range reductions
+    # ------------------------------------------------------------------
+    def range_group_counts(self, cl_lo, cl_hi) -> np.ndarray:
+        """Per-group count over cachelines ``[lo_k, hi_k)`` summed
+        across all ranges — shape ``(n_groups,)``."""
+        return np.add.reduce(
+            self.prefix_counts[cl_hi] - self.prefix_counts[cl_lo], axis=0
+        )
+
+    def range_group_sums(self, cl_lo, cl_hi) -> np.ndarray:
+        return np.add.reduce(
+            self.prefix_sums[cl_hi] - self.prefix_sums[cl_lo],
+            axis=0,
+            dtype=self.sum_dtype,
+        )
+
+    def line_group_counts(self, lines) -> np.ndarray:
+        return np.add.reduce(
+            self.prefix_counts[lines + 1] - self.prefix_counts[lines], axis=0
+        )
+
+    def line_group_sums(self, lines) -> np.ndarray:
+        return np.add.reduce(
+            self.prefix_sums[lines + 1] - self.prefix_sums[lines],
+            axis=0,
+            dtype=self.sum_dtype,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GroupedAggregates(cachelines={self.n_cachelines}, "
+            f"groups={self.n_groups}, vpc={self.vpc}, {self.nbytes} B)"
+        )
+
+
 # ----------------------------------------------------------------------
 # aggregation over compressed answers
 # ----------------------------------------------------------------------
 def aggregate_identity(op: str, sum_dtype=None):
     """The aggregate of an empty answer: 0 for count/sum, None for
-    min/max (SQL's NULL on empty input)."""
+    min/max/avg/var/std (SQL's NULL on empty input)."""
     _check_op(op)
     if op == "count":
         return 0
@@ -258,8 +550,10 @@ def reduce_gathered(gathered: np.ndarray, op: str):
     """Aggregate a flat gathered value array.
 
     The no-sidecar fallback shared by baseline indexes and delta-aware
-    answers: ``sum`` accumulates at the 64-bit width matching the
-    sidecar semantics, ``min``/``max`` return ``None`` on empty input.
+    answers: ``sum`` (and the moments behind ``avg``/``var``/``std``)
+    accumulates at the 64-bit width matching the sidecar semantics;
+    ``min``/``max``/``avg``/``var``/``std`` return ``None`` on empty
+    input.
     """
     _check_op(op)
     if op == "count":
@@ -270,9 +564,61 @@ def reduce_gathered(gathered: np.ndarray, op: str):
         ).item() if gathered.shape[0] else aggregate_identity(
             "sum", _sum_dtype(gathered.dtype)
         )
+    if op in MOMENT_OPS:
+        count = int(gathered.shape[0])
+        if count == 0:
+            return None
+        acc = gathered.astype(_sum_dtype(gathered.dtype), copy=False)
+        total = np.add.reduce(acc).item()
+        total_sq = np.add.reduce(acc * acc).item() if op != "avg" else None
+        return _finalize_moments(op, count, total, total_sq)
     if gathered.shape[0] == 0:
         return None
     return gathered.min().item() if op == "min" else gathered.max().item()
+
+
+def topk_gathered(gathered: np.ndarray, k: int) -> list:
+    """Top-k values of a flat gathered array, descending — the
+    no-sidecar fallback.  ``[]`` on empty input or ``k <= 0``."""
+    if k <= 0 or gathered.shape[0] == 0:
+        return []
+    if gathered.shape[0] > k:
+        gathered = np.partition(gathered, gathered.shape[0] - k)[-k:]
+    out = np.sort(gathered)[::-1]
+    return [value.item() for value in out]
+
+
+def grouped_gathered(
+    gcodes: np.ndarray, gvalues: np.ndarray, n_groups: int, *, with_sums: bool
+):
+    """Per-group (counts, sums) of gathered codes/values — the
+    no-sidecar fallback.  ``sums`` is ``None`` when not requested."""
+    counts = np.bincount(
+        gcodes.astype(_I64, copy=False), minlength=n_groups
+    ).astype(_I64, copy=False)
+    if counts.shape[0] > n_groups:
+        raise ValueError(f"group code out of range [0, {n_groups})")
+    sums = None
+    if with_sums:
+        sums = np.zeros(n_groups, dtype=_sum_dtype(gvalues.dtype))
+        np.add.at(sums, gcodes, gvalues.astype(sums.dtype, copy=False))
+    return counts, sums
+
+
+def finalize_grouped(op: str, counts: np.ndarray, sums) -> dict:
+    """Render per-group (counts, sums) partials as ``{code: value}``.
+
+    Only groups actually present (count > 0) appear — SQL GROUP BY
+    semantics — so an empty answer is ``{}``, never a zero division.
+    """
+    if op not in GROUP_OPS:
+        raise ValueError(f"unknown grouped aggregate {op!r}; supported: {GROUP_OPS}")
+    present = np.flatnonzero(counts)
+    if op == "count":
+        return {int(g): int(counts[g]) for g in present}
+    if op == "sum":
+        return {int(g): sums[g].item() for g in present}
+    return {int(g): sums[g].item() / int(counts[g]) for g in present}
 
 
 def aggregate_rowset(
@@ -286,16 +632,18 @@ def aggregate_rowset(
     The pushdown kernel shared by every layer: with a sidecar, each id
     range decomposes into an unaligned head, a run of whole cachelines
     and an unaligned tail — the whole-cacheline middle is answered from
-    the pre-aggregates (prefix sums for ``SUM``, per-cacheline extrema
-    for ``MIN``/``MAX``) and only heads, tails and the sparse exception
-    chunk gather column values.  Imprint answers have their ranges on
-    cacheline boundaries by construction, so typically *no* range
-    contributes a head or tail at all.  Without a sidecar the ids are
-    gathered and reduced directly (the baseline-index path).
+    the pre-aggregates (prefix tables for ``SUM``/``AVG``/``VAR``/
+    ``STD``, per-cacheline extrema for ``MIN``/``MAX``) and only heads,
+    tails and the sparse exception chunk gather column values.  Imprint
+    answers have their ranges on cacheline boundaries by construction,
+    so typically *no* range contributes a head or tail at all.  Without
+    a sidecar the ids are gathered and reduced directly (the
+    baseline-index path).
 
     Returns a Python scalar: ``int`` for ``count`` and integer sums,
-    ``float`` for float sums, the column's value kind for ``min`` /
-    ``max``, and ``None`` for ``min``/``max`` of an empty answer.
+    ``float`` for float sums and the moment ops, the column's value
+    kind for ``min``/``max``, and ``None`` for ``min``/``max``/``avg``/
+    ``var``/``std`` of an empty answer.
     """
     _check_op(op)
     if op == "count":
@@ -329,17 +677,29 @@ def aggregate_rowset(
         )
     ]
 
-    if op == "sum":
-        total = np.add.reduce(
-            aggregates.range_sums(cl_lo, cl_hi).astype(
-                aggregates.sum_dtype, copy=False
+    if op == "sum" or op in MOMENT_OPS:
+
+        def _total(squares: bool):
+            total = np.add.reduce(
+                aggregates.range_sums(cl_lo, cl_hi, squares=squares).astype(
+                    aggregates.sum_dtype, copy=False
+                )
             )
+            if scanned.shape[0]:
+                acc = scanned.astype(aggregates.sum_dtype, copy=False)
+                if squares:
+                    acc = acc * acc
+                total = total + np.add.reduce(acc)
+            return aggregates.sum_dtype.type(total).item()
+
+        if op == "sum":
+            return _total(False)
+        count = rowset.count()
+        if count == 0:
+            return None
+        return _finalize_moments(
+            op, count, _total(False), _total(True) if op != "avg" else None
         )
-        if scanned.shape[0]:
-            total = total + np.add.reduce(
-                scanned.astype(aggregates.sum_dtype, copy=False)
-            )
-        return aggregates.sum_dtype.type(total).item()
 
     pieces = []
     covered = cl_lo < cl_hi
@@ -359,6 +719,134 @@ def aggregate_rowset(
     return combined.item()
 
 
+# ----------------------------------------------------------------------
+# candidate-range refinement (shared by every fused kernel)
+# ----------------------------------------------------------------------
+def _refine_partials(ranges, values, predicate, aggregates):
+    """Split candidate ranges into answered-from-sidecar vs gathered.
+
+    Returns ``(full_starts, full_stops, promoted, mixed_span,
+    mixed_values, mixed_mask)``: full cacheline ranges, individual
+    partial lines **promoted** to fully-qualifying because their exact
+    ``[min, max]`` sidecar bounds lie inside the predicate, and — for
+    lines genuinely straddling a predicate bound — the flat gathered id
+    span, its values, and the inline qualification mask.  Lines whose
+    bounds miss the predicate are dropped outright.  ``mixed_span`` /
+    ``mixed_values`` / ``mixed_mask`` are ``None`` when no line
+    straddles.
+    """
+    vpc = aggregates.vpc
+    n = aggregates.n_values
+    full_starts, full_stops, part_starts, part_stops = ranges.split()
+
+    promoted = np.empty(0, dtype=_I64)
+    mixed_span = mixed_values = mixed_mask = None
+    if part_starts.shape[0]:
+        lines = expand_ranges(part_starts, part_stops)
+        line_mins = aggregates.mins[lines]
+        line_maxs = aggregates.maxs[lines]
+        inside = np.ones(lines.shape[0], dtype=bool)
+        outside = np.zeros(lines.shape[0], dtype=bool)
+        if not predicate.low_unbounded:
+            inside &= line_mins >= predicate.low
+            outside |= line_maxs < predicate.low
+        if not predicate.high_unbounded:
+            inside &= line_maxs < predicate.high
+            outside |= line_mins >= predicate.high
+        promoted = lines[inside]
+        mixed = lines[~(inside | outside)]
+        if mixed.shape[0]:
+            mixed_ids = mixed * vpc
+            mixed_span = expand_ranges(mixed_ids, np.minimum(mixed_ids + vpc, n))
+            mixed_values = values[mixed_span]
+            # Inline low <= v < high; the where= reductions downstream
+            # then skip the survivor compress entirely.  (Both bounds
+            # unbounded cannot reach here: every line would have been
+            # promoted.)
+            if predicate.low_unbounded:
+                mixed_mask = mixed_values < predicate.high
+            elif predicate.high_unbounded:
+                mixed_mask = mixed_values >= predicate.low
+            else:
+                mixed_mask = (mixed_values >= predicate.low) & (
+                    mixed_values < predicate.high
+                )
+    return full_starts, full_stops, promoted, mixed_span, mixed_values, mixed_mask
+
+
+def _candidate_count(
+    aggregates, full_starts, full_stops, promoted, mixed_mask
+) -> int:
+    vpc = aggregates.vpc
+    n = aggregates.n_values
+    total = int((np.minimum(full_stops * vpc, n) - full_starts * vpc).sum())
+    if promoted.shape[0]:
+        total += int(
+            (np.minimum(promoted * vpc + vpc, n) - promoted * vpc).sum()
+        )
+    if mixed_mask is not None:
+        total += int(np.count_nonzero(mixed_mask))
+    return total
+
+
+def _candidate_sum(
+    aggregates, full_starts, full_stops, promoted, kept, *, squares: bool = False
+):
+    """Shared SUM/sum-of-squares lane over refined candidates.
+
+    ``kept`` is the flat array of qualifying straddle-line values (or
+    ``None``).  Returns a Python scalar in the accumulator dtype."""
+    total = np.add.reduce(
+        aggregates.range_sums(full_starts, full_stops, squares=squares).astype(
+            aggregates.sum_dtype, copy=False
+        )
+    )
+    if promoted.shape[0]:
+        total = total + np.add.reduce(
+            aggregates.line_sums(promoted, squares=squares)
+        )
+    if kept is not None and kept.shape[0]:
+        acc = kept.astype(aggregates.sum_dtype, copy=False)
+        if squares:
+            acc = acc * acc
+        total = total + np.add.reduce(acc)
+    return aggregates.sum_dtype.type(total).item()
+
+
+def candidate_moments(
+    ranges, values, predicate, aggregates, *, squares: bool = True
+):
+    """(count, sum, sum-of-squares) straight off candidate ranges.
+
+    The shard-combinable moment partial behind ``avg``/``var``/``std``
+    pushdown: same refinement as :func:`aggregate_candidates`, one pass
+    over the straddling lines, no id list.  ``squares=False`` skips the
+    sum-of-squares lane (all ``avg`` needs) and returns ``None`` in its
+    place.
+    """
+    (
+        full_starts,
+        full_stops,
+        promoted,
+        _span,
+        mixed_values,
+        mixed_mask,
+    ) = _refine_partials(ranges, values, predicate, aggregates)
+    kept = mixed_values[mixed_mask] if mixed_values is not None else None
+    count = _candidate_count(
+        aggregates, full_starts, full_stops, promoted, mixed_mask
+    )
+    total = _candidate_sum(aggregates, full_starts, full_stops, promoted, kept)
+    total_sq = (
+        _candidate_sum(
+            aggregates, full_starts, full_stops, promoted, kept, squares=True
+        )
+        if squares
+        else None
+    )
+    return count, total, total_sq
+
+
 def aggregate_candidates(ranges, values, predicate, aggregates, op: str):
     """Fused aggregate straight off candidate cacheline ranges.
 
@@ -367,7 +855,7 @@ def aggregate_candidates(ranges, values, predicate, aggregates, op: str):
     :class:`~repro.core.ranges.CandidateRanges` (the compressed-domain
     kernel's output) *without ever producing an id list*.  Full ranges
     are answered entirely from the pre-aggregates — their cacheline
-    spans index the prefix-sum table and extrema arrays directly.
+    spans index the prefix tables and extrema arrays directly.
 
     Partial candidate cachelines are first **refined through the
     sidecar's exact per-cacheline bounds**, which are strictly sharper
@@ -385,76 +873,31 @@ def aggregate_candidates(ranges, values, predicate, aggregates, op: str):
     module docstring).
     """
     _check_op(op)
-    vpc = aggregates.vpc
-    n = aggregates.n_values
-    full_starts, full_stops, part_starts, part_stops = ranges.split()
+    if op in MOMENT_OPS:
+        count, total, total_sq = candidate_moments(
+            ranges, values, predicate, aggregates, squares=op != "avg"
+        )
+        return _finalize_moments(op, count, total, total_sq)
 
-    # --- refine partial candidate lines through the exact bounds.
-    promoted = mixed_values = mixed_mask = None
-    if part_starts.shape[0]:
-        lines = expand_ranges(part_starts, part_stops)
-        line_mins = aggregates.mins[lines]
-        line_maxs = aggregates.maxs[lines]
-        inside = np.ones(lines.shape[0], dtype=bool)
-        outside = np.zeros(lines.shape[0], dtype=bool)
-        if not predicate.low_unbounded:
-            inside &= line_mins >= predicate.low
-            outside |= line_maxs < predicate.low
-        if not predicate.high_unbounded:
-            inside &= line_maxs < predicate.high
-            outside |= line_mins >= predicate.high
-        promoted = lines[inside]
-        mixed = lines[~(inside | outside)]
-        if mixed.shape[0]:
-            mixed_ids = mixed * vpc
-            mixed_values = values[
-                expand_ranges(mixed_ids, np.minimum(mixed_ids + vpc, n))
-            ]
-            # Inline low <= v < high; the where= reductions below then
-            # skip the survivor compress entirely.  (Both bounds
-            # unbounded cannot reach here: every line would have been
-            # promoted.)
-            if predicate.low_unbounded:
-                mixed_mask = mixed_values < predicate.high
-            elif predicate.high_unbounded:
-                mixed_mask = mixed_values >= predicate.low
-            else:
-                mixed_mask = (mixed_values >= predicate.low) & (
-                    mixed_values < predicate.high
-                )
+    (
+        full_starts,
+        full_stops,
+        promoted,
+        _span,
+        mixed_values,
+        mixed_mask,
+    ) = _refine_partials(ranges, values, predicate, aggregates)
 
     if op == "count":
-        total = int(
-            (np.minimum(full_stops * vpc, n) - full_starts * vpc).sum()
+        return _candidate_count(
+            aggregates, full_starts, full_stops, promoted, mixed_mask
         )
-        if promoted is not None and promoted.shape[0]:
-            total += int(
-                (
-                    np.minimum(promoted * vpc + vpc, n) - promoted * vpc
-                ).sum()
-            )
-        if mixed_mask is not None:
-            total += int(np.count_nonzero(mixed_mask))
-        return total
 
     if op == "sum":
-        total = np.add.reduce(
-            aggregates.range_sums(full_starts, full_stops).astype(
-                aggregates.sum_dtype, copy=False
-            )
+        kept = mixed_values[mixed_mask] if mixed_values is not None else None
+        return _candidate_sum(
+            aggregates, full_starts, full_stops, promoted, kept
         )
-        if promoted is not None and promoted.shape[0]:
-            total = total + np.add.reduce(
-                aggregates.prefix_sums[promoted + 1]
-                - aggregates.prefix_sums[promoted]
-            )
-        if mixed_values is not None:
-            kept = mixed_values[mixed_mask]
-            if kept.shape[0]:
-                total = total + np.add.reduce(
-                    kept.astype(aggregates.sum_dtype, copy=False)
-                )
-        return aggregates.sum_dtype.type(total).item()
 
     reducer = np.minimum if op == "min" else np.maximum
     pieces = []
@@ -464,7 +907,7 @@ def aggregate_candidates(ranges, values, predicate, aggregates, op: str):
             else aggregates.range_maxs(full_starts, full_stops)
         )
         pieces.append(reducer.reduce(ranged))
-    if promoted is not None and promoted.shape[0]:
+    if promoted.shape[0]:
         per_line = (
             aggregates.mins[promoted] if op == "min"
             else aggregates.maxs[promoted]
@@ -482,24 +925,195 @@ def aggregate_candidates(ranges, values, predicate, aggregates, op: str):
     return result.item()
 
 
+def grouped_candidates(
+    ranges, values, codes, predicate, aggregates, grouped, *, with_sums: bool
+):
+    """Grouped (counts, sums) partials straight off candidate ranges.
+
+    GROUP BY pushdown: full ranges and promoted lines are answered from
+    the :class:`GroupedAggregates` prefix tables (two row lookups per
+    range, no ids); only lines straddling a predicate bound gather
+    their codes and values, and those survivors fold in through one
+    ``bincount`` / unbuffered ``add.at``.  Returns per-group arrays of
+    shape ``(n_groups,)`` — shard-combinable by elementwise addition —
+    with ``sums`` ``None`` when not requested (grouped ``count``).
+    """
+    (
+        full_starts,
+        full_stops,
+        promoted,
+        mixed_span,
+        mixed_values,
+        mixed_mask,
+    ) = _refine_partials(ranges, values, predicate, aggregates)
+    if promoted.shape[0]:
+        # Promoted lines expand from contiguous partial ranges, so long
+        # consecutive runs are the common case; coalescing them turns
+        # thousands of per-line prefix-table gathers into a handful of
+        # two-row range lookups, folded into the full-range lookup so
+        # each prefix table is visited exactly once.
+        run_starts, run_stops = coalesce_ranges(promoted, promoted + 1)
+        full_starts = np.concatenate([full_starts, run_starts])
+        full_stops = np.concatenate([full_stops, run_stops])
+    counts = grouped.range_group_counts(full_starts, full_stops)
+    sums = (
+        grouped.range_group_sums(full_starts, full_stops) if with_sums else None
+    )
+    if mixed_span is not None:
+        kept_ids = mixed_span[mixed_mask]
+        if kept_ids.shape[0]:
+            kept_codes = np.asarray(codes)[kept_ids].astype(_I64, copy=False)
+            counts = counts + np.bincount(
+                kept_codes, minlength=grouped.n_groups
+            ).astype(_I64, copy=False)
+            if with_sums:
+                extra = np.zeros(grouped.n_groups, dtype=grouped.sum_dtype)
+                np.add.at(
+                    extra,
+                    kept_codes,
+                    mixed_values[mixed_mask].astype(
+                        grouped.sum_dtype, copy=False
+                    ),
+                )
+                sums = sums + extra
+    return counts, sums
+
+
+#: Cachelines gathered per pruning round of :func:`topk_candidates`.
+_TOPK_CHUNK_LINES = 64
+
+
+def topk_candidates(ranges, values, predicate, aggregates, k: int) -> list:
+    """ORDER-BY-value top-k straight off candidate ranges.
+
+    Fully-qualifying cachelines (full ranges plus promoted lines) are
+    visited in **descending order of their sidecar maxima**; once k
+    values are in hand, any line whose max cannot beat the running
+    k-th value — and every line after it in the ordering — is pruned
+    without gathering a single value.  Straddling lines were already
+    gathered during refinement, so their qualifying survivors join for
+    free.  Returns the k largest qualifying values, descending, as
+    Python scalars; ``[]`` when nothing qualifies or ``k <= 0``.
+    """
+    if k <= 0:
+        return []
+    vpc = aggregates.vpc
+    n = aggregates.n_values
+    (
+        full_starts,
+        full_stops,
+        promoted,
+        _span,
+        mixed_values,
+        mixed_mask,
+    ) = _refine_partials(ranges, values, predicate, aggregates)
+
+    definite = np.concatenate([expand_ranges(full_starts, full_stops), promoted])
+    collected = []
+    count = 0
+    if mixed_values is not None:
+        kept = mixed_values[mixed_mask]
+        if kept.shape[0]:
+            collected.append(kept)
+            count = int(kept.shape[0])
+
+    if definite.shape[0]:
+        bounds = aggregates.maxs[definite]
+        order = np.argsort(bounds, kind="stable")[::-1]
+        threshold = None
+        if count >= k:
+            pool = collected[0] if len(collected) == 1 else np.concatenate(collected)
+            threshold = np.partition(pool, pool.shape[0] - k)[pool.shape[0] - k]
+        for at in range(0, order.shape[0], _TOPK_CHUNK_LINES):
+            chunk = order[at : at + _TOPK_CHUNK_LINES]
+            if threshold is not None and bounds[chunk[0]] <= threshold:
+                break
+            lines = definite[chunk]
+            starts = lines * vpc
+            collected.append(
+                values[expand_ranges(starts, np.minimum(starts + vpc, n))]
+            )
+            count += int(collected[-1].shape[0])
+            if count >= k:
+                pool = np.concatenate(collected)
+                collected = [pool]
+                threshold = np.partition(pool, pool.shape[0] - k)[
+                    pool.shape[0] - k
+                ]
+
+    if not collected:
+        return []
+    return topk_gathered(np.concatenate(collected), k)
+
+
+# ----------------------------------------------------------------------
+# shard recombination
+# ----------------------------------------------------------------------
 def combine_partials(op: str, partials, sum_dtype=None):
     """Combine per-shard partial aggregates into the global answer.
 
     ``count`` adds, ``sum`` adds *in the 64-bit accumulator dtype* (so
     integer wraparound recombines bit-identically to the unsharded
     answer), ``min``/``max`` take the extremum over the non-``None``
-    partials (``None`` marks an empty shard answer).
+    partials (``None`` marks an empty shard answer).  For the moment
+    ops each partial is a ``(count, sum, sumsq)`` tuple (as produced by
+    :func:`candidate_moments`); the moments add componentwise in the
+    accumulator dtype and finalise once globally, so sharding never
+    changes the answer.
     """
     _check_op(op)
     partials = list(partials)
     if op == "count":
         return int(sum(partials))
+    dtype = np.dtype(sum_dtype) if sum_dtype is not None else np.dtype(_I64)
     if op == "sum":
-        dtype = np.dtype(sum_dtype) if sum_dtype is not None else np.dtype(_I64)
         return np.add.reduce(np.array(partials, dtype=dtype)).item() if partials else (
             aggregate_identity("sum", dtype)
         )
+    if op in MOMENT_OPS:
+        present = [p for p in partials if p is not None]
+        count = int(sum(p[0] for p in present))
+        if count == 0:
+            return None
+        total = np.add.reduce(
+            np.array([p[1] for p in present], dtype=dtype)
+        ).item()
+        total_sq = None
+        if op != "avg":
+            total_sq = np.add.reduce(
+                np.array([p[2] for p in present], dtype=dtype)
+            ).item()
+        return _finalize_moments(op, count, total, total_sq)
     present = [value for value in partials if value is not None]
     if not present:
         return None
     return min(present) if op == "min" else max(present)
+
+
+def combine_grouped(partials):
+    """Elementwise-add per-shard grouped ``(counts, sums)`` partials.
+
+    ``None`` partials (empty shards) are skipped; ``sums`` stays
+    ``None`` when no partial carried one.  Returns ``(counts, sums)``
+    ready for :func:`finalize_grouped`.
+    """
+    counts = sums = None
+    for partial in partials:
+        if partial is None:
+            continue
+        pcounts, psums = partial
+        counts = pcounts if counts is None else counts + pcounts
+        if psums is not None:
+            sums = psums if sums is None else sums + psums
+    if counts is None:
+        counts = np.zeros(0, dtype=_I64)
+    return counts, sums
+
+
+def combine_topk(partials, k: int) -> list:
+    """Merge per-shard top-k lists into the global top-k (descending)."""
+    merged = [value for partial in partials if partial for value in partial]
+    if not merged or k <= 0:
+        return []
+    merged.sort(reverse=True)
+    return merged[:k]

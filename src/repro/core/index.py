@@ -28,7 +28,14 @@ import numpy as np
 from ..index_base import QueryResult, SecondaryIndex
 from ..predicate import RangePredicate
 from ..storage.column import Column
-from .aggregates import CachelineAggregates, aggregate_candidates
+from .aggregates import (
+    CachelineAggregates,
+    GroupedAggregates,
+    aggregate_candidates,
+    finalize_grouped,
+    grouped_candidates,
+    topk_candidates,
+)
 from .binning import DEFAULT_SAMPLE_SIZE, MAX_BINS, Histogram, binning
 from .builder import ImprintsBuilder, ImprintsData
 from .dictionary import MAX_CNT
@@ -114,6 +121,11 @@ class ColumnImprints(SecondaryIndex):
         # built on first aggregate and then maintained incrementally
         # through appends and updates.
         self._aggregates: CachelineAggregates | None = None
+        # GROUP BY pushdown sidecars (per attached group column), built
+        # lazily and synchronised on demand; dirty cachelines from
+        # in-place updates are flushed at the next grouped aggregate.
+        self._grouped: dict[str, GroupedAggregates] = {}
+        self._grouped_dirty: dict[str, set[int]] = {}
         # Saturation overlay: cacheline -> extra bits set by updates.
         self._overlay: dict[int, int] = {}
         # Cached overlay prework (sorted lines + overlaid vectors) and
@@ -321,6 +333,75 @@ class ColumnImprints(SecondaryIndex):
             op,
         )
 
+    def grouped_aggregates(self, name: str) -> GroupedAggregates:
+        """The GROUP BY pushdown sidecar for one attached group column.
+
+        Built lazily on first use, then synchronised on demand:
+        appended rows extend the histograms from the trailing partial
+        cacheline (after widening the group domain if new codes
+        arrived), and cachelines touched by in-place value updates are
+        recomputed.  Like :attr:`cacheline_aggregates`, it summarises
+        values — not bins — so it survives :meth:`rebuild`.
+        """
+        group = self._check_group_aligned(name)
+        sidecar = self._grouped.get(name)
+        if sidecar is None:
+            sidecar = GroupedAggregates(
+                group.codes,
+                self.column.values,
+                group.n_groups,
+                self.column.values_per_cacheline,
+            )
+            self._grouped[name] = sidecar
+            self._grouped_dirty[name] = set()
+            return sidecar
+        sidecar.widen(group.n_groups)
+        if sidecar.n_values < len(self.column):
+            sidecar.append(group.codes, self.column.values)
+        dirty = self._grouped_dirty.get(name)
+        if dirty:
+            for line in dirty:
+                sidecar.update_line(line, group.codes, self.column.values)
+            dirty.clear()
+        return sidecar
+
+    def aggregate_grouped(self, predicate: RangePredicate, op: str, group_by: str):
+        """Grouped ``COUNT``/``SUM``/``AVG`` pushdown (fused kernel).
+
+        Overrides the gather fallback with
+        :func:`~repro.core.aggregates.grouped_candidates`: candidate
+        ranges feed the per-cacheline group histograms directly, so
+        grouped answers never materialise row ids — only cachelines
+        straddling a predicate bound gather codes and values.
+        """
+        group = self._check_group_aligned(group_by)
+        counts, sums = grouped_candidates(
+            self.candidate_ranges(predicate),
+            self.column.values,
+            group.codes,
+            predicate,
+            self.cacheline_aggregates,
+            self.grouped_aggregates(group_by),
+            with_sums=op != "count",
+        )
+        return group.render(finalize_grouped(op, counts, sums))
+
+    def top_k(self, predicate: RangePredicate, k: int) -> list:
+        """ORDER-BY-value top-k pushdown (extrema-ordered pruning).
+
+        Visits fully-qualifying candidate cachelines in descending
+        order of their sidecar maxima and stops as soon as no remaining
+        line can beat the running k-th value — see
+        :func:`~repro.core.aggregates.topk_candidates`.
+        """
+        return topk_candidates(
+            self.candidate_ranges(predicate),
+            self.column.values,
+            predicate,
+            self.cacheline_aggregates,
+            k,
+        )
+
     def candidate_ranges(self, predicate: RangePredicate) -> CandidateRanges:
         """Late materialisation in the compressed domain (Section 3).
 
@@ -386,6 +467,8 @@ class ColumnImprints(SecondaryIndex):
         cacheline = self.column.geometry.cacheline_of(value_id)
         if self._aggregates is not None:
             self._aggregates.update_line(cacheline, self.column.values)
+        for dirty in self._grouped_dirty.values():
+            dirty.add(cacheline)
         new_bit = 1 << self.histogram.get_bin(new_value)
         old_bits = self._overlay.get(cacheline, 0)
         new_bits = old_bits | new_bit

@@ -43,7 +43,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from ..errors import DeadlineExceeded, ExecutorClosedError
 from ..index_base import QueryResult, SecondaryIndex
 from ..predicate import RangePredicate
-from ..core.aggregates import AGGREGATE_OPS
+from ..core.aggregates import AGGREGATE_OPS, GROUP_OPS
 from ..core.conjunction import conjunctive_aggregate, conjunctive_query
 from ..core.parallel import default_workers
 from .cache import ExecutorStats, LRUCache
@@ -53,6 +53,9 @@ __all__ = ["QueryExecutor"]
 
 #: Nominal LRU weight of a cached aggregate scalar (key + boxed value).
 _SCALAR_WEIGHT = 64
+
+#: Additional LRU weight per group entry / top-k value in a cached answer.
+_GROUP_ENTRY_WEIGHT = 32
 
 
 class QueryExecutor:
@@ -477,6 +480,68 @@ class QueryExecutor:
             # answer (MIN/MAX over an empty selection) is distinguishable
             # from a cache miss.
             self._cache.put(key, (value,), weight=_SCALAR_WEIGHT)
+        return value
+
+    def aggregate_grouped(
+        self, name: str, predicate: RangePredicate, op: str, group_by: str
+    ) -> dict:
+        """Grouped ``COUNT``/``SUM``/``AVG`` of a predicate, cached.
+
+        Runs the index's GROUP BY pushdown (per-cacheline group
+        histograms — no row ids) and caches the ``{group_key: value}``
+        answer in the same versioned LRU as scalar aggregates, keyed by
+        ``(column, predicate, op, group column, version)``, weighted by
+        the number of groups so a byte budget stays honest.  Any
+        append/update/rebuild invalidates implicitly.
+        """
+        if op not in GROUP_OPS:
+            raise ValueError(
+                f"unknown grouped aggregate {op!r}; supported: {GROUP_OPS}"
+            )
+        index = self.index(name)
+        version = getattr(index, "version", None)
+        key = (name, predicate, ("group", op, group_by), version)
+        if version is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.stats.bump(submitted=1, cache_hits=1)
+                return hit[0]
+        value = index.aggregate_grouped(predicate, op, group_by)
+        self.stats.bump(submitted=1, cache_misses=1)
+        if version is not None:
+            self._cache.put(
+                key,
+                (value,),
+                weight=_SCALAR_WEIGHT + _GROUP_ENTRY_WEIGHT * len(value),
+            )
+        return value
+
+    def top_k(self, name: str, predicate: RangePredicate, k: int) -> list:
+        """The ``k`` largest qualifying values (descending), cached.
+
+        Runs the index's extrema-ordered top-k pushdown and caches the
+        value list in the versioned LRU under
+        ``(column, predicate, k, version)``; ``[]`` (an empty answer)
+        caches like any other value.
+        """
+        if k < 0:
+            raise ValueError(f"top_k k must be >= 0, got {k}")
+        index = self.index(name)
+        version = getattr(index, "version", None)
+        key = (name, predicate, ("topk", k), version)
+        if version is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.stats.bump(submitted=1, cache_hits=1)
+                return hit[0]
+        value = index.top_k(predicate, k)
+        self.stats.bump(submitted=1, cache_misses=1)
+        if version is not None:
+            self._cache.put(
+                key,
+                (value,),
+                weight=_SCALAR_WEIGHT + _GROUP_ENTRY_WEIGHT * len(value),
+            )
         return value
 
     def aggregate_conjunctive(

@@ -72,20 +72,26 @@ def predicate_shape(predicate: RangePredicate) -> tuple:
 
     Shapes group predicates whose cost behaviour is alike: all point
     lookups share one bucket, bounded ranges bucket by the magnitude
-    (``log2``) of their width, half-open ranges by which side is open.
-    Exact predicates would overfit (every distinct constant its own
-    key); no bucketing would blur selective and unselective traffic
-    together.
+    (``floor(log2)``) of their width — *negative* exponents for
+    sub-unit float widths, so a 0.05-wide range on a float column lands
+    in ``("range", -5)`` instead of polluting the point-lookup bucket
+    (sub-unit float ranges can be 20%+ selective; pricing them as point
+    lookups misleads plan choice) — and half-open ranges by which side
+    is open.  Only genuine equality predicates
+    (:attr:`~repro.predicate.RangePredicate.is_point`: one
+    representable value) share the ``("point",)`` bucket.  Exact
+    predicates would overfit (every distinct constant its own key); no
+    bucketing would blur selective and unselective traffic together.
     """
     if predicate.is_empty:
         return ("empty",)
     low_bounded = not predicate.low_unbounded
     high_bounded = not predicate.high_unbounded
     if low_bounded and high_bounded:
-        width = float(predicate.high) - float(predicate.low)
-        if width <= 1:
+        if predicate.is_point:
             return ("point",)
-        return ("range", int(math.log2(width)))
+        width = float(predicate.high) - float(predicate.low)
+        return ("range", math.floor(math.log2(width)))
     if low_bounded:
         return ("low-bounded",)
     if high_bounded:
@@ -781,6 +787,30 @@ class MultiBackendIndex(SecondaryIndex):
     def aggregate(self, predicate: RangePredicate, op: str):
         """Aggregate pushdown always rides the primary (the sidecar)."""
         return self._primary.aggregate(predicate, op)
+
+    def attach_group_column(self, name: str, group) -> None:
+        """GROUP BY columns ride the primary only: grouped pushdown
+        always resolves there (one set of group histograms, not one per
+        backend), matching :meth:`aggregate`."""
+        self._primary.attach_group_column(name, group)
+
+    def group_column(self, name: str):
+        return self._primary.group_column(name)
+
+    @property
+    def group_column_names(self) -> list[str]:
+        return self._primary.group_column_names
+
+    def append_group(self, name: str, labels=None, codes=None) -> None:
+        self._primary.append_group(name, labels=labels, codes=codes)
+
+    def aggregate_grouped(self, predicate: RangePredicate, op: str, group_by: str):
+        """Grouped pushdown always rides the primary (the histograms)."""
+        return self._primary.aggregate_grouped(predicate, op, group_by)
+
+    def top_k(self, predicate: RangePredicate, k: int) -> list:
+        """Top-k pushdown always rides the primary (the extrema)."""
+        return self._primary.top_k(predicate, k)
 
     # ------------------------------------------------------------------
     # mutations — fan out in lockstep

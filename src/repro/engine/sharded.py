@@ -41,9 +41,16 @@ from ..predicate import RangePredicate
 from ..storage.column import Column
 from ..core.aggregates import (
     AGGREGATE_OPS,
+    MOMENT_OPS,
     aggregate_candidates,
     aggregate_identity,
+    candidate_moments,
+    combine_grouped,
     combine_partials,
+    combine_topk,
+    finalize_grouped,
+    grouped_candidates,
+    topk_candidates,
 )
 from ..core.builder import ImprintsData
 from ..core.dictionary import CachelineDictionary
@@ -259,6 +266,21 @@ class ShardedColumnImprints(SecondaryIndex):
 
     def rebuild(self, rng=None) -> None:
         self._inner.rebuild(rng=rng)
+
+    def attach_group_column(self, name: str, group) -> None:
+        """Register a GROUP BY column on the inner index (shards share
+        the global group histograms)."""
+        self._inner.attach_group_column(name, group)
+
+    def group_column(self, name: str):
+        return self._inner.group_column(name)
+
+    @property
+    def group_column_names(self) -> list[str]:
+        return self._inner.group_column_names
+
+    def append_group(self, name: str, labels=None, codes=None) -> None:
+        self._inner.append_group(name, labels=labels, codes=codes)
 
     # ------------------------------------------------------------------
     # shard management
@@ -665,7 +687,10 @@ class ShardedColumnImprints(SecondaryIndex):
         against the (global) per-cacheline pre-aggregates; only the
         scalar partials travel back to be combined (``SUM`` recombines
         in the 64-bit accumulator dtype, so integer wraparound stays
-        bit-identical to the unsharded answer).
+        bit-identical to the unsharded answer).  The moment ops
+        (``avg``/``var``/``std``) travel as per-shard
+        ``(count, sum, sumsq)`` tuples and finalise once globally, so
+        sharding never changes the answer.
         """
         if op not in AGGREGATE_OPS:
             raise ValueError(
@@ -678,11 +703,27 @@ class ShardedColumnImprints(SecondaryIndex):
         mask, innermask = cached_masks(data.histogram, predicate)
         if mask == 0 or data.n_cachelines == 0:
             return aggregate_identity(op, aggregates.sum_dtype)
+        values = self.column.values
+
+        def run_shard(ranges):
+            if op in MOMENT_OPS:
+                return candidate_moments(
+                    ranges, values, predicate, aggregates, squares=op != "avg"
+                )
+            return aggregate_candidates(
+                ranges, values, predicate, aggregates, op
+            )
+
+        partials = self._shard_aggregate_map(mask, innermask, run_shard)
+        return combine_partials(op, partials, aggregates.sum_dtype)
+
+    def _shard_aggregate_map(self, mask, innermask, kernel):
+        """Fan one aggregate kernel across shards on global-shifted
+        candidate ranges; returns the per-shard partials in order."""
         mask64 = _U64(mask)
         inner64 = _U64(~innermask & _LOW64)
         states = self._shard_overlay_states()
         shards = self.shards
-        values = self.column.values
 
         def run(i: int):
             shard = shards[i]
@@ -703,12 +744,74 @@ class ShardedColumnImprints(SecondaryIndex):
                 local.full,
                 local.stats,
             )
-            return aggregate_candidates(
-                ranges, values, predicate, aggregates, op
-            )
+            return kernel(ranges)
 
-        partials = self._map(run, len(shards))
-        return combine_partials(op, partials, aggregates.sum_dtype)
+        return self._map(run, len(shards))
+
+    def aggregate_grouped(self, predicate: RangePredicate, op: str, group_by: str):
+        """Shard-parallel GROUP BY pushdown.
+
+        Each shard reduces its global-shifted candidate ranges through
+        the per-cacheline group histograms
+        (:func:`~repro.core.aggregates.grouped_candidates`); only the
+        per-group ``(counts, sums)`` partial arrays travel back, are
+        added elementwise and finalised once — identical to the
+        unsharded answer, no row ids anywhere.
+        """
+        if self.dispatch_mode == "inline":
+            return self._inner.aggregate_grouped(predicate, op, group_by)
+        group = self._inner._check_group_aligned(group_by)
+        data = self._inner.data
+        aggregates = self._inner.cacheline_aggregates  # build before fan-out
+        grouped = self._inner.grouped_aggregates(group_by)
+        mask, innermask = cached_masks(data.histogram, predicate)
+        if mask == 0 or data.n_cachelines == 0:
+            return {}
+        values = self.column.values
+        codes = group.codes
+
+        partials = self._shard_aggregate_map(
+            mask,
+            innermask,
+            lambda ranges: grouped_candidates(
+                ranges,
+                values,
+                codes,
+                predicate,
+                aggregates,
+                grouped,
+                with_sums=op != "count",
+            ),
+        )
+        counts, sums = combine_grouped(partials)
+        return group.render(finalize_grouped(op, counts, sums))
+
+    def top_k(self, predicate: RangePredicate, k: int) -> list:
+        """Shard-parallel ORDER-BY-value top-k.
+
+        Each shard prunes its own candidate cachelines against its
+        local running k-th value; the per-shard top-k lists merge into
+        the global answer (descending), identical to the unsharded
+        kernel.
+        """
+        if self.dispatch_mode == "inline":
+            return self._inner.top_k(predicate, k)
+        if k <= 0:
+            return []
+        data = self._inner.data
+        aggregates = self._inner.cacheline_aggregates  # build before fan-out
+        mask, innermask = cached_masks(data.histogram, predicate)
+        if mask == 0 or data.n_cachelines == 0:
+            return []
+        values = self.column.values
+        partials = self._shard_aggregate_map(
+            mask,
+            innermask,
+            lambda ranges: topk_candidates(
+                ranges, values, predicate, aggregates, k
+            ),
+        )
+        return combine_topk(partials, k)
 
     def candidate_ranges(self, predicate: RangePredicate) -> CandidateRanges:
         """Global candidate ranges assembled from per-shard kernels.

@@ -421,6 +421,9 @@ class SecondaryIndex(ABC):
         #: indexes share this counter discipline with imprints, which is
         #: what lets the planner swap backends under a versioned LRU.
         self.version = 0
+        #: Attached GROUP BY columns, by name
+        #: (:class:`~repro.storage.dictionary_encoding.GroupColumn`).
+        self._group_columns: dict[str, "GroupColumn"] = {}
 
     # ------------------------------------------------------------------
     # the contract
@@ -515,6 +518,111 @@ class SecondaryIndex(ABC):
     def max(self, predicate: RangePredicate):
         """``MAX`` of values satisfying ``predicate`` (``None`` if empty)."""
         return self.aggregate(predicate, "max")
+
+    def avg(self, predicate: RangePredicate):
+        """``AVG`` of values satisfying ``predicate`` (``None`` if empty)."""
+        return self.aggregate(predicate, "avg")
+
+    def var(self, predicate: RangePredicate):
+        """Population variance of qualifying values (``None`` if empty)."""
+        return self.aggregate(predicate, "var")
+
+    def std(self, predicate: RangePredicate):
+        """Population stddev of qualifying values (``None`` if empty)."""
+        return self.aggregate(predicate, "std")
+
+    # ------------------------------------------------------------------
+    # GROUP BY / top-k pushdown
+    # ------------------------------------------------------------------
+    def attach_group_column(self, name: str, group) -> None:
+        """Register a GROUP BY column riding next to the indexed values.
+
+        ``group`` is a :class:`~repro.storage.dictionary_encoding
+        .GroupColumn` (or anything accepted by
+        ``GroupColumn.from_labels`` / ``from_codes``): one group label
+        per row, append-stable codes.  Its length must match the column
+        at every :meth:`aggregate_grouped` call — append the group in
+        lockstep with the values.
+        """
+        from .storage.dictionary_encoding import GroupColumn
+
+        if not isinstance(group, GroupColumn):
+            array = np.asarray(group)
+            if array.dtype.kind in "iu":
+                group = GroupColumn.from_codes(array)
+            else:
+                group = GroupColumn.from_labels(list(group))
+        self._group_columns[name] = group
+
+    def group_column(self, name: str):
+        """The attached :class:`GroupColumn`, or a clear error."""
+        try:
+            return self._group_columns[name]
+        except KeyError:
+            known = sorted(self._group_columns)
+            raise ValueError(
+                f"no group column {name!r} attached; known: {known}"
+            ) from None
+
+    @property
+    def group_column_names(self) -> list[str]:
+        return sorted(self._group_columns)
+
+    def append_group(self, name: str, labels=None, codes=None) -> None:
+        """Append group rows in lockstep with a column append."""
+        group = self.group_column(name)
+        if (labels is None) == (codes is None):
+            raise ValueError("provide exactly one of labels= or codes=")
+        if labels is not None:
+            group.append_labels(labels)
+        else:
+            group.append_codes(codes)
+
+    def _check_group_aligned(self, name: str):
+        group = self.group_column(name)
+        if len(group) != len(self.column):
+            raise ValueError(
+                f"group column {name!r} has {len(group)} rows but the "
+                f"indexed column has {len(self.column)}; append the "
+                "group in lockstep (append_group)"
+            )
+        return group
+
+    def aggregate_grouped(self, predicate: RangePredicate, op: str, group_by: str):
+        """Grouped ``COUNT``/``SUM``/``AVG`` of qualifying values.
+
+        Returns ``{group_key: value}`` with only the groups actually
+        present in the answer (``{}`` when nothing qualifies).  Keys
+        are the group column's labels when it has them, raw int codes
+        otherwise.  The base implementation gathers codes and values
+        through the materialised ids — the baseline-backend path;
+        :class:`~repro.core.index.ColumnImprints` overrides it with
+        per-cacheline group-histogram pushdown.
+        """
+        from .core.aggregates import finalize_grouped, grouped_gathered
+
+        group = self._check_group_aligned(group_by)
+        ids = self.query(predicate).ids
+        counts, sums = grouped_gathered(
+            group.codes[ids],
+            self.column.values[ids],
+            group.n_groups,
+            with_sums=op != "count",
+        )
+        return group.render(finalize_grouped(op, counts, sums))
+
+    def top_k(self, predicate: RangePredicate, k: int) -> list:
+        """The ``k`` largest qualifying values, descending (``[]`` when
+        nothing qualifies).  The base implementation gathers through the
+        materialised ids; imprint indexes prune whole cachelines via
+        their sidecar maxima instead.
+        """
+        from .core.aggregates import topk_gathered
+
+        if k <= 0:
+            return []
+        ids = self.query(predicate).ids
+        return topk_gathered(self.column.values[ids], k)
 
     def query_batch(self, predicates) -> list[QueryResult]:
         """Answer many predicates; one result per predicate, in order.

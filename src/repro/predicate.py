@@ -137,6 +137,26 @@ class RangePredicate:
         return not self.low < self.high
 
     @property
+    def is_point(self) -> bool:
+        """True for genuine equality predicates (``v == low``).
+
+        In canonical half-open form a point query spans exactly one
+        representable value: ``[v, v+1)`` on integer domains,
+        ``[v, nextafter(v))`` on float domains (checked at both float32
+        and float64 resolution, since the canonical bound was stepped at
+        the column's own resolution).  A merely *narrow* float range —
+        sub-unit width but many representable values — is not a point.
+        """
+        if not (math.isfinite(self.low) and math.isfinite(self.high)):
+            return False
+        if isinstance(self.low, int) and isinstance(self.high, int):
+            return self.high == self.low + 1
+        return self.high in (
+            float(np.nextafter(np.float64(self.low), np.inf)),
+            float(np.nextafter(np.float32(self.low), np.float32(np.inf))),
+        )
+
+    @property
     def low_unbounded(self) -> bool:
         return math.isinf(self.low) and self.low < 0
 

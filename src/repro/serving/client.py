@@ -45,10 +45,15 @@ class ClientResponse:
 
     @property
     def retry_after(self) -> float | None:
-        """The server's back-off hint in seconds, if it sent one."""
-        raw = self.headers.get("retry-after")
+        """The server's back-off hint in seconds, if it sent one.
+
+        The JSON body's ``retry_after`` is preferred: the header form
+        is an RFC 9110 integer delta-seconds (sub-second hints round
+        up to 1), while the body carries the server's precise float.
+        """
+        raw = self.body.get("retry_after") if isinstance(self.body, dict) else None
         if raw is None:
-            raw = self.body.get("retry_after") if isinstance(self.body, dict) else None
+            raw = self.headers.get("retry-after")
         if raw is None:
             return None
         try:
@@ -183,11 +188,13 @@ class ServingClient:
         return await getter("/query", params)
 
     async def aggregate(
-        self, column: str, low, high, op: str, *,
+        self, column: str, low, high, op: str = "count", *,
+        group_by: str | None = None, top_k: int | None = None,
         timeout_ms: float | None = None, retry: bool = True,
     ) -> ClientResponse:
         params = {
             "column": column, "low": low, "high": high, "op": op,
+            "group_by": group_by, "top_k": top_k,
             "timeout_ms": timeout_ms,
         }
         getter = self.get_with_retry if retry else self.get

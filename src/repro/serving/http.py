@@ -7,8 +7,10 @@ A deliberately small HTTP/1.1 server exposing the
 ``GET /query``             ``column``, ``low``, ``high`` (+ ``mode``,
                            ``limit``, ``timeout_ms``) — range query,
                            degradable
-``GET /aggregate``         ``column``, ``low``, ``high``, ``op`` — scalar
-                           pushdown
+``GET /aggregate``         ``column``, ``low``, ``high``, ``op`` (count/
+                           sum/min/max/avg/var/std) — scalar pushdown;
+                           plus ``group_by=`` (grouped count/sum/avg) or
+                           ``top_k=`` (largest values, descending)
 ``GET /page``              ``column``, ``low``, ``high``, ``limit``
                            (+ ``cursor``, ``timeout_ms``) — cursor paging
 ``GET /healthz``           liveness + pressure (never admission-controlled)
@@ -59,6 +61,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import urllib.parse
 
 from ..errors import (
@@ -397,13 +400,37 @@ class ServingHTTPServer:
                 )
                 return 200, payload, {}
             if path == "/aggregate":
-                payload = await self.service.aggregate(
-                    _required(params, "column"),
-                    _number(params, "low"),
-                    _number(params, "high"),
-                    _required(params, "op").lower(),
-                    timeout=_timeout(params),
-                )
+                top_k = _optional_int(params, "top_k")
+                group_by = params.get("group_by")
+                if top_k is not None and group_by is not None:
+                    raise ValueError(
+                        "parameters 'top_k' and 'group_by' are exclusive"
+                    )
+                if top_k is not None:
+                    payload = await self.service.top_k(
+                        _required(params, "column"),
+                        _number(params, "low"),
+                        _number(params, "high"),
+                        top_k,
+                        timeout=_timeout(params),
+                    )
+                elif group_by is not None:
+                    payload = await self.service.aggregate_grouped(
+                        _required(params, "column"),
+                        _number(params, "low"),
+                        _number(params, "high"),
+                        _required(params, "op").lower(),
+                        group_by,
+                        timeout=_timeout(params),
+                    )
+                else:
+                    payload = await self.service.aggregate(
+                        _required(params, "column"),
+                        _number(params, "low"),
+                        _number(params, "high"),
+                        _required(params, "op").lower(),
+                        timeout=_timeout(params),
+                    )
                 return 200, payload, {}
             if path == "/page":
                 payload = await self.service.page(
@@ -445,7 +472,13 @@ class ServingHTTPServer:
             status = status_for_exception(exc)
             extra = {}
             if isinstance(exc, (AdmissionRejected, FollowerLagging)):
-                extra["Retry-After"] = f"{exc.retry_after:.3f}"
+                # RFC 9110 §10.2.3: the header form of Retry-After is a
+                # non-negative *integer* delta-seconds.  The precise
+                # float hint travels in the JSON body (``retry_after``),
+                # which well-behaved clients prefer.
+                extra["Retry-After"] = str(
+                    math.ceil(max(0.0, exc.retry_after))
+                )
             return status, error_body(exc, status), extra
 
     # ------------------------------------------------------------------

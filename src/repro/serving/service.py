@@ -440,7 +440,9 @@ class ImprintService:
         *,
         timeout: float | None = None,
     ) -> dict:
-        """``COUNT``/``SUM``/``MIN``/``MAX`` of a range predicate."""
+        """``COUNT``/``SUM``/``MIN``/``MAX``/``AVG``/``VAR``/``STD`` of a
+        range predicate.  An empty selection answers ``value: null`` for
+        the ops with no identity — never an error."""
         self._enter()
         deadline = self.deadline_for(timeout)
         exc: BaseException | None = None
@@ -467,6 +469,123 @@ class ImprintService:
                     "high": high,
                     "op": op,
                     "value": value,
+                }
+            finally:
+                self.admission.release()
+        except asyncio.TimeoutError as timeout_exc:
+            exc = DeadlineExceeded("request budget exhausted")
+            raise exc from timeout_exc
+        except BaseException as raised:
+            exc = raised
+            raise
+        finally:
+            self._record_outcome(exc)
+
+    async def aggregate_grouped(
+        self,
+        column: str,
+        low,
+        high,
+        op: str,
+        group_by: str,
+        *,
+        timeout: float | None = None,
+    ) -> dict:
+        """Grouped ``COUNT``/``SUM``/``AVG`` over an attached group column.
+
+        The answer maps group label (JSON object keys are strings, so
+        integer group codes are stringified) to the aggregate over the
+        rows of that group matching the predicate.  Only groups with at
+        least one matching row appear; an empty selection answers
+        ``groups: {}`` — never an error.
+        """
+        self._enter()
+        deadline = self.deadline_for(timeout)
+        exc: BaseException | None = None
+        try:
+            self._check_quarantine(column)
+            self._check_replication(column)
+            await self.admission.acquire(deadline)
+            try:
+                predicate = self.executor.predicate(column, low, high)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded("request budget exhausted")
+                groups = await asyncio.wait_for(
+                    asyncio.to_thread(
+                        self.executor.aggregate_grouped,
+                        column, predicate, op, group_by,
+                    ),
+                    remaining,
+                )
+                return {
+                    "column": column,
+                    "low": low,
+                    "high": high,
+                    "op": op,
+                    "group_by": group_by,
+                    "groups": {
+                        str(key): (
+                            float(value)
+                            if isinstance(value, float)
+                            else int(value)
+                        )
+                        for key, value in groups.items()
+                    },
+                }
+            finally:
+                self.admission.release()
+        except asyncio.TimeoutError as timeout_exc:
+            exc = DeadlineExceeded("request budget exhausted")
+            raise exc from timeout_exc
+        except BaseException as raised:
+            exc = raised
+            raise
+        finally:
+            self._record_outcome(exc)
+
+    async def top_k(
+        self,
+        column: str,
+        low,
+        high,
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> dict:
+        """The ``k`` largest matching values, descending.
+
+        Fewer than ``k`` matches answer the shorter list; an empty
+        selection (or ``k == 0``) answers ``values: []`` — never an
+        error.  Negative ``k`` is a 400.
+        """
+        self._enter()
+        deadline = self.deadline_for(timeout)
+        exc: BaseException | None = None
+        try:
+            self._check_quarantine(column)
+            self._check_replication(column)
+            await self.admission.acquire(deadline)
+            try:
+                predicate = self.executor.predicate(column, low, high)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded("request budget exhausted")
+                values = await asyncio.wait_for(
+                    asyncio.to_thread(
+                        self.executor.top_k, column, predicate, k
+                    ),
+                    remaining,
+                )
+                return {
+                    "column": column,
+                    "low": low,
+                    "high": high,
+                    "k": int(k),
+                    "values": [
+                        float(value) if isinstance(value, float) else int(value)
+                        for value in values
+                    ],
                 }
             finally:
                 self.admission.release()

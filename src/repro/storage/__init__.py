@@ -11,7 +11,7 @@ merge-at-query-time updates.
 from .cacheline import CACHELINE_BYTES, CachelineGeometry
 from .column import Column
 from .delta import DeltaColumn
-from .dictionary_encoding import StringDictionary, encode_strings
+from .dictionary_encoding import GroupColumn, StringDictionary, encode_strings
 from .persist import ColumnStore
 from .table import Table
 from .types import (
@@ -37,6 +37,7 @@ __all__ = [
     "CachelineGeometry",
     "Column",
     "DeltaColumn",
+    "GroupColumn",
     "StringDictionary",
     "encode_strings",
     "ColumnStore",

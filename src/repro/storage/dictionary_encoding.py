@@ -1,4 +1,4 @@
-"""Dictionary encoding for string columns.
+"""Dictionary encoding for string columns and GROUP BY group columns.
 
 The Airtraffic and Cnet datasets contain ``str`` columns.  Column stores
 (and this reproduction) never index raw strings directly: the strings are
@@ -7,6 +7,14 @@ built over the code column.  Range queries on the encoded column are
 meaningful because the dictionary is kept *sorted*, so code order equals
 lexicographic string order — exactly the property a range predicate
 needs.
+
+:class:`GroupColumn` is the second dictionary flavour: an
+**append-stable** encoding (codes assigned by first appearance, new
+labels only ever appended) used for GROUP BY pushdown.  Stability is
+what lets the per-cacheline group histograms
+(:class:`~repro.core.aggregates.GroupedAggregates`) survive appends
+without re-coding history — a sorted dictionary would shift every code
+when a new label lands in the middle.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import numpy as np
 from .column import Column
 from .types import STR_CODE
 
-__all__ = ["StringDictionary", "encode_strings"]
+__all__ = ["GroupColumn", "StringDictionary", "encode_strings"]
 
 
 class StringDictionary:
@@ -83,6 +91,106 @@ class StringDictionary:
         lo_code = bisect.bisect_left(self._strings, low)
         hi_code = bisect.bisect_left(self._strings, high)
         return lo_code, hi_code
+
+
+class GroupColumn:
+    """An append-stable dictionary-encoded grouping column.
+
+    Rides next to an indexed value column and assigns each row a dense
+    ``int64`` group code.  Construct :meth:`from_labels` (arbitrary
+    hashable labels, codes by first appearance) or :meth:`from_codes`
+    (pre-encoded small ints).  Appends keep existing codes stable —
+    unseen labels get the next free code — so downstream per-cacheline
+    group histograms extend incrementally instead of rebuilding.
+    """
+
+    def __init__(self, codes: np.ndarray, labels: list | None, n_groups: int) -> None:
+        self._codes = np.ascontiguousarray(codes, dtype=np.int64)
+        self._labels = labels
+        self._index = (
+            {label: code for code, label in enumerate(labels)}
+            if labels is not None
+            else None
+        )
+        self._n_groups = int(n_groups)
+        if self._codes.shape[0] and (
+            int(self._codes.min()) < 0 or int(self._codes.max()) >= self._n_groups
+        ):
+            raise ValueError(f"group codes must lie in [0, {self._n_groups})")
+
+    @classmethod
+    def from_labels(cls, labels) -> "GroupColumn":
+        """Encode arbitrary labels, assigning codes by first appearance."""
+        column = cls(np.empty(0, dtype=np.int64), [], 0)
+        column.append_labels(labels)
+        return column
+
+    @classmethod
+    def from_codes(cls, codes, n_groups: int | None = None) -> "GroupColumn":
+        """Wrap pre-encoded codes (``0 <= code < n_groups``)."""
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        if n_groups is None:
+            n_groups = int(codes.max()) + 1 if codes.shape[0] else 1
+        return cls(codes, None, n_groups)
+
+    def __len__(self) -> int:
+        return int(self._codes.shape[0])
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The dense per-row code array (``int64``)."""
+        return self._codes
+
+    @property
+    def n_groups(self) -> int:
+        """Size of the group domain (codes lie in ``[0, n_groups)``)."""
+        return self._n_groups
+
+    @property
+    def labels(self) -> list | None:
+        """The label dictionary (``labels[code]``), or ``None`` for
+        raw-code columns."""
+        return list(self._labels) if self._labels is not None else None
+
+    def append_labels(self, labels) -> None:
+        """Append rows by label; unseen labels extend the dictionary."""
+        if self._index is None:
+            raise ValueError("raw-code GroupColumn: use append_codes()")
+        fresh = np.empty(len(labels), dtype=np.int64)
+        for at, label in enumerate(labels):
+            code = self._index.get(label)
+            if code is None:
+                code = len(self._labels)
+                self._labels.append(label)
+                self._index[label] = code
+            fresh[at] = code
+        self._codes = np.concatenate([self._codes, fresh])
+        self._n_groups = max(self._n_groups, len(self._labels))
+
+    def append_codes(self, codes) -> None:
+        """Append pre-encoded rows; the domain widens to cover them."""
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        if codes.shape[0]:
+            if int(codes.min()) < 0:
+                raise ValueError("group codes must be non-negative")
+            self._n_groups = max(self._n_groups, int(codes.max()) + 1)
+        self._codes = np.concatenate([self._codes, codes])
+
+    def key_of(self, code: int):
+        """The user-facing key for one code: its label, or the raw code."""
+        if self._labels is not None:
+            return self._labels[code]
+        return int(code)
+
+    def render(self, by_code: dict) -> dict:
+        """Re-key a ``{code: value}`` aggregate answer by label."""
+        return {self.key_of(code): value for code, value in by_code.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "labels" if self._labels is not None else "codes"
+        return (
+            f"GroupColumn(rows={len(self)}, groups={self._n_groups}, {kind})"
+        )
 
 
 def encode_strings(

@@ -49,6 +49,23 @@ def reference(values: np.ndarray, ids: np.ndarray, op: str):
     if ids.shape[0] == 0:
         return None
     gathered = values[ids]
+    if op in ("avg", "var", "std"):
+        n = int(ids.shape[0])
+        if values.dtype.kind == "f":
+            acc = gathered.astype(np.float64)
+            total = float(np.sum(acc))
+            total_sq = float(np.sum(acc * acc))
+        else:
+            # Exact big-int sums: integer moments are bit-identical
+            # because Python's int division is correctly rounded.
+            total = int(np.sum(gathered.astype(object)))
+            total_sq = int(np.sum(gathered.astype(object) ** 2))
+        mean = total / n
+        if op == "avg":
+            return float(mean)
+        var = total_sq / n - mean * mean
+        var = var if var > 0.0 else 0.0
+        return float(var) if op == "var" else math.sqrt(var)
     return gathered.min().item() if op == "min" else gathered.max().item()
 
 
@@ -58,8 +75,12 @@ def check_against_reference(index, predicate, values, exact_sum=True):
     for op in AGGREGATE_OPS:
         got = index.aggregate(predicate, op)
         want = reference(values, ids, op)
-        if op == "sum" and not exact_sum:
-            assert got == pytest.approx(want, rel=1e-9, abs=1e-6), op
+        if not exact_sum and op in ("sum", "avg", "var", "std"):
+            if want is None:
+                assert got is None, op
+            else:
+                tol = 1e-9 if op in ("sum", "avg") else 1e-6
+                assert got == pytest.approx(want, rel=tol, abs=1e-6), op
         else:
             assert got == want, (op, got, want)
     # The convenience spellings route through the same kernel.
@@ -174,11 +195,14 @@ class TestAggregateRowset:
         assert aggregate_rowset(empty, values, "sum", aggs) == 0
         assert aggregate_rowset(empty, values, "min", aggs) is None
         assert aggregate_rowset(empty, values, "max", aggs) is None
+        for op in ("avg", "var", "std"):
+            assert aggregate_rowset(empty, values, op, aggs) is None
+            assert aggregate_rowset(empty, values, op, None) is None
 
     def test_unknown_op_rejected(self):
         values = np.arange(32, dtype=np.int32)
         with pytest.raises(ValueError):
-            aggregate_rowset(RowSet.empty(), values, "avg", None)
+            aggregate_rowset(RowSet.empty(), values, "median", None)
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +291,8 @@ class TestIndexAggregates:
         assert index.aggregate(nothing, "sum") == 0
         assert index.aggregate(nothing, "min") is None
         assert index.aggregate(nothing, "max") is None
+        for op in ("avg", "var", "std"):
+            assert index.aggregate(nothing, op) is None
         everything = RangePredicate.everything()
         assert index.aggregate(everything, "count") == len(column)
         assert index.aggregate(everything, "sum") == np.sum(values).item()
@@ -437,6 +463,13 @@ class TestAggregateConsumers:
         assert combine_partials("sum", big, np.int64) == np.sum(
             np.array(big * 1, dtype=np.int64)
         ).item()
+        # Moment tuples combine componentwise and finalise once.
+        parts = [(2, 10, 52), (0, 0, 0), (2, 6, 20)]
+        assert combine_partials("avg", parts, np.int64) == 4.0
+        assert combine_partials("var", parts, np.int64) == 2.0
+        assert combine_partials("std", parts, np.int64) == math.sqrt(2.0)
+        assert combine_partials("avg", [], np.int64) is None
+        assert combine_partials("var", [(0, 0, 0)], np.int64) is None
 
 
 # ----------------------------------------------------------------------

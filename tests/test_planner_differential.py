@@ -506,6 +506,47 @@ def test_predicate_shape_buckets():
     assert predicate_shape(RangePredicate.everything()) == ("everything",)
 
 
+def test_predicate_shape_fractional_widths_on_float_columns():
+    """Sub-unit float ranges bucket by magnitude (negative exponents),
+    not into the equality bucket: a dashboard slicing ``[0.1, 0.2)``
+    and one slicing ``[0.4, 0.8)`` are different workloads, and neither
+    is a point query."""
+    tenth = RangePredicate.range(0.1, 0.2, DOUBLE)
+    fifth = RangePredicate.range(0.1, 0.3, DOUBLE)
+    half = RangePredicate.range(0.4, 0.8, DOUBLE)
+    for pred in (tenth, fifth, half):
+        shape = predicate_shape(pred)
+        assert shape[0] == "range", pred
+        assert shape[1] < 0, pred  # floor(log2(width)) of a sub-unit width
+    assert predicate_shape(tenth) != predicate_shape(half)
+    # Same magnitude generalises across offsets, as on integer columns.
+    assert predicate_shape(
+        RangePredicate.range(5.1, 5.2, DOUBLE)
+    ) == predicate_shape(tenth)
+    # Only true equality is a point: v == 0.5 spans one representable.
+    assert predicate_shape(RangePredicate.point(0.5, DOUBLE)) == ("point",)
+    assert not RangePredicate.range(0.1, 0.2, DOUBLE).is_point
+    assert RangePredicate.point(0.5, DOUBLE).is_point
+    # Integer points still land in the equality bucket too.
+    assert RangePredicate.point(5, INT).is_point
+
+
+def test_planner_statistics_separate_fractional_float_buckets():
+    """The regression this guards: every bounded width <= 1 used to
+    collapse into ``("point",)``, so a float dashboard's distinct
+    sub-unit slices shared one statistics cell and poisoned each
+    other's calibration."""
+    statistics = PlanStatistics()
+    narrow = predicate_shape(RangePredicate.range(0.1, 0.125, DOUBLE))
+    wide = predicate_shape(RangePredicate.range(0.1, 0.6, DOUBLE))
+    point = predicate_shape(RangePredicate.point(0.25, DOUBLE))
+    assert len({narrow, wide, point}) == 3
+    statistics.record("f", narrow, "scan", 0.001, 0.1)
+    statistics.record("f", wide, "wah", 0.002, 0.5)
+    assert statistics.get("f", narrow) is not statistics.get("f", wide)
+    assert statistics.get("f", point) is None
+
+
 def _planner_gate_fixture(
     max_ratio: float = 1.02,
     speedup: float = 2.3,

@@ -612,3 +612,120 @@ class TestHTTP:
             assert stats.body["cache"]["entries"] >= 1
 
         http_scenario(scenario)
+
+    def test_retry_after_header_is_integer_and_body_is_precise(self):
+        """RFC 9110: the ``Retry-After`` *header* is integer delta-seconds;
+        the precise float hint rides the JSON body, and the client
+        prefers the body."""
+
+        async def scenario(service, index, client):
+            await service.admission.acquire()  # hold the only slot
+            response = await client.query("v", LOW, HIGH, retry=False)
+            assert response.status == 429
+            header = response.headers["retry-after"]
+            # strictly an integer token — "0.050" would violate the RFC
+            assert header == str(int(header))
+            assert int(header) >= 0
+            # sub-second hints round *up*, never down to 0-wait stampedes
+            assert int(header) == 1
+            # the body keeps the server's precise float
+            assert response.body["retry_after"] == pytest.approx(0.05)
+            # and the client's hint accessor prefers the body
+            assert response.retry_after == pytest.approx(0.05)
+            service.admission.release()
+
+        http_scenario(scenario, max_inflight=1, max_waiting=0, retry_after=0.05)
+
+    def test_client_retry_after_falls_back_to_the_header(self):
+        from repro.serving import ClientResponse
+
+        only_header = ClientResponse(429, {"retry-after": "2"}, {})
+        assert only_header.retry_after == 2.0
+        both = ClientResponse(
+            429, {"retry-after": "1"}, {"retry_after": 0.05}
+        )
+        assert both.retry_after == pytest.approx(0.05)
+        neither = ClientResponse(429, {}, {})
+        assert neither.retry_after is None
+
+
+# ----------------------------------------------------------------------
+# the /aggregate extensions: moments, GROUP BY, top-k
+# ----------------------------------------------------------------------
+class TestAggregateExtensions:
+    def test_moment_ops_roundtrip_and_empty_is_null(self):
+        async def scenario(service, index, client):
+            matched = index.column.values[
+                (index.column.values >= LOW) & (index.column.values < HIGH)
+            ].astype(np.float64)
+            for op, want in (
+                ("avg", matched.mean()),
+                ("var", matched.var()),
+                ("std", matched.std()),
+            ):
+                response = await client.aggregate("v", LOW, HIGH, op)
+                assert response.status == 200
+                assert response.body["value"] == pytest.approx(want), op
+            empty = await client.aggregate("v", 10**8, 10**8 + 1, "avg")
+            assert empty.status == 200
+            assert empty.body["value"] is None
+
+        http_scenario(scenario)
+
+    def test_grouped_roundtrip_and_empty_is_empty_object(self):
+        async def scenario(service, index, client):
+            values = index.column.values
+            rng = np.random.default_rng(7)
+            labels = np.array(["red", "green", "blue"])[
+                rng.integers(0, 3, len(values))
+            ]
+            index.attach_group_column("colour", labels)
+            response = await client.aggregate(
+                "v", LOW, HIGH, "sum", group_by="colour"
+            )
+            assert response.status == 200
+            mask = (values >= LOW) & (values < HIGH)
+            want = {
+                label: int(values[mask & (labels == label)].astype(np.int64).sum())
+                for label in ("red", "green", "blue")
+                if np.any(mask & (labels == label))
+            }
+            assert response.body["groups"] == want
+            empty = await client.aggregate(
+                "v", 10**8, 10**8 + 1, "count", group_by="colour"
+            )
+            assert empty.status == 200
+            assert empty.body["groups"] == {}
+            # unknown group column -> 400 (ValueError names the knowns)
+            missing = await client.aggregate(
+                "v", LOW, HIGH, "count", group_by="ghost", retry=False
+            )
+            assert missing.status == 400
+
+        http_scenario(scenario)
+
+    def test_topk_roundtrip_and_param_validation(self):
+        async def scenario(service, index, client):
+            values = index.column.values
+            response = await client.aggregate("v", LOW, HIGH, top_k=7)
+            assert response.status == 200
+            matched = np.sort(values[(values >= LOW) & (values < HIGH)])
+            assert response.body["values"] == [
+                int(v) for v in matched[-7:][::-1]
+            ]
+            empty = await client.aggregate("v", 10**8, 10**8 + 1, top_k=5)
+            assert empty.status == 200
+            assert empty.body["values"] == []
+            zero = await client.aggregate("v", LOW, HIGH, top_k=0)
+            assert zero.status == 200
+            assert zero.body["values"] == []
+            negative = await client.aggregate(
+                "v", LOW, HIGH, top_k=-3, retry=False
+            )
+            assert negative.status == 400
+            both = await client.aggregate(
+                "v", LOW, HIGH, "sum", group_by="x", top_k=2, retry=False
+            )
+            assert both.status == 400
+
+        http_scenario(scenario)
